@@ -1,0 +1,373 @@
+//! The user-facing MPI interface of AMPI: blocking and non-blocking
+//! point-to-point, barrier, and timing, with transparent GPU-awareness —
+//! device buffers can be passed to `send`/`recv` directly, like any
+//! CUDA-aware MPI implementation (§III-C).
+
+use std::collections::HashSet;
+
+use rucx_charm::{ChareRef, Collection, EpId, Msg, Pe};
+use rucx_gpu::MemRef;
+use rucx_sim::sched::Trigger;
+use rucx_ucp::MCtx;
+
+use crate::msg::{AmpiMsg, AmpiPayload, Status};
+use crate::rank::{status_of, AmpiParams, PostedRecv, RankState, SlotState};
+
+/// A non-blocking communication request.
+#[derive(Debug, Clone, Copy)]
+pub enum Request {
+    /// An in-flight send; `None` means already complete (eager/inline).
+    Send(Option<Trigger>),
+    /// A receive request identified by its slot.
+    Recv(u64),
+}
+
+/// One AMPI rank: owns the PE runtime (non-SMP, one rank per PE, matching
+/// the paper's configuration) and provides the MPI API.
+pub struct MpiRank {
+    pub pe: Pe,
+    rank: usize,
+    nranks: usize,
+    col: Collection,
+    ep_msg: EpId,
+    ep_barrier: EpId,
+    next_slot: u64,
+    params: AmpiParams,
+    /// Software cache of addresses known to be on the GPU (§III-C1).
+    gpu_cache: HashSet<u64>,
+}
+
+impl MpiRank {
+    /// This rank's index in `MPI_COMM_WORLD`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.nranks
+    }
+
+    /// `MPI_Wtime` (virtual seconds).
+    pub fn wtime(&self, ctx: &MCtx) -> f64 {
+        rucx_sim::time::as_secs(ctx.now())
+    }
+
+    /// Set up the AMPI runtime on one PE. Used by [`crate::launch`]; direct
+    /// use is for custom harnesses.
+    pub fn create(pe_index: usize, n_pes: usize, params: AmpiParams) -> Self {
+        let mut pe = Pe::new(pe_index, n_pes);
+        let n = n_pes as u64;
+        let col = pe.register_collection(n, move |i| i as usize);
+        // Entry method 0: AMPI message (metadata or inline payload).
+        let ep_msg = pe.register_ep(
+            col,
+            None,
+            Box::new(move |chare, msg: &Msg, pe, ctx| {
+                let st = chare.downcast_mut::<RankState>().expect("rank state");
+                handle_ampi_msg(st, msg, pe, ctx);
+            }),
+        );
+        // Entry method 1: barrier release.
+        let ep_barrier = pe.register_ep(
+            col,
+            None,
+            Box::new(move |chare, _msg, _pe, _ctx| {
+                let st = chare.downcast_mut::<RankState>().expect("rank state");
+                st.barrier_epoch += 1;
+            }),
+        );
+        pe.insert_chare(col, pe_index as u64, Box::new(RankState::new(params.clone())));
+        MpiRank {
+            pe,
+            rank: pe_index,
+            nranks: n_pes,
+            col,
+            ep_msg,
+            ep_barrier,
+            next_slot: 1,
+            params,
+            gpu_cache: HashSet::new(),
+        }
+    }
+
+    fn state(&mut self) -> &mut RankState {
+        let (col, idx) = (self.col, self.rank as u64);
+        self.pe.chare_mut::<RankState>(col, idx)
+    }
+
+    /// Model the GPU-pointer detection with its software cache.
+    fn detect_device(&mut self, ctx: &mut MCtx, buf: MemRef) -> bool {
+        let is_dev = ctx
+            .with_world(move |w, _| w.gpu.pool.kind(buf.id).expect("send from bad handle").is_device());
+        if is_dev && self.gpu_cache.contains(&buf.id.0) {
+            ctx.advance(self.params.cache_hit);
+        } else {
+            ctx.advance(self.params.cache_miss);
+            if is_dev {
+                self.gpu_cache.insert(buf.id.0);
+            }
+        }
+        is_dev
+    }
+
+    /// `MPI_Isend`: non-blocking standard send.
+    pub fn isend(&mut self, ctx: &mut MCtx, buf: MemRef, dst: usize, tag: i32) -> Request {
+        ctx.advance(self.params.send_overhead);
+        let is_dev = self.detect_device(ctx, buf);
+        let payload_inline = !is_dev && buf.len <= self.params.inline_max;
+        let (payload, trig) = if payload_inline {
+            let copy = self.params.copy_cost(buf.len);
+            ctx.advance(copy);
+            let bytes = ctx.with_world(move |w, _| {
+                w.gpu
+                    .pool
+                    .is_materialized(buf.id)
+                    .unwrap_or(false)
+                    .then(|| w.gpu.pool.read(buf).expect("inline read"))
+            });
+            (
+                AmpiPayload::Inline {
+                    bytes,
+                    size: buf.len,
+                },
+                None,
+            )
+        } else {
+            // Zero Copy path: CkDeviceBuffer created, buffer handed to the
+            // machine layer, ML tag stored in the metadata (Fig. 7).
+            let (ml_tag, trig) = self.pe.ml_send_device(ctx, dst, buf, true);
+            (
+                AmpiPayload::ZeroCopy {
+                    ml_tag,
+                    size: buf.len,
+                },
+                trig,
+            )
+        };
+        let m = AmpiMsg {
+            src_rank: self.rank as u32,
+            tag,
+            payload,
+        };
+        let col = self.col;
+        let ep = self.ep_msg;
+        self.pe.send(
+            ctx,
+            ChareRef {
+                col,
+                index: dst as u64,
+            },
+            ep,
+            m.encode(),
+            0,
+            vec![],
+        );
+        Request::Send(trig)
+    }
+
+    /// `MPI_Send`: blocking standard send.
+    pub fn send(&mut self, ctx: &mut MCtx, buf: MemRef, dst: usize, tag: i32) {
+        let req = self.isend(ctx, buf, dst, tag);
+        self.wait(ctx, req);
+    }
+
+    /// `MPI_Irecv`: non-blocking receive.
+    pub fn irecv(&mut self, ctx: &mut MCtx, buf: MemRef, src: i32, tag: i32) -> Request {
+        ctx.advance(self.params.recv_overhead);
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        // Fast path: already in the unexpected queue?
+        let matched = {
+            let st = self.state();
+            st.match_unexpected(src, tag)
+                .map(|i| st.unexpected.remove(i).expect("matched msg"))
+        };
+        match matched {
+            Some(msg) => {
+                let status = status_of(&msg);
+                match msg.payload {
+                    AmpiPayload::Inline { bytes, size } => {
+                        deliver_inline(ctx, &self.params, buf, bytes, size);
+                        self.state().slots.insert(slot, SlotState::Done { status });
+                    }
+                    AmpiPayload::ZeroCopy { ml_tag, size } => {
+                        let trigger = self.pe.ml_recv_device(ctx, ml_tag, buf.slice(0, size));
+                        self.state()
+                            .slots
+                            .insert(slot, SlotState::Matched { trigger, status });
+                    }
+                }
+            }
+            None => {
+                let st = self.state();
+                st.slots.insert(slot, SlotState::Pending);
+                st.posted.push(PostedRecv {
+                    slot,
+                    src,
+                    tag,
+                    buf,
+                });
+            }
+        }
+        Request::Recv(slot)
+    }
+
+    /// `MPI_Recv`: blocking receive. Returns the completion status.
+    pub fn recv(&mut self, ctx: &mut MCtx, buf: MemRef, src: i32, tag: i32) -> Status {
+        let req = self.irecv(ctx, buf, src, tag);
+        self.wait(ctx, req).expect("recv yields a status")
+    }
+
+    /// `MPI_Wait`: block until the request completes, pumping the scheduler
+    /// (the PE keeps delivering messages while this rank waits).
+    pub fn wait(&mut self, ctx: &mut MCtx, req: Request) -> Option<Status> {
+        match req {
+            Request::Send(None) => None,
+            Request::Send(Some(t)) => {
+                self.pe
+                    .pump_until(ctx, move |_, ctx| ctx.with_world(move |_, s| s.fired(t)));
+                ctx.with_world(move |_, s| s.recycle_trigger(t));
+                None
+            }
+            Request::Recv(slot) => {
+                let (col, idx) = (self.col, self.rank as u64);
+                self.pe.pump_until(ctx, move |pe, _| {
+                    !matches!(
+                        pe.chare_mut::<RankState>(col, idx).slots.get(&slot),
+                        Some(SlotState::Pending)
+                    )
+                });
+                let state = *self.state().slots.get(&slot).expect("slot");
+                let status = match state {
+                    SlotState::Pending => unreachable!(),
+                    SlotState::Done { status } => status,
+                    SlotState::Matched { trigger, status } => {
+                        self.pe.pump_until(ctx, move |_, ctx| {
+                            ctx.with_world(move |_, s| s.fired(trigger))
+                        });
+                        ctx.with_world(move |_, s| s.recycle_trigger(trigger));
+                        status
+                    }
+                };
+                self.state().slots.remove(&slot);
+                Some(status)
+            }
+        }
+    }
+
+    /// `MPI_Waitall`.
+    pub fn waitall(&mut self, ctx: &mut MCtx, reqs: &[Request]) {
+        for &r in reqs {
+            self.wait(ctx, r);
+        }
+    }
+
+    /// `MPI_Sendrecv`: simultaneous send and receive without deadlock.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv(
+        &mut self,
+        ctx: &mut MCtx,
+        send_buf: MemRef,
+        dst: usize,
+        send_tag: i32,
+        recv_buf: MemRef,
+        src: i32,
+        recv_tag: i32,
+    ) -> Status {
+        let r = self.irecv(ctx, recv_buf, src, recv_tag);
+        let s = self.isend(ctx, send_buf, dst, send_tag);
+        let status = self.wait(ctx, r).expect("recv status");
+        self.wait(ctx, s);
+        status
+    }
+
+    /// `MPI_Iprobe`: non-blocking check for a matching message. Pumps the
+    /// scheduler once so pending metadata gets a chance to land.
+    pub fn iprobe(&mut self, ctx: &mut MCtx, src: i32, tag: i32) -> Option<Status> {
+        self.pe.try_step(ctx);
+        let st = self.state();
+        st.match_unexpected(src, tag)
+            .map(|i| crate::rank::status_of(&st.unexpected[i]))
+    }
+
+    /// `MPI_Probe`: block until a matching message is available (without
+    /// receiving it).
+    pub fn probe(&mut self, ctx: &mut MCtx, src: i32, tag: i32) -> Status {
+        let (col, idx) = (self.col, self.rank() as u64);
+        self.pe.pump_until(ctx, move |pe, _| {
+            pe.chare_mut::<RankState>(col, idx)
+                .match_unexpected(src, tag)
+                .is_some()
+        });
+        let st = self.state();
+        let i = st.match_unexpected(src, tag).expect("probed message");
+        crate::rank::status_of(&st.unexpected[i])
+    }
+
+    /// `MPI_Barrier` over `MPI_COMM_WORLD`.
+    pub fn barrier(&mut self, ctx: &mut MCtx) {
+        let old = self.state().barrier_epoch;
+        let (col, ep) = (self.col, self.ep_barrier);
+        let elem = self.rank as u64;
+        self.pe.contribute(
+            ctx,
+            col,
+            elem,
+            rucx_charm::RedOp::Barrier,
+            0.0,
+            rucx_charm::RedTarget::Broadcast(col, ep),
+        );
+        let idx = self.rank as u64;
+        self.pe.pump_until(ctx, move |pe, _| {
+            pe.chare_mut::<RankState>(col, idx).barrier_epoch > old
+        });
+    }
+}
+
+/// Copy an inline payload into the receive buffer.
+fn deliver_inline(
+    ctx: &mut MCtx,
+    params: &AmpiParams,
+    buf: MemRef,
+    bytes: Option<Vec<u8>>,
+    size: u64,
+) {
+    ctx.advance(params.copy_cost(size));
+    if let Some(b) = bytes {
+        let n = (buf.len as usize).min(b.len());
+        ctx.with_world(move |w, _| {
+            w.gpu
+                .pool
+                .write(buf.slice(0, n as u64), &b[..n])
+                .expect("inline deliver")
+        });
+    }
+}
+
+/// Entry-method handler: an AMPI message arrived at this rank.
+fn handle_ampi_msg(st: &mut RankState, msg: &Msg, pe: &mut Pe, ctx: &mut MCtx) {
+    ctx.advance(st.params.recv_overhead);
+    let am = AmpiMsg::decode(&msg.params);
+    match st.match_posted(&am) {
+        Some(i) => {
+            let p = st.posted.remove(i);
+            let status = status_of(&am);
+            match am.payload {
+                AmpiPayload::Inline { bytes, size } => {
+                    deliver_inline(ctx, &st.params, p.buf, bytes, size);
+                    st.slots.insert(p.slot, SlotState::Done { status });
+                }
+                AmpiPayload::ZeroCopy { ml_tag, size } => {
+                    // The receive for the GPU data can only be posted now
+                    // that the metadata has arrived (the delay the paper
+                    // discusses in §III and plans to eliminate).
+                    let trigger = pe.ml_recv_device(ctx, ml_tag, p.buf.slice(0, size));
+                    st.slots
+                        .insert(p.slot, SlotState::Matched { trigger, status });
+                }
+            }
+        }
+        None => st.unexpected.push_back(am),
+    }
+}

@@ -1,0 +1,170 @@
+//! AMPI message representation (paper §III-C).
+//!
+//! An AMPI message is a Charm++ message carrying MPI-specific metadata: the
+//! source rank, the user's MPI tag, and either the payload itself (small
+//! host buffers, packed eagerly into the message) or a zero-copy descriptor
+//! — the machine-layer tag of a buffer sent separately through
+//! `LrtsSendDevice`. Note the machine-layer tag is distinct from the MPI
+//! tag, exactly as the paper describes.
+
+use rucx_charm::marshal::{self, Reader};
+
+/// MPI wildcard source.
+pub const ANY_SOURCE: i32 = -1;
+/// MPI wildcard tag.
+pub const ANY_TAG: i32 = -1;
+
+/// How the payload travels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AmpiPayload {
+    /// Packed in the message (eager path for small host buffers). `bytes`
+    /// is `None` when the source buffer was phantom.
+    Inline { bytes: Option<Vec<u8>>, size: u64 },
+    /// Sent separately through the machine layer under `ml_tag`
+    /// (Zero Copy API: large host buffers and all device buffers).
+    ZeroCopy { ml_tag: u64, size: u64 },
+}
+
+impl AmpiPayload {
+    pub fn size(&self) -> u64 {
+        match self {
+            AmpiPayload::Inline { size, .. } | AmpiPayload::ZeroCopy { size, .. } => *size,
+        }
+    }
+}
+
+/// A decoded AMPI message (the metadata that rides in the Charm++ message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AmpiMsg {
+    pub src_rank: u32,
+    pub tag: i32,
+    pub payload: AmpiPayload,
+}
+
+impl AmpiMsg {
+    /// Serialize into entry-method parameter bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        marshal::put_u32(&mut b, self.src_rank);
+        marshal::put_i64(&mut b, self.tag as i64);
+        match &self.payload {
+            AmpiPayload::Inline { bytes, size } => {
+                marshal::put_u8(&mut b, 0);
+                marshal::put_u64(&mut b, *size);
+                match bytes {
+                    Some(d) => {
+                        marshal::put_u8(&mut b, 1);
+                        marshal::put_bytes(&mut b, d);
+                    }
+                    None => marshal::put_u8(&mut b, 0),
+                }
+            }
+            AmpiPayload::ZeroCopy { ml_tag, size } => {
+                marshal::put_u8(&mut b, 1);
+                marshal::put_u64(&mut b, *ml_tag);
+                marshal::put_u64(&mut b, *size);
+            }
+        }
+        b
+    }
+
+    /// Deserialize from entry-method parameter bytes.
+    pub fn decode(params: &[u8]) -> AmpiMsg {
+        let mut r = Reader(params);
+        let src_rank = r.u32();
+        let tag = r.i64() as i32;
+        let payload = match r.u8() {
+            0 => {
+                let size = r.u64();
+                let bytes = match r.u8() {
+                    1 => Some(r.bytes().to_vec()),
+                    _ => None,
+                };
+                AmpiPayload::Inline { bytes, size }
+            }
+            1 => AmpiPayload::ZeroCopy {
+                ml_tag: r.u64(),
+                size: r.u64(),
+            },
+            k => panic!("bad AMPI payload kind {k}"),
+        };
+        AmpiMsg {
+            src_rank,
+            tag,
+            payload,
+        }
+    }
+}
+
+/// MPI receive matching: wildcards per the MPI standard.
+pub fn recv_matches(want_src: i32, want_tag: i32, msg: &AmpiMsg) -> bool {
+    (want_src == ANY_SOURCE || want_src as u32 == msg.src_rank)
+        && (want_tag == ANY_TAG || want_tag == msg.tag)
+}
+
+/// Completion status of a receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    pub src: i32,
+    pub tag: i32,
+    pub size: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_roundtrip() {
+        let m = AmpiMsg {
+            src_rank: 3,
+            tag: 42,
+            payload: AmpiPayload::Inline {
+                bytes: Some(vec![1, 2, 3]),
+                size: 3,
+            },
+        };
+        assert_eq!(AmpiMsg::decode(&m.encode()), m);
+    }
+
+    #[test]
+    fn phantom_inline_roundtrip() {
+        let m = AmpiMsg {
+            src_rank: 0,
+            tag: -5,
+            payload: AmpiPayload::Inline {
+                bytes: None,
+                size: 4096,
+            },
+        };
+        assert_eq!(AmpiMsg::decode(&m.encode()), m);
+    }
+
+    #[test]
+    fn zerocopy_roundtrip() {
+        let m = AmpiMsg {
+            src_rank: 1535,
+            tag: i32::MAX,
+            payload: AmpiPayload::ZeroCopy {
+                ml_tag: 0x2FFF_FFFF_0000_0001,
+                size: 4 << 20,
+            },
+        };
+        assert_eq!(AmpiMsg::decode(&m.encode()), m);
+    }
+
+    #[test]
+    fn wildcard_matching() {
+        let m = AmpiMsg {
+            src_rank: 2,
+            tag: 7,
+            payload: AmpiPayload::Inline { bytes: None, size: 0 },
+        };
+        assert!(recv_matches(2, 7, &m));
+        assert!(recv_matches(ANY_SOURCE, 7, &m));
+        assert!(recv_matches(2, ANY_TAG, &m));
+        assert!(recv_matches(ANY_SOURCE, ANY_TAG, &m));
+        assert!(!recv_matches(3, 7, &m));
+        assert!(!recv_matches(2, 8, &m));
+    }
+}

@@ -1,0 +1,280 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! 1. **GDRCopy detection** (§IV-B1: "the detection of the GDRCopy library
+//!    by UCX is essential to achieve low latencies with small messages") —
+//!    small-message device latency with GDRCopy on vs off.
+//! 2. **Rendezvous pipeline vs direct GPUDirect-RDMA** for large inter-node
+//!    device transfers, including the pipeline chunk-size sweep.
+//! 3. **AMPI overhead attribution** (§IV-B1: ~8 µs outside UCX) — AMPI vs
+//!    OpenMPI small-message latency gap.
+//! 4. **Device eager threshold** — where the eager→rendezvous crossover
+//!    lands.
+//!
+//! Run with `cargo bench --bench ablations`.
+
+use rucx_bench::{fmt_size, print_table, write_json};
+use rucx_osu::{bandwidth, latency, Mode, Model, OsuConfig, Placement};
+
+fn main() {
+    gdrcopy_ablation();
+    pipeline_ablation();
+    ampi_overhead();
+    eager_threshold_ablation();
+    overdecomposition_ablation();
+    active_message_ablation();
+}
+
+/// §VI: "GPU support in the active messages API of UCX ... could better fit
+/// the message-driven execution model". One AM carrying envelope (header) +
+/// GPU payload vs the current two-message flow (tagged GPU data + separate
+/// metadata message, receive posted after metadata dispatch).
+fn active_message_ablation() {
+    use rucx_fabric::Topology;
+    use rucx_gpu::DeviceId;
+    use rucx_sim::time::{as_us, us};
+    use rucx_ucp::{
+        am_register, am_send_nb, build_sim, rndv_fetch, AmPayload, Completion, FetchDst,
+        MachineConfig, RecvCompletion, SendBuf,
+    };
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let mut rows = Vec::new();
+    for size_exp in [12u32, 16, 20, 22] {
+        let size = 1u64 << size_exp;
+        let run = |am: bool| -> u64 {
+            let mut sim = build_sim(Topology::summit(1), MachineConfig::default());
+            let src = sim.world_mut().gpu.pool.alloc_device(DeviceId(0), size, false).unwrap();
+            let dst = sim.world_mut().gpu.pool.alloc_device(DeviceId(1), size, false).unwrap();
+            let done_at = Arc::new(AtomicU64::new(0));
+            let done2 = done_at.clone();
+            if am {
+                sim.scheduler().schedule_at(0, move |w, s| {
+                    am_register(w, s, 1, 1, Box::new(move |w, s, msg| match msg.payload {
+                        AmPayload::Rndv { rts_id, size } => {
+                            let d3 = done2.clone();
+                            rndv_fetch(w, s, 1, 1, rts_id, FetchDst::Mem(dst.slice(0, size)),
+                                RecvCompletion::Callback(Box::new(move |_, s, _| {
+                                    d3.store(s.now(), Ordering::SeqCst);
+                                })));
+                        }
+                        AmPayload::Eager { size, .. } => {
+                            done2.store(s.now() + w.ucp.config.gdrcopy_cost(size), Ordering::SeqCst);
+                        }
+                        AmPayload::None => unreachable!(),
+                    }));
+                    am_send_nb(w, s, 0, 1, 1, vec![0; 64], Some(SendBuf::Mem(src)), Completion::None);
+                });
+            } else {
+                sim.scheduler().schedule_at(0, move |w, s| {
+                    rucx_ucp::tag_send_nb(w, s, 0, 1, SendBuf::Mem(src), 0x2000_0000_0000_0001, Completion::None);
+                    rucx_ucp::tag_send_nb(w, s, 0, 1, SendBuf::bytes(vec![0; 64]), 0x1000_0000_0000_0000, Completion::None);
+                });
+                let d3 = done2.clone();
+                sim.spawn("pe1", 0, move |ctx| {
+                    let n = ctx.with_world(|w, _| w.ucp.worker(1).notify);
+                    loop {
+                        let (popped, seen) = ctx.with_world(move |w, s| {
+                            (rucx_ucp::probe_pop(w, 1, 0x1000_0000_0000_0000, 0xF << 60).is_some(),
+                             s.notify_epoch(n))
+                        });
+                        if popped { break; }
+                        ctx.wait_notify(n, seen);
+                    }
+                    ctx.advance(us(1.2));
+                    let d4 = d3.clone();
+                    ctx.with_world(move |w, s| {
+                        rucx_ucp::tag_recv_nb(w, s, 1, dst, 0x2000_0000_0000_0001, u64::MAX,
+                            RecvCompletion::Callback(Box::new(move |_, s, _| {
+                                d4.store(s.now(), Ordering::SeqCst);
+                            })));
+                    });
+                });
+            }
+            sim.run();
+            done_at.load(Ordering::SeqCst)
+        };
+        let t_tagged = run(false);
+        let t_am = run(true);
+        rows.push(vec![
+            fmt_size(size),
+            format!("{:.2}", as_us(t_tagged)),
+            format!("{:.2}", as_us(t_am)),
+            format!("{:.2}", as_us(t_tagged.saturating_sub(t_am))),
+        ]);
+    }
+    print_table(
+        "Ablation: active-message flow vs two-message tagged flow (us to data-complete)",
+        &["size", "tagged (2 msgs)", "AM (1 msg)", "saved"],
+        &rows,
+    );
+    write_json("ablation_active_messages", &rows);
+}
+
+/// The paper's stated future work (§VI, their ref [23]): overdecomposition
+/// for computation-communication overlap. With `overdecomp` chares per PE,
+/// the message-driven scheduler can keep one chare's kernel on the GPU
+/// while another's halos are in flight — at the cost of more cut surface
+/// and more per-message overhead.
+fn overdecomposition_ablation() {
+    use rucx_jacobi::{run, JacobiConfig, JacobiModel};
+    let mut rows = Vec::new();
+    for (label, make) in [
+        ("weak 4 nodes", JacobiConfig::weak as fn(usize, rucx_jacobi::Mode) -> JacobiConfig),
+        ("strong 32 nodes", JacobiConfig::strong),
+    ] {
+        let nodes = if label.starts_with("weak") { 4 } else { 32 };
+        for odf in [1u32, 2, 4, 8] {
+            let mut cfg = make(nodes, rucx_jacobi::Mode::Device);
+            cfg.iters = 4;
+            cfg.warmup = 1;
+            cfg.overdecomp = odf;
+            let r = run(JacobiModel::Charm, &cfg);
+            rows.push(vec![
+                label.to_string(),
+                odf.to_string(),
+                format!("{:.2}", r.overall_ms),
+                format!("{:.2}", r.comm_ms),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation: overdecomposition (Charm++ Jacobi3D, GPU-direct; ms/iter)",
+        &["config", "chares/PE", "overall", "comm (incl. overlapped wait)"],
+        &rows,
+    );
+    write_json("ablation_overdecomposition", &rows);
+}
+
+fn gdrcopy_ablation() {
+    let sizes: Vec<u64> = (0..=13).map(|i| 1u64 << i).collect(); // 1B..8KB
+    let on = OsuConfig {
+        sizes: sizes.clone(),
+        ..OsuConfig::default()
+    };
+    let mut off = on.clone();
+    off.machine.ucp.gdrcopy_enabled = false;
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for place in [Placement::IntraNode, Placement::InterNode] {
+        let with = latency(&on, Model::Ompi, Mode::Device, place);
+        let without = latency(&off, Model::Ompi, Mode::Device, place);
+        for &s in &sizes {
+            let (a, b) = (with.at(s).unwrap(), without.at(s).unwrap());
+            rows.push(vec![
+                place.label().to_string(),
+                fmt_size(s),
+                format!("{a:.2}"),
+                format!("{b:.2}"),
+                format!("{:.1}x", b / a),
+            ]);
+            json.push((place.label(), s, a, b));
+        }
+    }
+    print_table(
+        "Ablation: GDRCopy detection (OpenMPI-D small-message latency, us)",
+        &["placement", "size", "GDRCopy on", "GDRCopy off", "penalty"],
+        &rows,
+    );
+    write_json("ablation_gdrcopy", &json);
+}
+
+fn pipeline_ablation() {
+    let sizes: Vec<u64> = (17..=22).map(|i| 1u64 << i).collect(); // 128KB..4MB
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+
+    // Pipelined host staging (the path UCX takes on Summit) vs direct
+    // GPUDirect-RDMA for the whole message.
+    for (label, direct, chunk) in [
+        ("pipeline 256K", false, 256 * 1024),
+        ("pipeline 512K", false, 512 * 1024),
+        ("pipeline 1M", false, 1024 * 1024),
+        ("pipeline 2M", false, 2048 * 1024),
+        ("direct GDR", true, 512 * 1024),
+    ] {
+        let mut cfg = OsuConfig {
+            sizes: sizes.clone(),
+            ..OsuConfig::default()
+        };
+        cfg.machine.ucp.direct_gdr_rndv = direct;
+        cfg.machine.ucp.pipeline_chunk = chunk;
+        let bw = bandwidth(&cfg, Model::Ompi, Mode::Device, Placement::InterNode);
+        let lat = latency(&cfg, Model::Ompi, Mode::Device, Placement::InterNode);
+        for &s in &sizes {
+            rows.push(vec![
+                label.to_string(),
+                fmt_size(s),
+                format!("{:.0}", bw.at(s).unwrap()),
+                format!("{:.1}", lat.at(s).unwrap()),
+            ]);
+            json.push((label, s, bw.at(s).unwrap(), lat.at(s).unwrap()));
+        }
+    }
+    print_table(
+        "Ablation: inter-node device rendezvous strategy",
+        &["strategy", "size", "bandwidth MB/s", "latency us"],
+        &rows,
+    );
+    write_json("ablation_pipeline", &json);
+}
+
+fn ampi_overhead() {
+    let cfg = OsuConfig {
+        sizes: vec![1, 8, 64, 512, 2048],
+        ..OsuConfig::default()
+    };
+    let ampi = latency(&cfg, Model::Ampi, Mode::Device, Placement::IntraNode);
+    let ompi = latency(&cfg, Model::Ompi, Mode::Device, Placement::IntraNode);
+    let charm = latency(&cfg, Model::Charm, Mode::Device, Placement::IntraNode);
+    let rows: Vec<Vec<String>> = cfg
+        .sizes
+        .iter()
+        .map(|&s| {
+            let (a, o, c) = (
+                ampi.at(s).unwrap(),
+                ompi.at(s).unwrap(),
+                charm.at(s).unwrap(),
+            );
+            vec![
+                fmt_size(s),
+                format!("{o:.2}"),
+                format!("{c:.2}"),
+                format!("{a:.2}"),
+                format!("{:.2}", a - o),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation: AMPI overhead above UCX (paper: ~8us; latency us)",
+        &["size", "OpenMPI-D", "Charm++-D", "AMPI-D", "AMPI - OpenMPI"],
+        &rows,
+    );
+    write_json("ablation_ampi_overhead", &rows);
+}
+
+fn eager_threshold_ablation() {
+    let sizes: Vec<u64> = (0..=16).map(|i| 1u64 << i).collect(); // 1B..64KB
+    let mut rows = Vec::new();
+    for thresh in [0u64, 1024, 4096, 16384, 65536] {
+        let mut cfg = OsuConfig {
+            sizes: sizes.clone(),
+            ..OsuConfig::default()
+        };
+        cfg.machine.ucp.eager_thresh_device = thresh;
+        let lat = latency(&cfg, Model::Ompi, Mode::Device, Placement::IntraNode);
+        for &s in [8u64, 1024, 4096, 16384, 65536].iter() {
+            rows.push(vec![
+                fmt_size(thresh),
+                fmt_size(s),
+                format!("{:.2}", lat.at(s).unwrap()),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation: device eager threshold (intra-node OpenMPI-D latency, us)",
+        &["eager_thresh", "size", "latency"],
+        &rows,
+    );
+}

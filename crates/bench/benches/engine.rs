@@ -1,0 +1,103 @@
+//! Criterion microbenchmarks of the simulation substrate itself: event
+//! throughput, process context switching, tag-matching under deep queues,
+//! and end-to-end simulated message cost. These measure the *simulator*
+//! (wall-clock), not the modeled system (virtual time).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rucx_fabric::Topology;
+use rucx_sim::Simulation;
+use rucx_ucp::{
+    blocking, build_sim, probe_pop, tag_send_nb, Completion, MachineConfig, SendBuf, MASK_FULL,
+};
+
+fn bench_event_throughput(c: &mut Criterion) {
+    c.bench_function("sim_dispatch_100k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(0u64);
+                for i in 0..100_000u64 {
+                    sim.scheduler().schedule_at(i, |w, _| *w += 1);
+                }
+                sim
+            },
+            |mut sim| {
+                sim.run();
+                assert_eq!(*sim.world(), 100_000);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_process_switching(c: &mut Criterion) {
+    c.bench_function("sim_process_10k_switches", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(());
+            sim.spawn("p", 0, |ctx| {
+                for _ in 0..10_000 {
+                    ctx.advance(1);
+                }
+            });
+            sim.run();
+        })
+    });
+}
+
+fn bench_ucp_message(c: &mut Criterion) {
+    c.bench_function("ucp_host_eager_roundtrip", |b| {
+        b.iter(|| {
+            let mut sim = build_sim(Topology::summit(1), MachineConfig::default());
+            let a = sim.world_mut().gpu.pool.alloc_host(0, 64, true, true);
+            let bb = sim.world_mut().gpu.pool.alloc_host(0, 64, true, true);
+            sim.spawn("s", 0, move |ctx| {
+                blocking::send(ctx, 0, 1, SendBuf::Mem(a), 7);
+            });
+            sim.spawn("r", 0, move |ctx| {
+                blocking::recv(ctx, 1, bb, 7, MASK_FULL);
+            });
+            sim.run();
+        })
+    });
+}
+
+fn bench_tag_matching_depth(c: &mut Criterion) {
+    c.bench_function("ucp_unexpected_queue_1k_probe", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = build_sim(Topology::summit(1), MachineConfig::default());
+                sim.scheduler().schedule_at(0, |w, s| {
+                    for i in 0..1_000u64 {
+                        tag_send_nb(
+                            w,
+                            s,
+                            0,
+                            1,
+                            SendBuf::bytes(vec![0u8; 8]),
+                            i,
+                            Completion::None,
+                        );
+                    }
+                });
+                sim.run();
+                sim
+            },
+            |mut sim| {
+                // Probe the deepest entry (worst-case scan).
+                let found = rucx_ucp::machine::with_parts(&mut sim, |w, _| {
+                    probe_pop(w, 1, 999, MASK_FULL).is_some()
+                });
+                assert!(found);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_throughput,
+    bench_process_switching,
+    bench_ucp_message,
+    bench_tag_matching_depth
+);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Regenerates Figures 14–16: Jacobi3D weak and strong scaling (overall and
+//! communication time per iteration) for Charm++, AMPI (+OpenMPI
+//! reference), and Charm4py.
+//!
+//! Run with `cargo bench --bench jacobi_figures`. Node sweep goes to 256
+//! like the paper; set `RUCX_MAX_NODES` (e.g. 32) for a faster pass.
+
+use rucx_bench::{print_table, strong_nodes, weak_nodes, write_json};
+use rucx_jacobi::{run, JacobiConfig, JacobiModel, JacobiResult, Mode};
+
+type SweepRow = (usize, JacobiResult, JacobiResult); // (nodes, H, D)
+
+fn sweep(
+    model: JacobiModel,
+    nodes: &[usize],
+    make: fn(usize, Mode) -> JacobiConfig,
+) -> Vec<SweepRow> {
+    nodes
+        .iter()
+        .map(|&n| {
+            let mut ch = make(n, Mode::HostStaging);
+            let mut cd = make(n, Mode::Device);
+            ch.iters = 4;
+            ch.warmup = 1;
+            cd.iters = 4;
+            cd.warmup = 1;
+            let h = run(model, &ch);
+            let d = run(model, &cd);
+            eprintln!(
+                "  {} {n} nodes: H overall {:.2}ms comm {:.2}ms | D overall {:.2}ms comm {:.2}ms",
+                model.label(),
+                h.overall_ms,
+                h.comm_ms,
+                d.overall_ms,
+                d.comm_ms
+            );
+            (n, h, d)
+        })
+        .collect()
+}
+
+fn print_sweep(name: &str, title: &str, rows: &[SweepRow]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(n, h, d)| {
+            vec![
+                n.to_string(),
+                format!("{:.2}", h.overall_ms),
+                format!("{:.2}", d.overall_ms),
+                format!("{:.2}", h.comm_ms),
+                format!("{:.2}", d.comm_ms),
+                format!("{:.1}x", h.comm_ms / d.comm_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        title,
+        &["nodes", "overall-H", "overall-D", "comm-H", "comm-D", "comm speedup"],
+        &table,
+    );
+    let json: Vec<(usize, f64, f64, f64, f64)> = rows
+        .iter()
+        .map(|(n, h, d)| (*n, h.overall_ms, d.overall_ms, h.comm_ms, d.comm_ms))
+        .collect();
+    write_json(name, &json);
+}
+
+fn main() {
+    let weak = weak_nodes();
+    let strong = strong_nodes();
+    println!(
+        "rucx Jacobi3D figures: weak {:?}, strong {:?} (RUCX_MAX_NODES to shrink)",
+        weak, strong
+    );
+
+    // Figure 14: Charm++.
+    let w = sweep(JacobiModel::Charm, &weak, JacobiConfig::weak);
+    print_sweep("fig14_weak_charm", "Figure 14ab: Charm++ Jacobi3D weak scaling (ms/iter)", &w);
+    let s = sweep(JacobiModel::Charm, &strong, JacobiConfig::strong);
+    print_sweep("fig14_strong_charm", "Figure 14cd: Charm++ Jacobi3D strong scaling (ms/iter)", &s);
+
+    // Figure 15: AMPI with OpenMPI reference.
+    let w = sweep(JacobiModel::Ampi, &weak, JacobiConfig::weak);
+    print_sweep("fig15_weak_ampi", "Figure 15ab: AMPI Jacobi3D weak scaling (ms/iter)", &w);
+    let wr = sweep(JacobiModel::Ompi, &weak, JacobiConfig::weak);
+    print_sweep("fig15_weak_openmpi", "Figure 15ab (reference): OpenMPI weak scaling (ms/iter)", &wr);
+    let s = sweep(JacobiModel::Ampi, &strong, JacobiConfig::strong);
+    print_sweep("fig15_strong_ampi", "Figure 15cd: AMPI Jacobi3D strong scaling (ms/iter)", &s);
+    let sr = sweep(JacobiModel::Ompi, &strong, JacobiConfig::strong);
+    print_sweep("fig15_strong_openmpi", "Figure 15cd (reference): OpenMPI strong scaling (ms/iter)", &sr);
+
+    // Figure 16: Charm4py.
+    let w = sweep(JacobiModel::Charm4py, &weak, JacobiConfig::weak);
+    print_sweep("fig16_weak_charm4py", "Figure 16ab: Charm4py Jacobi3D weak scaling (ms/iter)", &w);
+    let s = sweep(JacobiModel::Charm4py, &strong, JacobiConfig::strong);
+    print_sweep("fig16_strong_charm4py", "Figure 16cd: Charm4py Jacobi3D strong scaling (ms/iter)", &s);
+}

@@ -1,0 +1,202 @@
+//! UCX machine-layer tag generation (paper §III-A, Fig. 3).
+//!
+//! The 64-bit UCP tag is split into three fields:
+//!
+//! ```text
+//! | MSG_BITS (4) | PE_BITS (default 32) | CNT_BITS (default 28) |
+//! ```
+//!
+//! `MSG_BITS` distinguishes message types — host-side Converse messages vs
+//! the `UCX_MSG_TAG_DEVICE` type added by this work for inter-GPU
+//! communication. The remainder holds the source PE and a per-PE counter.
+//! The PE/CNT split is user-configurable to accommodate different scaling
+//! configurations, exactly as the paper describes.
+
+use rucx_ucp::{Tag, TagMask};
+
+/// Number of bits reserved for the message type.
+pub const MSG_BITS: u32 = 4;
+
+/// Message types carried in the top `MSG_BITS` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum MsgType {
+    /// Host-side Converse message (envelope + host data).
+    Host = 1,
+    /// Direct GPU-GPU transfer (`UCX_MSG_TAG_DEVICE`).
+    Device = 2,
+    /// GPU-GPU transfer under a *user-provided* tag, which both endpoints
+    /// can derive independently — the receive can be posted before the
+    /// metadata message arrives (the paper's §VI "user-provided tags"
+    /// improvement).
+    UserDevice = 3,
+}
+
+/// A configurable PE/counter split of the tag space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagScheme {
+    pe_bits: u32,
+    cnt_bits: u32,
+}
+
+impl Default for TagScheme {
+    fn default() -> Self {
+        TagScheme::new(32, 28).expect("default split is valid")
+    }
+}
+
+impl TagScheme {
+    /// Create a scheme with the given split. `pe_bits + cnt_bits` must equal
+    /// `64 - MSG_BITS`.
+    pub fn new(pe_bits: u32, cnt_bits: u32) -> Result<Self, String> {
+        if pe_bits == 0 || cnt_bits == 0 {
+            return Err("pe_bits and cnt_bits must be positive".into());
+        }
+        if pe_bits + cnt_bits != 64 - MSG_BITS {
+            return Err(format!(
+                "pe_bits ({pe_bits}) + cnt_bits ({cnt_bits}) must equal {}",
+                64 - MSG_BITS
+            ));
+        }
+        Ok(TagScheme { pe_bits, cnt_bits })
+    }
+
+    /// Bits allocated to the source PE field.
+    pub fn pe_bits(&self) -> u32 {
+        self.pe_bits
+    }
+
+    /// Bits allocated to the per-PE counter field.
+    pub fn cnt_bits(&self) -> u32 {
+        self.cnt_bits
+    }
+
+    /// Largest PE index representable.
+    pub fn max_pe(&self) -> u64 {
+        (1u64 << self.pe_bits) - 1
+    }
+
+    /// Counter wraps at this value.
+    pub fn cnt_period(&self) -> u64 {
+        1u64 << self.cnt_bits
+    }
+
+    /// Tag for a device (GPU-GPU) transfer from `src_pe` with counter value
+    /// `cnt` (wrapped into the counter field).
+    pub fn device_tag(&self, src_pe: usize, cnt: u64) -> Tag {
+        assert!(
+            (src_pe as u64) <= self.max_pe(),
+            "PE {src_pe} exceeds tag scheme capacity {} — rebalance PE_BITS/CNT_BITS",
+            self.max_pe()
+        );
+        ((MsgType::Device as u64) << (64 - MSG_BITS))
+            | ((src_pe as u64) << self.cnt_bits)
+            | (cnt & (self.cnt_period() - 1))
+    }
+
+    /// Tag for a device transfer under a user-provided tag. Unlike
+    /// [`TagScheme::device_tag`], both sides can compute this without any
+    /// exchange, so the receiver can pre-post.
+    pub fn user_device_tag(&self, user_tag: u64) -> Tag {
+        ((MsgType::UserDevice as u64) << (64 - MSG_BITS)) | (user_tag & ((1u64 << (64 - MSG_BITS)) - 1))
+    }
+
+    /// Tag for host-side Converse messages from `src_pe`.
+    pub fn host_tag(&self, src_pe: usize) -> Tag {
+        assert!((src_pe as u64) <= self.max_pe());
+        ((MsgType::Host as u64) << (64 - MSG_BITS)) | ((src_pe as u64) << self.cnt_bits)
+    }
+
+    /// `(tag, mask)` pair matching *any* host-side Converse message.
+    pub fn host_probe(&self) -> (Tag, TagMask) {
+        (
+            (MsgType::Host as u64) << (64 - MSG_BITS),
+            0xFu64 << (64 - MSG_BITS),
+        )
+    }
+
+    /// Extract the message type from a tag.
+    pub fn msg_type(&self, tag: Tag) -> Option<MsgType> {
+        match tag >> (64 - MSG_BITS) {
+            1 => Some(MsgType::Host),
+            2 => Some(MsgType::Device),
+            3 => Some(MsgType::UserDevice),
+            _ => None,
+        }
+    }
+
+    /// Extract the source PE field.
+    pub fn src_pe(&self, tag: Tag) -> usize {
+        ((tag << MSG_BITS) >> (MSG_BITS + self.cnt_bits)) as usize
+    }
+
+    /// Extract the counter field.
+    pub fn cnt(&self, tag: Tag) -> u64 {
+        tag & (self.cnt_period() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_split_is_4_32_28() {
+        let s = TagScheme::default();
+        assert_eq!(s.pe_bits(), 32);
+        assert_eq!(s.cnt_bits(), 28);
+        assert_eq!(s.cnt_period(), 1 << 28);
+    }
+
+    #[test]
+    fn invalid_splits_rejected() {
+        assert!(TagScheme::new(0, 60).is_err());
+        assert!(TagScheme::new(60, 0).is_err());
+        assert!(TagScheme::new(30, 28).is_err());
+        assert!(TagScheme::new(31, 29).is_ok());
+    }
+
+    #[test]
+    fn device_tag_roundtrip() {
+        let s = TagScheme::default();
+        let t = s.device_tag(12345, 678);
+        assert_eq!(s.msg_type(t), Some(MsgType::Device));
+        assert_eq!(s.src_pe(t), 12345);
+        assert_eq!(s.cnt(t), 678);
+    }
+
+    #[test]
+    fn counter_wraps_within_field() {
+        let s = TagScheme::new(56, 4).unwrap();
+        let t = s.device_tag(1, 16 + 3); // wraps mod 16
+        assert_eq!(s.cnt(t), 3);
+    }
+
+    #[test]
+    fn host_probe_matches_host_only() {
+        let s = TagScheme::default();
+        let (want, mask) = s.host_probe();
+        let host = s.host_tag(7);
+        let dev = s.device_tag(7, 1);
+        assert!(rucx_ucp::tag_matches(want, mask, host));
+        assert!(!rucx_ucp::tag_matches(want, mask, dev));
+    }
+
+    #[test]
+    #[should_panic(expected = "rebalance")]
+    fn pe_overflow_panics() {
+        let s = TagScheme::new(4, 56).unwrap();
+        s.device_tag(16, 0);
+    }
+
+    #[test]
+    fn distinct_senders_and_counters_distinct_tags() {
+        let s = TagScheme::default();
+        let mut seen = std::collections::HashSet::new();
+        for pe in 0..8 {
+            for cnt in 0..8 {
+                assert!(seen.insert(s.device_tag(pe, cnt)));
+            }
+        }
+    }
+}

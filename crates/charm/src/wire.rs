@@ -1,0 +1,250 @@
+//! Envelope encoding for Charm++ messages.
+//!
+//! A message carries: destination chare (collection, index), entry-method
+//! id, source PE, marshalled host-side parameters, an optional amount of
+//! *phantom* host payload (size-only, for at-scale runs), and one
+//! [`DeviceMeta`] per `nocopydevice` parameter — the serialized form of the
+//! paper's `CkDeviceBuffer` metadata (Fig. 5): everything the receiver needs
+//! to post the matching device receive.
+
+use bytes::{Buf, BufMut};
+
+/// Metadata describing one in-flight GPU buffer (wire form of
+/// `CkDeviceBuffer`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceMeta {
+    /// Machine-layer tag the sender used for the GPU data
+    /// (`UCX_MSG_TAG_DEVICE` or `UserDevice` type).
+    pub tag: u64,
+    /// Payload size in bytes.
+    pub size: u64,
+    /// The sender used a user-provided tag, so the receiver may have
+    /// pre-posted the receive (§VI improvement); if it has not, the
+    /// receive is posted on metadata arrival as usual.
+    pub user_tagged: bool,
+}
+
+/// A decoded Charm++ message envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Destination collection (chare array) id.
+    pub collection: u16,
+    /// Destination element index within the collection.
+    pub index: u64,
+    /// Entry-method id within the destination chare's type.
+    pub ep: u16,
+    /// Sending PE.
+    pub src_pe: u32,
+    /// Marshalled host-side parameters.
+    pub params: Vec<u8>,
+    /// Additional host payload bytes that travel on the wire but are not
+    /// materialized (models large host-side data at scale).
+    pub phantom_payload: u64,
+    /// One entry per GPU buffer sent in tandem.
+    pub device: Vec<DeviceMeta>,
+}
+
+/// Fixed per-envelope header overhead on the wire (Converse + Charm++ core
+/// headers in the real runtime).
+pub const ENVELOPE_HEADER: u64 = 64;
+
+impl Envelope {
+    /// Bytes this envelope occupies on the wire (header + params + phantom
+    /// payload + device metadata).
+    pub fn wire_size(&self) -> u64 {
+        ENVELOPE_HEADER
+            + self.params.len() as u64
+            + self.phantom_payload
+            + self.device.len() as u64 * 17
+    }
+
+    /// Serialize to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(32 + self.params.len() + self.device.len() * 16);
+        b.put_u16(self.collection);
+        b.put_u64(self.index);
+        b.put_u16(self.ep);
+        b.put_u32(self.src_pe);
+        b.put_u64(self.phantom_payload);
+        b.put_u16(self.device.len() as u16);
+        for d in &self.device {
+            b.put_u64(d.tag);
+            b.put_u64(d.size);
+            b.put_u8(d.user_tagged as u8);
+        }
+        b.put_u32(self.params.len() as u32);
+        b.put_slice(&self.params);
+        b
+    }
+
+    /// Deserialize; returns `None` on malformed input.
+    pub fn decode(mut buf: &[u8]) -> Option<Envelope> {
+        if buf.remaining() < 2 + 8 + 2 + 4 + 8 + 2 {
+            return None;
+        }
+        let collection = buf.get_u16();
+        let index = buf.get_u64();
+        let ep = buf.get_u16();
+        let src_pe = buf.get_u32();
+        let phantom_payload = buf.get_u64();
+        let ndev = buf.get_u16() as usize;
+        if buf.remaining() < ndev * 17 + 4 {
+            return None;
+        }
+        let mut device = Vec::with_capacity(ndev);
+        for _ in 0..ndev {
+            let tag = buf.get_u64();
+            let size = buf.get_u64();
+            let user_tagged = buf.get_u8() != 0;
+            device.push(DeviceMeta { tag, size, user_tagged });
+        }
+        let plen = buf.get_u32() as usize;
+        if buf.remaining() < plen {
+            return None;
+        }
+        let params = buf[..plen].to_vec();
+        Some(Envelope {
+            collection,
+            index,
+            ep,
+            src_pe,
+            params,
+            phantom_payload,
+            device,
+        })
+    }
+}
+
+/// Tiny helpers for marshalling entry-method parameters.
+pub mod marshal {
+    use bytes::{Buf, BufMut};
+
+    /// Append a `u64` parameter.
+    pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+        buf.put_u64(v);
+    }
+
+    /// Append a `u32` parameter.
+    pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+        buf.put_u32(v);
+    }
+
+    /// Append a `u8` parameter.
+    pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+        buf.put_u8(v);
+    }
+
+    /// Append an `i64` parameter.
+    pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+        buf.put_i64(v);
+    }
+
+    /// Append an `f64` parameter.
+    pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+        buf.put_f64(v);
+    }
+
+    /// Append a length-prefixed byte slice.
+    pub fn put_bytes(buf: &mut Vec<u8>, v: &[u8]) {
+        buf.put_u32(v.len() as u32);
+        buf.put_slice(v);
+    }
+
+    /// Cursor for reading parameters back.
+    pub struct Reader<'a>(pub &'a [u8]);
+
+    impl<'a> Reader<'a> {
+        pub fn u64(&mut self) -> u64 {
+            self.0.get_u64()
+        }
+        pub fn u32(&mut self) -> u32 {
+            self.0.get_u32()
+        }
+        pub fn u8(&mut self) -> u8 {
+            self.0.get_u8()
+        }
+        pub fn i64(&mut self) -> i64 {
+            self.0.get_i64()
+        }
+        pub fn f64(&mut self) -> f64 {
+            self.0.get_f64()
+        }
+        pub fn bytes(&mut self) -> &'a [u8] {
+            let n = self.0.get_u32() as usize;
+            let (head, rest) = self.0.split_at(n);
+            self.0 = rest;
+            head
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Envelope {
+        Envelope {
+            collection: 3,
+            index: 42,
+            ep: 7,
+            src_pe: 11,
+            params: vec![1, 2, 3, 4, 5],
+            phantom_payload: 1 << 20,
+            device: vec![
+                DeviceMeta { tag: 0xDEAD, size: 4096, user_tagged: false },
+                DeviceMeta { tag: 0xBEEF, size: 8192, user_tagged: true },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let e = sample();
+        let bytes = e.encode();
+        assert_eq!(Envelope::decode(&bytes), Some(e));
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let e = Envelope {
+            collection: 0,
+            index: 0,
+            ep: 0,
+            src_pe: 0,
+            params: vec![],
+            phantom_payload: 0,
+            device: vec![],
+        };
+        let bytes = e.encode();
+        assert_eq!(Envelope::decode(&bytes), Some(e));
+    }
+
+    #[test]
+    fn truncated_input_is_none() {
+        let bytes = sample().encode();
+        for cut in [0, 1, 5, 17, bytes.len() - 1] {
+            assert_eq!(Envelope::decode(&bytes[..cut]), None, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn wire_size_accounts_for_all_parts() {
+        let e = sample();
+        assert_eq!(
+            e.wire_size(),
+            ENVELOPE_HEADER + 5 + (1 << 20) + 2 * 17
+        );
+    }
+
+    #[test]
+    fn marshal_roundtrip() {
+        let mut buf = Vec::new();
+        marshal::put_u64(&mut buf, 99);
+        marshal::put_f64(&mut buf, 2.5);
+        marshal::put_bytes(&mut buf, b"hello");
+        let mut r = marshal::Reader(&buf);
+        assert_eq!(r.u64(), 99);
+        assert_eq!(r.f64(), 2.5);
+        assert_eq!(r.bytes(), b"hello");
+    }
+}

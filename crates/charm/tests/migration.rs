@@ -1,0 +1,167 @@
+//! Chare migration: PUP-style pack/unpack, home-based location management,
+//! and in-flight message forwarding (the Charm++ capability behind AMPI's
+//! rank migratability, paper §II-D).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rucx_charm::{launch, marshal, ChareRef, Msg};
+use rucx_fabric::Topology;
+use rucx_sim::time::us;
+use rucx_sim::RunOutcome;
+use rucx_ucp::{build_sim, MachineConfig};
+
+/// A migratable chare: a counter whose value travels with it.
+struct Roamer {
+    count: u64,
+}
+
+fn pup(r: &Roamer) -> Vec<u8> {
+    let mut b = Vec::new();
+    marshal::put_u64(&mut b, r.count);
+    b
+}
+
+fn unpup(bytes: &[u8]) -> Box<dyn std::any::Any> {
+    let mut r = marshal::Reader(bytes);
+    Box::new(Roamer { count: r.u64() })
+}
+
+#[test]
+fn migrate_preserves_state_and_forwards_messages() {
+    let mut sim = build_sim(Topology::summit(1), MachineConfig::default());
+    let seen_on_pe = Arc::new(AtomicU64::new(u64::MAX));
+    let final_count = Arc::new(AtomicU64::new(0));
+    let seen2 = seen_on_pe.clone();
+    let fc2 = final_count.clone();
+
+    launch(&mut sim, move |pe, ctx| {
+        let n = pe.n_pes as u64;
+        // Element 0 lives on PE 0 (home).
+        let col = pe.register_collection(n, move |i| i as usize);
+        pe.set_factory(col, unpup);
+        let seen3 = seen2.clone();
+        let fc3 = fc2.clone();
+        let ep_bump = pe.register_ep(
+            col,
+            None,
+            Box::new(move |chare, msg: &Msg, pe, ctx| {
+                let c = chare.downcast_mut::<Roamer>().unwrap();
+                c.count += 1;
+                let mut r = marshal::Reader(&msg.params);
+                let last = r.u8() == 1;
+                if last {
+                    seen3.store(pe.index as u64, Ordering::SeqCst);
+                    fc3.store(c.count, Ordering::SeqCst);
+                    pe.exit_all(ctx);
+                }
+                let _ = ctx;
+            }),
+        );
+        for &i in pe.local_indices(col).to_vec().iter() {
+            pe.insert_chare(col, i, Box::new(Roamer { count: 0 }));
+        }
+
+        if pe.index == 1 {
+            // Three messages to element 0 before the migration...
+            for _ in 0..3 {
+                let mut p = Vec::new();
+                marshal::put_u8(&mut p, 0);
+                pe.send(ctx, ChareRef { col, index: 0 }, ep_bump, p, 0, vec![]);
+            }
+        }
+        if pe.index == 0 {
+            // ...then PE 0 migrates element 0 to PE 3 after they land...
+            ctx.advance(us(100.0));
+            pe.pump_until(ctx, |pe, _| pe.chare_mut::<Roamer>(col, 0).count >= 3);
+            pe.migrate::<Roamer>(ctx, col, 0, 3, pup);
+            assert!(!pe.local_indices(col).contains(&0));
+        }
+        if pe.index == 2 {
+            // ...and PE 2 (stale view: home map says PE 0) sends two more,
+            // which must be forwarded to PE 3.
+            ctx.advance(us(400.0));
+            let mut p = Vec::new();
+            marshal::put_u8(&mut p, 0);
+            pe.send(ctx, ChareRef { col, index: 0 }, ep_bump, p, 0, vec![]);
+            let mut p = Vec::new();
+            marshal::put_u8(&mut p, 1);
+            pe.send(ctx, ChareRef { col, index: 0 }, ep_bump, p, 0, vec![]);
+        }
+        pe.run(ctx);
+        if pe.index == 3 {
+            // The chare (and its accumulated state) ended up here.
+            assert!(pe.local_indices(col).contains(&0));
+        }
+    });
+    assert_eq!(sim.run(), RunOutcome::Completed);
+    assert_eq!(seen_on_pe.load(Ordering::SeqCst), 3, "last msg ran on PE 3");
+    assert_eq!(final_count.load(Ordering::SeqCst), 5, "state moved intact");
+}
+
+#[test]
+fn self_migration_is_a_noop() {
+    let mut sim = build_sim(Topology::summit(1), MachineConfig::default());
+    launch(&mut sim, move |pe, ctx| {
+        let n = pe.n_pes as u64;
+        let col = pe.register_collection(n, move |i| i as usize);
+        pe.set_factory(col, unpup);
+        let _ep = pe.register_ep(col, None, Box::new(|_, _, _, _| {}));
+        for &i in pe.local_indices(col).to_vec().iter() {
+            pe.insert_chare(col, i, Box::new(Roamer { count: 7 }));
+        }
+        let me = pe.index as u64;
+        pe.migrate::<Roamer>(ctx, col, me, pe.index, pup);
+        assert_eq!(pe.chare_mut::<Roamer>(col, me).count, 7);
+    });
+    assert_eq!(sim.run(), RunOutcome::Completed);
+}
+
+#[test]
+fn migration_from_entry_method() {
+    // A chare that migrates itself when poked (the common Charm++ pattern:
+    // load balancing decisions run inside entry methods).
+    let mut sim = build_sim(Topology::summit(1), MachineConfig::default());
+    let landed = Arc::new(AtomicU64::new(0));
+    let landed2 = landed.clone();
+    launch(&mut sim, move |pe, ctx| {
+        let n = pe.n_pes as u64;
+        let col = pe.register_collection(n, move |i| i as usize);
+        pe.set_factory(col, unpup);
+        let landed3 = landed2.clone();
+        let ep_hop = pe.register_ep(
+            col,
+            None,
+            Box::new(move |chare, msg: &Msg, pe, ctx| {
+                let c = chare.downcast_mut::<Roamer>().unwrap();
+                c.count += 1;
+                let mut r = marshal::Reader(&msg.params);
+                let dest = r.u64() as usize;
+                if dest != pe.index {
+                    // Self-migration from inside the entry method.
+                    pe.migrate_packed(ctx, col, 0, dest, pup(c));
+                } else {
+                    landed3.store(c.count, Ordering::SeqCst);
+                    pe.exit_all(ctx);
+                }
+            }),
+        );
+        for &i in pe.local_indices(col).to_vec().iter() {
+            pe.insert_chare(col, i, Box::new(Roamer { count: 0 }));
+        }
+        if pe.index == 5 {
+            // Poke element 0 (on PE 0) telling it to hop to PE 4; then poke
+            // again: the second poke routes via home and is forwarded.
+            let mut p = Vec::new();
+            marshal::put_u64(&mut p, 4);
+            pe.send(ctx, ChareRef { col, index: 0 }, ep_hop, p, 0, vec![]);
+            ctx.advance(us(200.0));
+            let mut p = Vec::new();
+            marshal::put_u64(&mut p, 4);
+            pe.send(ctx, ChareRef { col, index: 0 }, ep_hop, p, 0, vec![]);
+        }
+        pe.run(ctx);
+    });
+    assert_eq!(sim.run(), RunOutcome::Completed);
+    assert_eq!(landed.load(Ordering::SeqCst), 2);
+}

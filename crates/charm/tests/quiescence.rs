@@ -1,0 +1,153 @@
+//! Quiescence detection: the CkStartQD-style counter algorithm must fire
+//! only after every user-level message (including pending GPU payloads) has
+//! been fully processed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rucx_charm::{launch, marshal, ChareRef, Msg};
+use rucx_fabric::Topology;
+use rucx_gpu::DeviceId;
+use rucx_sim::RunOutcome;
+use rucx_ucp::{build_sim, MachineConfig};
+
+struct Bouncer {
+    bounces_left: u64,
+    last_activity: Arc<AtomicU64>,
+}
+
+#[test]
+fn quiescence_fires_after_all_bouncing_stops() {
+    // Chares bounce messages around the ring a fixed number of times;
+    // quiescence must be detected only after the final bounce.
+    let mut sim = build_sim(Topology::summit(1), MachineConfig::default());
+    let last_activity = Arc::new(AtomicU64::new(0));
+    let qd_at = Arc::new(AtomicU64::new(0));
+    let la2 = last_activity.clone();
+    let qd2 = qd_at.clone();
+
+    launch(&mut sim, move |pe, ctx| {
+        let n = pe.n_pes as u64;
+        let col = pe.register_collection(n, move |i| i as usize);
+        let la3 = la2.clone();
+        let ep_bounce = pe.register_ep(
+            col,
+            None,
+            Box::new(move |chare, _msg: &Msg, pe, ctx| {
+                let c = chare.downcast_mut::<Bouncer>().unwrap();
+                c.last_activity.fetch_max(ctx.now(), Ordering::SeqCst);
+                if c.bounces_left > 0 {
+                    c.bounces_left -= 1;
+                    let me = pe.index as u64;
+                    let (col, ep) = IDS.with(|x| x.get()).unwrap();
+                    let next = (me + 1) % pe.n_pes as u64;
+                    pe.send(ctx, ChareRef { col, index: next }, ep, vec![], 0, vec![]);
+                }
+            }),
+        );
+        let qd3 = qd2.clone();
+        let ep_quiet = pe.register_ep(
+            col,
+            None,
+            Box::new(move |_c, _m: &Msg, pe, ctx| {
+                qd3.store(ctx.now(), Ordering::SeqCst);
+                pe.exit_all(ctx);
+            }),
+        );
+        IDS.with(|x| x.set(Some((col, ep_bounce))));
+        for &i in pe.local_indices(col).to_vec().iter() {
+            pe.insert_chare(
+                col,
+                i,
+                Box::new(Bouncer {
+                    bounces_left: 10,
+                    last_activity: la3.clone(),
+                }),
+            );
+        }
+        if pe.index == 0 {
+            // Kick the ring, then start detection.
+            pe.send(ctx, ChareRef { col, index: 1 }, ep_bounce, vec![], 0, vec![]);
+            pe.start_quiescence(ctx, ChareRef { col, index: 0 }, ep_quiet);
+        }
+        pe.run(ctx);
+    });
+    assert_eq!(sim.run(), RunOutcome::Completed);
+    let busy_until = last_activity.load(Ordering::SeqCst);
+    let quiet_at = qd_at.load(Ordering::SeqCst);
+    assert!(quiet_at > 0, "quiescence handler must run");
+    assert!(
+        quiet_at > busy_until,
+        "quiescence at {quiet_at} declared before last activity {busy_until}"
+    );
+}
+
+thread_local! {
+    static IDS: std::cell::Cell<Option<(rucx_charm::Collection, u16)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+#[test]
+fn quiescence_waits_for_pending_gpu_payload() {
+    // A large device transfer is in flight when detection starts; the
+    // receiving entry method (which fires only after the GPU data lands)
+    // must run before quiescence is declared.
+    let mut sim = build_sim(Topology::summit(1), MachineConfig::default());
+    let size = 4u64 << 20;
+    let src = sim
+        .world_mut()
+        .gpu
+        .pool
+        .alloc_device(DeviceId(0), size, false)
+        .unwrap();
+    let dst = sim
+        .world_mut()
+        .gpu
+        .pool
+        .alloc_device(DeviceId(1), size, false)
+        .unwrap();
+    let data_at = Arc::new(AtomicU64::new(0));
+    let qd_at = Arc::new(AtomicU64::new(0));
+    let (da2, qd2) = (data_at.clone(), qd_at.clone());
+
+    launch(&mut sim, move |pe, ctx| {
+        let n = pe.n_pes as u64;
+        let col = pe.register_collection(n, move |i| i as usize);
+        let da3 = da2.clone();
+        let ep_data = pe.register_ep(
+            col,
+            Some(Box::new(move |_c, _m| vec![dst])),
+            Box::new(move |_c, _m: &Msg, _pe, ctx| {
+                da3.store(ctx.now(), Ordering::SeqCst);
+            }),
+        );
+        let qd3 = qd2.clone();
+        let ep_quiet = pe.register_ep(
+            col,
+            None,
+            Box::new(move |_c, _m: &Msg, pe, ctx| {
+                qd3.store(ctx.now(), Ordering::SeqCst);
+                pe.exit_all(ctx);
+            }),
+        );
+        struct Unit;
+        for &i in pe.local_indices(col).to_vec().iter() {
+            pe.insert_chare(col, i, Box::new(Unit));
+        }
+        if pe.index == 0 {
+            let mut p = Vec::new();
+            marshal::put_u64(&mut p, 1);
+            pe.send(ctx, ChareRef { col, index: 1 }, ep_data, p, 0, vec![src]);
+            pe.start_quiescence(ctx, ChareRef { col, index: 0 }, ep_quiet);
+        }
+        pe.run(ctx);
+    });
+    assert_eq!(sim.run(), RunOutcome::Completed);
+    let data_t = data_at.load(Ordering::SeqCst);
+    let qd_t = qd_at.load(Ordering::SeqCst);
+    assert!(data_t > 0, "data entry method ran");
+    assert!(
+        qd_t > data_t,
+        "quiescence at {qd_t} before the GPU payload landed at {data_t}"
+    );
+}

@@ -1,0 +1,710 @@
+//! # rucx-charm4py — Charm4py-style channels over the Charm++ runtime
+//!
+//! Reproduces the paper's Charm4py layer (§II-E, §III-D): a Python parallel
+//! programming framework whose channel send/receive semantics are
+//! implemented with futures and coroutine suspension, while the heavy
+//! lifting happens in the C++ (here: Rust) Charm++ runtime reached through
+//! a Cython layer. The Python and Cython costs are modeled explicitly as
+//! per-call overheads ([`PyParams`]), which is what produces Charm4py's
+//! characteristic gap from Charm++/AMPI in the paper's figures (higher
+//! small-message latency, bandwidth plateau well under NVLink).
+//!
+//! GPU-aware path (Fig. 8, `gpu_direct`): buffer address and size go
+//! straight through Cython into a `CkDeviceBuffer`, the data moves via the
+//! UCX machine layer, and the receive completion fulfills the future that
+//! suspended the coroutine. The host-staging path (`not gpu_direct`) is
+//! exposed via [`PyProc::cuda_dtoh`]/[`PyProc::cuda_htod`] wrappers that add
+//! the Python call overhead on top of the simulated CUDA costs.
+
+use std::collections::{HashMap, VecDeque};
+
+use rucx_charm::{marshal, ChareRef, Collection, EpId, Msg, Pe};
+use rucx_gpu::{copy_async, stream_sync_trigger, MemRef, StreamId};
+use rucx_sim::time::{transfer_time, us, Duration};
+use rucx_ucp::{MCtx, MSim};
+
+/// Calibration constants for the Python/Cython layers.
+#[derive(Debug, Clone)]
+pub struct PyParams {
+    /// Python-side cost of a `channel.send` call (argument handling,
+    /// Cython transition, future bookkeeping).
+    pub py_send: Duration,
+    /// Python-side cost of a `channel.recv` call until the coroutine
+    /// suspends.
+    pub py_recv: Duration,
+    /// Cost of resuming a suspended coroutine when its future is fulfilled.
+    pub py_wake: Duration,
+    /// Overhead of one CUDA call made from Python through the Cython layer
+    /// (used by the host-staging path of Fig. 8).
+    pub py_cuda_call: Duration,
+    /// Python/Cython per-byte buffer-handling cost on the GPU-direct data
+    /// path (GB/s) — buffer-protocol traversal, future payload handling.
+    pub py_buffer_gbps: f64,
+    /// Host objects at or below this size are pickled into the message.
+    pub inline_max: u64,
+    /// Pickle/unpickle bandwidth for host objects.
+    pub pickle_gbps: f64,
+}
+
+impl Default for PyParams {
+    fn default() -> Self {
+        PyParams {
+            py_send: us(6.0),
+            py_recv: us(6.5),
+            py_wake: us(3.0),
+            py_cuda_call: us(1.8),
+            py_buffer_gbps: 150.0,
+            inline_max: 4 * 1024,
+            pickle_gbps: 12.0,
+        }
+    }
+}
+
+impl PyParams {
+    /// Pickling cost for `size` bytes.
+    pub fn pickle_cost(&self, size: u64) -> Duration {
+        transfer_time(size, self.pickle_gbps)
+    }
+
+    /// Per-byte Python-side handling cost of a GPU-direct payload.
+    pub fn buffer_cost(&self, size: u64) -> Duration {
+        transfer_time(size, self.py_buffer_gbps)
+    }
+}
+
+/// A channel message as delivered to the receiving chare.
+enum ChanPayload {
+    Inline { bytes: Option<Vec<u8>>, size: u64 },
+    ZeroCopy { ml_tag: u64, size: u64 },
+}
+
+/// A remote-invocable method: receives pickled args, returns an optional
+/// pickled result (fulfilling the caller's future).
+pub type PyMethod = Box<dyn FnMut(&[u8]) -> Option<Vec<u8>>>;
+
+/// The chare behind one Charm4py process: per-peer channel inboxes,
+/// registered methods, and fulfilled futures.
+struct ChanState {
+    inbox: HashMap<u32, VecDeque<ChanPayload>>,
+    barrier_epoch: u64,
+    methods: HashMap<u16, PyMethod>,
+    futures: HashMap<u64, Option<Vec<u8>>>,
+}
+
+/// A channel endpoint (paired with `peer`'s endpoint back to us).
+#[derive(Debug, Clone, Copy)]
+pub struct Channel {
+    pub peer: usize,
+}
+
+/// One Charm4py process: owns its PE and exposes the channels API.
+pub struct PyProc {
+    pub pe: Pe,
+    rank: usize,
+    nranks: usize,
+    col: Collection,
+    ep_chan: EpId,
+    ep_barrier: EpId,
+    ep_invoke: EpId,
+    next_future: u64,
+    pub params: PyParams,
+}
+
+thread_local! {
+    static PY_IDS: std::cell::Cell<Option<(Collection, EpId)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// A Charm4py future: redeem with [`PyProc::future_get`] (the coroutine
+/// suspends until the remote invocation's result arrives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PyFuture(u64);
+
+fn encode_chan(src: u32, payload: &ChanPayload) -> Vec<u8> {
+    let mut b = Vec::new();
+    marshal::put_u32(&mut b, src);
+    match payload {
+        ChanPayload::Inline { bytes, size } => {
+            marshal::put_u8(&mut b, 0);
+            marshal::put_u64(&mut b, *size);
+            match bytes {
+                Some(d) => {
+                    marshal::put_u8(&mut b, 1);
+                    marshal::put_bytes(&mut b, d);
+                }
+                None => marshal::put_u8(&mut b, 0),
+            }
+        }
+        ChanPayload::ZeroCopy { ml_tag, size } => {
+            marshal::put_u8(&mut b, 1);
+            marshal::put_u64(&mut b, *ml_tag);
+            marshal::put_u64(&mut b, *size);
+        }
+    }
+    b
+}
+
+fn decode_chan(params: &[u8]) -> (u32, ChanPayload) {
+    let mut r = marshal::Reader(params);
+    let src = r.u32();
+    let payload = match r.u8() {
+        0 => {
+            let size = r.u64();
+            let bytes = match r.u8() {
+                1 => Some(r.bytes().to_vec()),
+                _ => None,
+            };
+            ChanPayload::Inline { bytes, size }
+        }
+        1 => ChanPayload::ZeroCopy {
+            ml_tag: r.u64(),
+            size: r.u64(),
+        },
+        k => panic!("bad channel payload kind {k}"),
+    };
+    (src, payload)
+}
+
+impl PyProc {
+    /// Build the Charm4py runtime on one PE.
+    pub fn create(rank: usize, nranks: usize, params: PyParams) -> Self {
+        let mut pe = Pe::new(rank, nranks);
+        let n = nranks as u64;
+        let col = pe.register_collection(n, move |i| i as usize);
+        let ep_chan = pe.register_ep(
+            col,
+            None,
+            Box::new(|chare, msg: &Msg, _pe, _ctx| {
+                let st = chare.downcast_mut::<ChanState>().expect("chan state");
+                let (src, payload) = decode_chan(&msg.params);
+                st.inbox.entry(src).or_default().push_back(payload);
+            }),
+        );
+        let ep_barrier = pe.register_ep(
+            col,
+            None,
+            Box::new(|chare, _msg, _pe, _ctx| {
+                let st = chare.downcast_mut::<ChanState>().expect("chan state");
+                st.barrier_epoch += 1;
+            }),
+        );
+        // Remote entry-method invocation: run the registered method, then
+        // (if the caller attached a future) ship the pickled result back.
+        let ep_invoke = pe.register_ep(
+            col,
+            None,
+            Box::new(|chare, msg: &Msg, pe, ctx| {
+                let st = chare.downcast_mut::<ChanState>().expect("chan state");
+                let mut r = marshal::Reader(&msg.params);
+                let method = r.u64() as u16;
+                let fut = r.u64();
+                let reply_to = r.u64();
+                let args = r.bytes().to_vec();
+                let m = st
+                    .methods
+                    .get_mut(&method)
+                    .unwrap_or_else(|| panic!("method {method} not registered"));
+                let result = m(&args);
+                if fut != 0 {
+                    let mut p = Vec::new();
+                    marshal::put_u64(&mut p, fut);
+                    match &result {
+                        Some(bytes) => {
+                            marshal::put_u8(&mut p, 1);
+                            marshal::put_bytes(&mut p, bytes);
+                        }
+                        None => marshal::put_u8(&mut p, 0),
+                    }
+                    let (col, ep_fulfil) = PY_IDS.with(|c| c.get()).unwrap();
+                    pe.send(
+                        ctx,
+                        ChareRef {
+                            col,
+                            index: reply_to,
+                        },
+                        ep_fulfil,
+                        p,
+                        0,
+                        vec![],
+                    );
+                }
+            }),
+        );
+        // Future fulfilment: wakes whoever suspended on `PyFuture::get`.
+        let ep_fulfil = pe.register_ep(
+            col,
+            None,
+            Box::new(|chare, msg: &Msg, _pe, _ctx| {
+                let st = chare.downcast_mut::<ChanState>().expect("chan state");
+                let mut r = marshal::Reader(&msg.params);
+                let fut = r.u64();
+                let bytes = match r.u8() {
+                    1 => Some(r.bytes().to_vec()),
+                    _ => None,
+                };
+                st.futures.insert(fut, bytes);
+            }),
+        );
+        PY_IDS.with(|c| c.set(Some((col, ep_fulfil))));
+        pe.insert_chare(
+            col,
+            rank as u64,
+            Box::new(ChanState {
+                inbox: HashMap::new(),
+                barrier_epoch: 0,
+                methods: HashMap::new(),
+                futures: HashMap::new(),
+            }),
+        );
+        PyProc {
+            pe,
+            rank,
+            nranks,
+            col,
+            ep_chan,
+            ep_barrier,
+            ep_invoke,
+            next_future: 1,
+            params,
+        }
+    }
+
+    /// Register a remotely-invocable method (a Python method of this
+    /// process's chare).
+    pub fn register_method(&mut self, id: u16, m: PyMethod) {
+        let (col, idx) = (self.col, self.rank as u64);
+        self.pe
+            .chare_mut::<ChanState>(col, idx)
+            .methods
+            .insert(id, m);
+    }
+
+    /// Asynchronously invoke method `id` on `target`'s chare
+    /// (`proxy.method(args)` in Charm4py) — fire-and-forget.
+    pub fn invoke(&mut self, ctx: &mut MCtx, target: usize, id: u16, args: Vec<u8>) {
+        self.invoke_inner(ctx, target, id, args, 0);
+    }
+
+    /// Invoke with a future for the return value
+    /// (`proxy.method(args, ret=True)` in Charm4py).
+    pub fn invoke_future(
+        &mut self,
+        ctx: &mut MCtx,
+        target: usize,
+        id: u16,
+        args: Vec<u8>,
+    ) -> PyFuture {
+        let fut = self.next_future;
+        self.next_future += 1;
+        self.invoke_inner(ctx, target, id, args, fut);
+        PyFuture(fut)
+    }
+
+    fn invoke_inner(&mut self, ctx: &mut MCtx, target: usize, id: u16, args: Vec<u8>, fut: u64) {
+        ctx.advance(self.params.py_send + self.params.pickle_cost(args.len() as u64));
+        let mut p = Vec::new();
+        marshal::put_u64(&mut p, id as u64);
+        marshal::put_u64(&mut p, fut);
+        marshal::put_u64(&mut p, self.rank as u64);
+        marshal::put_bytes(&mut p, &args);
+        let (col, ep) = (self.col, self.ep_invoke);
+        self.pe.send(
+            ctx,
+            ChareRef {
+                col,
+                index: target as u64,
+            },
+            ep,
+            p,
+            0,
+            vec![],
+        );
+    }
+
+    /// Suspend until the future is fulfilled; returns the pickled result.
+    pub fn future_get(&mut self, ctx: &mut MCtx, fut: PyFuture) -> Option<Vec<u8>> {
+        let (col, idx) = (self.col, self.rank as u64);
+        self.pe.pump_until(ctx, move |pe, _| {
+            pe.chare_mut::<ChanState>(col, idx)
+                .futures
+                .contains_key(&fut.0)
+        });
+        ctx.advance(self.params.py_wake);
+        self.pe
+            .chare_mut::<ChanState>(col, idx)
+            .futures
+            .remove(&fut.0)
+            .expect("future fulfilled")
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.nranks
+    }
+
+    /// Establish a channel to `peer` (channels are lightweight; creation is
+    /// implicit on first use in this model).
+    pub fn channel(&self, peer: usize) -> Channel {
+        Channel { peer }
+    }
+
+    /// `channel.send(d_buf, size)` — GPU-direct send (Fig. 8 `gpu_direct`).
+    /// Asynchronous: returns once the runtime has taken over the buffer.
+    pub fn send(&mut self, ctx: &mut MCtx, ch: Channel, buf: MemRef) {
+        ctx.advance(self.params.py_send + self.params.buffer_cost(buf.len));
+        let (ml_tag, _trig) = self.pe.ml_send_device(ctx, ch.peer, buf, false);
+        let payload = ChanPayload::ZeroCopy {
+            ml_tag,
+            size: buf.len,
+        };
+        let bytes = encode_chan(self.rank as u32, &payload);
+        let (col, ep) = (self.col, self.ep_chan);
+        self.pe.send(
+            ctx,
+            ChareRef {
+                col,
+                index: ch.peer as u64,
+            },
+            ep,
+            bytes,
+            0,
+            vec![],
+        );
+    }
+
+    /// `channel.send(host_obj)` — pickle a host object into the message.
+    pub fn send_host(&mut self, ctx: &mut MCtx, ch: Channel, data: Vec<u8>) {
+        let size = data.len() as u64;
+        self.send_host_payload(ctx, ch, Some(data), size)
+    }
+
+    /// Host-object send with an explicit wire size; `bytes: None` models a
+    /// payload that is not materialized (timing-only benchmarks).
+    pub fn send_host_payload(
+        &mut self,
+        ctx: &mut MCtx,
+        ch: Channel,
+        bytes: Option<Vec<u8>>,
+        size: u64,
+    ) {
+        ctx.advance(self.params.py_send + self.params.pickle_cost(size));
+        // Unmaterialized payloads still occupy `size` bytes on the wire.
+        let phantom = if bytes.is_none() { size } else { 0 };
+        let payload = ChanPayload::Inline { bytes, size };
+        let bytes = encode_chan(self.rank as u32, &payload);
+        let (col, ep) = (self.col, self.ep_chan);
+        self.pe.send(
+            ctx,
+            ChareRef {
+                col,
+                index: ch.peer as u64,
+            },
+            ep,
+            bytes,
+            phantom,
+            vec![],
+        );
+    }
+
+    /// `channel.recv(d_buf, size)` — suspend until the message arrives,
+    /// post the device receive, and resume when the data lands. Returns the
+    /// received size.
+    pub fn recv(&mut self, ctx: &mut MCtx, ch: Channel, buf: MemRef) -> u64 {
+        ctx.advance(self.params.py_recv);
+        let payload = self.pop_inbox(ctx, ch.peer);
+        match payload {
+            ChanPayload::ZeroCopy { ml_tag, size } => {
+                ctx.advance(self.params.buffer_cost(size));
+                let trigger = self.pe.ml_recv_device(ctx, ml_tag, buf.slice(0, size));
+                self.pe.pump_until(ctx, move |_, ctx| {
+                    ctx.with_world(move |_, s| s.fired(trigger))
+                });
+                ctx.with_world(move |_, s| s.recycle_trigger(trigger));
+                ctx.advance(self.params.py_wake);
+                size
+            }
+            ChanPayload::Inline { bytes, size } => {
+                ctx.advance(self.params.pickle_cost(size) + self.params.py_wake);
+                if let Some(b) = bytes {
+                    let n = (buf.len as usize).min(b.len());
+                    ctx.with_world(move |w, _| {
+                        w.gpu
+                            .pool
+                            .write(buf.slice(0, n as u64), &b[..n])
+                            .expect("inline channel deliver")
+                    });
+                }
+                size
+            }
+        }
+    }
+
+    /// `channel.recv()` of a pickled host object.
+    pub fn recv_host(&mut self, ctx: &mut MCtx, ch: Channel) -> Option<Vec<u8>> {
+        ctx.advance(self.params.py_recv);
+        match self.pop_inbox(ctx, ch.peer) {
+            ChanPayload::Inline { bytes, size } => {
+                ctx.advance(self.params.pickle_cost(size) + self.params.py_wake);
+                bytes
+            }
+            ChanPayload::ZeroCopy { .. } => {
+                panic!("recv_host on a channel carrying a GPU buffer")
+            }
+        }
+    }
+
+    fn pop_inbox(&mut self, ctx: &mut MCtx, peer: usize) -> ChanPayload {
+        let (col, idx) = (self.col, self.rank as u64);
+        self.pe.pump_until(ctx, move |pe, _| {
+            pe.chare_mut::<ChanState>(col, idx)
+                .inbox
+                .get(&(peer as u32))
+                .is_some_and(|q| !q.is_empty())
+        });
+        self.pe
+            .chare_mut::<ChanState>(col, idx)
+            .inbox
+            .get_mut(&(peer as u32))
+            .unwrap()
+            .pop_front()
+            .unwrap()
+    }
+
+    /// Global barrier (via a Charm++ reduction, as `charm.barrier()`).
+    pub fn barrier(&mut self, ctx: &mut MCtx) {
+        let (col, idx) = (self.col, self.rank as u64);
+        let old = self.pe.chare_mut::<ChanState>(col, idx).barrier_epoch;
+        let ep = self.ep_barrier;
+        self.pe.contribute(
+            ctx,
+            col,
+            idx,
+            rucx_charm::RedOp::Barrier,
+            0.0,
+            rucx_charm::RedTarget::Broadcast(col, ep),
+        );
+        self.pe.pump_until(ctx, move |pe, _| {
+            pe.chare_mut::<ChanState>(col, idx).barrier_epoch > old
+        });
+    }
+
+    // ---- Host-staging helpers (Fig. 8, `not gpu_direct`) --------------
+
+    /// `charm.lib.CudaDtoH` / `CudaHtoD`: async copy issued from Python.
+    pub fn cuda_copy(&mut self, ctx: &mut MCtx, src: MemRef, dst: MemRef, stream: StreamId) {
+        let launch = ctx.with_world(|w, _| w.gpu.params.copy_launch);
+        ctx.advance(self.params.py_cuda_call + launch);
+        ctx.with_world(move |w, s| {
+            copy_async(w, s, src, dst, stream, None);
+        });
+    }
+
+    /// `charm.lib.CudaStreamSynchronize` from Python.
+    pub fn cuda_stream_sync(&mut self, ctx: &mut MCtx, stream: StreamId) {
+        let sync_cost = ctx.with_world(|w, _| w.gpu.params.sync_overhead);
+        ctx.advance(self.params.py_cuda_call);
+        let t = ctx.with_world(move |w, s| stream_sync_trigger(w, s, stream));
+        ctx.wait(t);
+        ctx.with_world(move |_, s| s.recycle_trigger(t));
+        ctx.advance(sync_cost);
+    }
+
+    /// Virtual time in seconds (`time.perf_counter()`).
+    pub fn time(&self, ctx: &MCtx) -> f64 {
+        rucx_sim::time::as_secs(ctx.now())
+    }
+}
+
+/// SPMD launch: one Charm4py process per simulated process.
+pub fn launch<F>(sim: &mut MSim, body: F)
+where
+    F: Fn(&mut PyProc, &mut MCtx) + Send + Sync + Clone + 'static,
+{
+    launch_with(sim, PyParams::default(), body)
+}
+
+/// [`launch`] with explicit Python-layer parameters.
+pub fn launch_with<F>(sim: &mut MSim, params: PyParams, body: F)
+where
+    F: Fn(&mut PyProc, &mut MCtx) + Send + Sync + Clone + 'static,
+{
+    let n = sim.world().topo.procs();
+    for p in 0..n {
+        let body = body.clone();
+        let params = params.clone();
+        sim.spawn(format!("py{p}"), 0, move |ctx| {
+            let mut proc = PyProc::create(p, n, params);
+            body(&mut proc, ctx);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rucx_fabric::Topology;
+    use rucx_gpu::DeviceId;
+    use rucx_sim::time::as_us;
+    use rucx_sim::RunOutcome;
+    use rucx_ucp::{build_sim, MachineConfig};
+    use std::sync::Arc;
+
+    fn sim(nodes: usize) -> MSim {
+        build_sim(Topology::summit(nodes), MachineConfig::default())
+    }
+
+    #[test]
+    fn gpu_direct_channel_roundtrip() {
+        let mut sim = sim(1);
+        let size = 1u64 << 20;
+        let a = sim
+            .world_mut()
+            .gpu
+            .pool
+            .alloc_device(DeviceId(0), size, true)
+            .unwrap();
+        let b = sim
+            .world_mut()
+            .gpu
+            .pool
+            .alloc_device(DeviceId(1), size, true)
+            .unwrap();
+        let data: Vec<u8> = (0..size).map(|i| (i % 199) as u8).collect();
+        sim.world_mut().gpu.pool.write(a, &data).unwrap();
+        launch(&mut sim, move |py, ctx| match py.rank() {
+            0 => {
+                let ch = py.channel(1);
+                py.send(ctx, ch, a);
+            }
+            1 => {
+                let ch = py.channel(0);
+                let n = py.recv(ctx, ch, b);
+                assert_eq!(n, size);
+            }
+            _ => {}
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(sim.world().gpu.pool.read(b).unwrap(), data);
+        assert_eq!(sim.world().ucp.counters.get("ucp.rndv.ipc"), 1);
+    }
+
+    #[test]
+    fn host_object_pickling_roundtrip() {
+        let mut sim = sim(1);
+        let got = Arc::new(parking_lot::Mutex::new(None));
+        let got2 = got.clone();
+        launch(&mut sim, move |py, ctx| match py.rank() {
+            2 => {
+                let ch = py.channel(3);
+                py.send_host(ctx, ch, vec![1, 2, 3, 4]);
+            }
+            3 => {
+                let ch = py.channel(2);
+                *got2.lock() = py.recv_host(ctx, ch);
+            }
+            _ => {}
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(got.lock().take(), Some(vec![1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn python_overhead_dominates_small_latency() {
+        // Small-message one-way latency must sit well above Charm++'s
+        // (~4-5us) because of interpreter costs — the paper's Fig. 10c.
+        let mut sim = sim(1);
+        let a = sim
+            .world_mut()
+            .gpu
+            .pool
+            .alloc_device(DeviceId(0), 8, true)
+            .unwrap();
+        let b = sim
+            .world_mut()
+            .gpu
+            .pool
+            .alloc_device(DeviceId(1), 8, true)
+            .unwrap();
+        let out = Arc::new(parking_lot::Mutex::new(0u64));
+        let out2 = out.clone();
+        launch(&mut sim, move |py, ctx| match py.rank() {
+            0 => {
+                let ch = py.channel(1);
+                let iters = 10u64;
+                let t0 = ctx.now();
+                for _ in 0..iters {
+                    py.send(ctx, ch, a);
+                    py.recv(ctx, ch, a);
+                }
+                *out2.lock() = (ctx.now() - t0) / (2 * iters);
+            }
+            1 => {
+                let ch = py.channel(0);
+                for _ in 0..10 {
+                    py.recv(ctx, ch, b);
+                    py.send(ctx, ch, b);
+                }
+            }
+            _ => {}
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let lat = *out.lock();
+        assert!(
+            lat > us(12.0) && lat < us(35.0),
+            "charm4py small latency {}us out of expected band",
+            as_us(lat)
+        );
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        let mut sim = sim(1);
+        let times = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let t2 = times.clone();
+        launch(&mut sim, move |py, ctx| {
+            ctx.advance(us(5.0 * py.rank() as f64));
+            py.barrier(ctx);
+            t2.lock().push(ctx.now());
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let v = times.lock();
+        assert_eq!(v.len(), 6);
+        for &t in v.iter() {
+            assert!(t >= us(25.0));
+        }
+    }
+
+    #[test]
+    fn cuda_helpers_model_host_staging() {
+        let mut sim = sim(1);
+        let size = 1u64 << 20;
+        let d = sim
+            .world_mut()
+            .gpu
+            .pool
+            .alloc_device(DeviceId(0), size, true)
+            .unwrap();
+        let h = sim.world_mut().gpu.pool.alloc_host(0, size, true, true);
+        sim.world_mut().gpu.pool.write(d, &vec![0xAB; size as usize]).unwrap();
+        let elapsed = Arc::new(parking_lot::Mutex::new(0u64));
+        let e2 = elapsed.clone();
+        launch(&mut sim, move |py, ctx| {
+            if py.rank() != 0 {
+                return;
+            }
+            let stream = ctx.with_world(|w, _| w.gpu.default_stream(DeviceId(0)));
+            let t0 = ctx.now();
+            py.cuda_copy(ctx, d, h, stream);
+            py.cuda_stream_sync(ctx, stream);
+            *e2.lock() = ctx.now() - t0;
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(sim.world().gpu.pool.read(h).unwrap(), vec![0xAB; 1 << 20]);
+        // 1 MiB D2H ≈ 25us + launch/sync/python ≈ 35us total.
+        let t = *elapsed.lock();
+        assert!(t > us(28.0) && t < us(50.0), "staging took {}us", as_us(t));
+    }
+}

@@ -1,0 +1,201 @@
+//! Simulated GPU devices and the intra-node cost model.
+//!
+//! The parameters default to a Summit-like node: 2 CPU sockets, 3 NVIDIA
+//! V100-class GPUs per socket, GPUs and their socket's CPU fully connected
+//! by NVLink (50 GB/s theoretical per direction), sockets bridged by the
+//! X-Bus (64 GB/s). Effective bandwidths are derated to what microbenchmarks
+//! achieve on the real machine (the paper reports Charm++ reaching
+//! 44.7 GB/s intra-node).
+
+use rucx_sim::time::{transfer_time, us, Duration};
+
+/// Identifier of a GPU device, global across the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u32);
+
+impl DeviceId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Static description of one simulated GPU.
+#[derive(Debug, Clone)]
+pub struct Device {
+    pub id: DeviceId,
+    /// Node this GPU belongs to.
+    pub node: usize,
+    /// CPU socket within the node this GPU hangs off.
+    pub socket: usize,
+    /// Device memory capacity in bytes.
+    pub mem_capacity: u64,
+}
+
+/// Calibration constants for the intra-node GPU cost model.
+///
+/// All bandwidths are in GB/s (bytes per nanosecond); all latencies are
+/// virtual-time durations. Defaults are calibrated against published V100 /
+/// Summit microbenchmark behaviour; see EXPERIMENTS.md for the mapping from
+/// these constants to reproduced figures.
+#[derive(Debug, Clone)]
+pub struct GpuParams {
+    /// CPU-side cost to launch an async copy (driver + runtime).
+    pub copy_launch: Duration,
+    /// CPU-side cost of a stream synchronization call (beyond waiting).
+    pub sync_overhead: Duration,
+    /// CPU-side cost to launch a kernel.
+    pub kernel_launch: Duration,
+    /// DMA engine setup time per copy (added to the transfer itself).
+    pub dma_setup: Duration,
+    /// GPU<->GPU same-socket NVLink effective bandwidth.
+    pub nvlink_gbps: f64,
+    /// GPU<->GPU cross-socket (X-Bus) effective per-flow bandwidth.
+    pub xbus_gbps: f64,
+    /// Aggregate X-Bus bandwidth shared by all concurrent cross-socket
+    /// flows of a node (the bus itself is faster than any single staged
+    /// flow).
+    pub xbus_aggregate_gbps: f64,
+    /// CPU<->GPU NVLink effective bandwidth (host staging path).
+    pub cpu_gpu_gbps: f64,
+    /// On-device (HBM2) copy bandwidth for D2D on the same device.
+    pub hbm_gbps: f64,
+    /// Host-to-host single-core memcpy bandwidth.
+    pub host_memcpy_gbps: f64,
+    /// Bandwidth derate factor when the host buffer is pageable (the driver
+    /// must bounce through an internal pinned buffer).
+    pub pageable_factor: f64,
+    /// Extra fixed latency for copies involving pageable host memory.
+    pub pageable_overhead: Duration,
+    /// Cost of opening a CUDA IPC memory handle (first touch; callers are
+    /// expected to cache handles, as the paper notes).
+    pub ipc_open: Duration,
+}
+
+impl Default for GpuParams {
+    fn default() -> Self {
+        GpuParams {
+            copy_launch: us(3.2),
+            sync_overhead: us(2.4),
+            kernel_launch: us(7.0),
+            dma_setup: us(1.1),
+            nvlink_gbps: 44.0,
+            // Cross-socket P2P is staged GPU->NVLink->CPU->X-Bus->CPU->NVLink->GPU;
+            // despite the X-Bus's 64 GB/s headline rate the effective
+            // device-to-device bandwidth is far below same-socket NVLink.
+            xbus_gbps: 28.0,
+            xbus_aggregate_gbps: 52.0,
+            cpu_gpu_gbps: 42.0,
+            hbm_gbps: 780.0,
+            host_memcpy_gbps: 9.5,
+            pageable_factor: 0.17,
+            pageable_overhead: us(4.0),
+            ipc_open: us(95.0),
+        }
+    }
+}
+
+/// The physical route a copy takes inside one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyPath {
+    /// Device-to-device on the same GPU (HBM).
+    OnDevice,
+    /// Device-to-device between GPUs on the same socket (NVLink).
+    NvLink,
+    /// Device-to-device between GPUs on different sockets (X-Bus).
+    XBus,
+    /// Host-to-device or device-to-host over CPU-GPU NVLink, pinned host.
+    HostPinnedLink,
+    /// Host-to-device or device-to-host with pageable host memory.
+    HostPageableLink,
+    /// Host-to-host memcpy.
+    HostMem,
+}
+
+impl GpuParams {
+    /// Effective bandwidth of a path in GB/s.
+    pub fn path_gbps(&self, path: CopyPath) -> f64 {
+        match path {
+            CopyPath::OnDevice => self.hbm_gbps,
+            CopyPath::NvLink => self.nvlink_gbps,
+            CopyPath::XBus => self.xbus_gbps,
+            CopyPath::HostPinnedLink => self.cpu_gpu_gbps,
+            CopyPath::HostPageableLink => self.cpu_gpu_gbps * self.pageable_factor,
+            CopyPath::HostMem => self.host_memcpy_gbps,
+        }
+    }
+
+    /// Pure wire time for `size` bytes along `path` (no launch overheads).
+    pub fn wire_time(&self, path: CopyPath, size: u64) -> Duration {
+        let extra = match path {
+            CopyPath::HostPageableLink => self.pageable_overhead,
+            _ => 0,
+        };
+        self.dma_setup + extra + transfer_time(size, self.path_gbps(path))
+    }
+}
+
+/// Cost model of a GPU kernel: `fixed + bytes/hbm_bw` (memory-bound roofline,
+/// which stencil kernels are).
+#[derive(Debug, Clone, Copy)]
+pub struct KernelCost {
+    /// Fixed on-GPU time independent of data volume.
+    pub fixed: Duration,
+    /// Bytes of HBM traffic the kernel generates (reads + writes).
+    pub bytes: u64,
+}
+
+impl KernelCost {
+    /// On-GPU execution time under `params`.
+    pub fn duration(&self, params: &GpuParams) -> Duration {
+        self.fixed + transfer_time(self.bytes, params.hbm_gbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_bandwidth_ordering_matches_hardware() {
+        let p = GpuParams::default();
+        // HBM > NVLink >= CPU-GPU > X-Bus (staged) > host memcpy.
+        assert!(p.path_gbps(CopyPath::OnDevice) > p.path_gbps(CopyPath::NvLink));
+        assert!(p.path_gbps(CopyPath::NvLink) > p.path_gbps(CopyPath::XBus));
+        assert!(p.path_gbps(CopyPath::NvLink) >= p.path_gbps(CopyPath::HostPinnedLink));
+        assert!(p.path_gbps(CopyPath::XBus) > p.path_gbps(CopyPath::HostMem));
+        assert!(p.path_gbps(CopyPath::HostPinnedLink) > p.path_gbps(CopyPath::HostMem));
+        assert!(p.path_gbps(CopyPath::HostPageableLink) < p.path_gbps(CopyPath::HostPinnedLink));
+    }
+
+    #[test]
+    fn wire_time_scales_linearly() {
+        let p = GpuParams::default();
+        let t1 = p.wire_time(CopyPath::NvLink, 1 << 20);
+        let t4 = p.wire_time(CopyPath::NvLink, 4 << 20);
+        // Subtract the fixed dma_setup to check the slope.
+        let s1 = t1 - p.dma_setup;
+        let s4 = t4 - p.dma_setup;
+        assert!((s4 as f64 / s1 as f64 - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn pageable_copies_slower_than_pinned() {
+        let p = GpuParams::default();
+        let size = 1 << 20;
+        assert!(
+            p.wire_time(CopyPath::HostPageableLink, size)
+                > p.wire_time(CopyPath::HostPinnedLink, size)
+        );
+    }
+
+    #[test]
+    fn kernel_cost_memory_bound() {
+        let p = GpuParams::default();
+        let k = KernelCost {
+            fixed: us(2.0),
+            bytes: 780_000_000, // exactly 1 ms of HBM traffic at 780 GB/s
+        };
+        let d = k.duration(&p);
+        assert!((d as i64 - (us(2.0) + 1_000_000) as i64).abs() < 1_000);
+    }
+}

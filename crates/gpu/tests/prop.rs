@@ -1,0 +1,120 @@
+//! Property-based tests of the memory pool: accounting, data integrity,
+//! and bounds checking under random allocate/free/write/copy sequences.
+
+use proptest::prelude::*;
+use rucx_gpu::{DeviceId, MemPool, MemRef};
+
+#[derive(Debug, Clone)]
+enum Op {
+    AllocDevice { dev: u8, size: u16 },
+    AllocHost { pinned: bool, size: u16 },
+    Free { idx: u8 },
+    Write { idx: u8, seed: u8 },
+    CopyBetween { a: u8, b: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 1u16..512).prop_map(|(dev, size)| Op::AllocDevice { dev, size }),
+        (any::<bool>(), 1u16..512).prop_map(|(pinned, size)| Op::AllocHost { pinned, size }),
+        (any::<u8>()).prop_map(|idx| Op::Free { idx }),
+        (any::<u8>(), any::<u8>()).prop_map(|(idx, seed)| Op::Write { idx, seed }),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::CopyBetween { a, b }),
+    ]
+}
+
+fn pattern(len: u64, seed: u8) -> Vec<u8> {
+    (0..len).map(|i| (i as u8).wrapping_mul(37).wrapping_add(seed)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A shadow model of the pool stays in sync under random operations.
+    #[test]
+    fn pool_matches_shadow_model(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut pool = MemPool::new(4, 1 << 20, 1);
+        // live: (ref, shadow contents)
+        let mut live: Vec<(MemRef, Vec<u8>)> = Vec::new();
+        let mut device_used = [0u64; 4];
+        let mut host_used = 0u64;
+
+        for op in ops {
+            match op {
+                Op::AllocDevice { dev, size } => {
+                    let r = pool.alloc_device(DeviceId(dev as u32), size as u64, true).unwrap();
+                    device_used[dev as usize] += size as u64;
+                    live.push((r, vec![0u8; size as usize]));
+                }
+                Op::AllocHost { pinned, size } => {
+                    let r = pool.alloc_host(0, size as u64, pinned, true);
+                    host_used += size as u64;
+                    live.push((r, vec![0u8; size as usize]));
+                }
+                Op::Free { idx } => {
+                    if live.is_empty() { continue; }
+                    let (r, _) = live.remove(idx as usize % live.len());
+                    match pool.kind(r.id).unwrap() {
+                        rucx_gpu::MemKind::Device(d) => device_used[d.index()] -= r.len,
+                        _ => host_used -= r.len,
+                    }
+                    pool.free(r.id).unwrap();
+                    // Double free must fail.
+                    prop_assert!(pool.free(r.id).is_err());
+                }
+                Op::Write { idx, seed } => {
+                    if live.is_empty() { continue; }
+                    let i = idx as usize % live.len();
+                    let (r, shadow) = &mut live[i];
+                    let data = pattern(r.len, seed);
+                    pool.write(*r, &data).unwrap();
+                    *shadow = data;
+                }
+                Op::CopyBetween { a, b } => {
+                    if live.len() < 2 { continue; }
+                    let ia = a as usize % live.len();
+                    let ib = b as usize % live.len();
+                    if ia == ib { continue; }
+                    let (ra, sa) = (live[ia].0, live[ia].1.clone());
+                    let (rb, _) = live[ib];
+                    let n = ra.len.min(rb.len);
+                    pool.copy(ra.slice(0, n), rb.slice(0, n)).unwrap();
+                    let shadow_b = &mut live[ib].1;
+                    shadow_b[..n as usize].copy_from_slice(&sa[..n as usize]);
+                }
+            }
+            // Invariants after every op.
+            for (r, shadow) in &live {
+                prop_assert_eq!(&pool.read(*r).unwrap(), shadow);
+            }
+            for d in 0..4u32 {
+                prop_assert_eq!(pool.device_used(DeviceId(d)), device_used[d as usize]);
+            }
+            prop_assert_eq!(pool.host_used(0), host_used);
+            prop_assert_eq!(pool.live_allocations(), live.len());
+        }
+    }
+
+    /// Slices read back exactly the window they cover.
+    #[test]
+    fn slice_reads_window(
+        size in 1u64..1024,
+        off_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+        seed in any::<u8>(),
+    ) {
+        let mut pool = MemPool::new(1, 1 << 20, 1);
+        let r = pool.alloc_host(0, size, true, true);
+        let data = pattern(size, seed);
+        pool.write(r, &data).unwrap();
+        let off = (off_frac * size as f64) as u64 % size;
+        let len = 1 + (len_frac * (size - off) as f64) as u64;
+        let len = len.min(size - off);
+        if len == 0 { return Ok(()); }
+        let s = r.slice(off, len);
+        prop_assert_eq!(
+            pool.read(s).unwrap(),
+            data[off as usize..(off + len) as usize].to_vec()
+        );
+    }
+}

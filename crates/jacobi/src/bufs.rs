@@ -1,0 +1,85 @@
+//! Per-rank buffer allocation shared by all Jacobi variants.
+
+use rucx_gpu::MemRef;
+use rucx_ucp::MSim;
+
+use crate::decomp::{Block, BlockGrid, Domain};
+
+/// Device and host buffers of one rank's block.
+pub struct RankBufs {
+    pub block: Block,
+    /// Main grid storage (old + new grids), phantom.
+    pub grid_mem: MemRef,
+    /// Contiguous device face buffers, send and receive, per direction.
+    pub dsend: [Option<MemRef>; 6],
+    pub drecv: [Option<MemRef>; 6],
+    /// Pinned host staging buffers (host-staging mode).
+    pub hsend: [Option<MemRef>; 6],
+    pub hrecv: [Option<MemRef>; 6],
+    /// 16-byte materialized host buffer for result collection.
+    pub result: MemRef,
+}
+
+/// Allocate all per-rank buffers for a decomposed domain (one block per
+/// process).
+pub fn alloc_all(sim: &mut MSim, domain: Domain, grid: BlockGrid) -> Vec<RankBufs> {
+    assert_eq!(
+        grid.blocks() as usize,
+        sim.world().topo.procs(),
+        "one block per GPU"
+    );
+    alloc_mapped(sim, domain, grid, |b| b as usize)
+}
+
+/// Allocate per-block buffers with an explicit block→process placement
+/// (used by overdecomposed runs, where several blocks share a PE/GPU).
+pub fn alloc_mapped(
+    sim: &mut MSim,
+    domain: Domain,
+    grid: BlockGrid,
+    proc_of: impl Fn(u64) -> usize,
+) -> Vec<RankBufs> {
+    let topo = sim.world().topo.clone();
+    let blocks = grid.blocks() as usize;
+    let mut out = Vec::with_capacity(blocks);
+    let m = sim.world_mut();
+    for r in 0..blocks {
+        let block = Block::new(domain, grid, r as u64);
+        let proc = proc_of(r as u64);
+        let dev = topo.device_of(proc);
+        let node = topo.node_of(proc);
+        // Old + new grid storage.
+        let grid_mem = m
+            .gpu
+            .pool
+            .alloc_device(dev, block.cells() * 8 * 2, false)
+            .expect("grid alloc");
+        let mut dsend = [None; 6];
+        let mut drecv = [None; 6];
+        let mut hsend = [None; 6];
+        let mut hrecv = [None; 6];
+        for dir in 0..6 {
+            if block.neighbors[dir].is_some() {
+                let fb = block.face_bytes(dir);
+                dsend[dir] = Some(m.gpu.pool.alloc_device(dev, fb, false).expect("face"));
+                drecv[dir] = Some(m.gpu.pool.alloc_device(dev, fb, false).expect("face"));
+                // Host staging buffers are pageable: the host-staging
+                // variant models the pre-GPU-aware application the paper
+                // argues against, which allocates with plain malloc.
+                hsend[dir] = Some(m.gpu.pool.alloc_host(node, fb, false, false));
+                hrecv[dir] = Some(m.gpu.pool.alloc_host(node, fb, false, false));
+            }
+        }
+        let result = m.gpu.pool.alloc_host(node, 16, true, true);
+        out.push(RankBufs {
+            block,
+            grid_mem,
+            dsend,
+            drecv,
+            hsend,
+            hrecv,
+            result,
+        });
+    }
+    out
+}

@@ -1,0 +1,259 @@
+//! 3D domain decomposition: equal-size cuboid blocks minimizing surface
+//! area (paper §IV-C), plus the weak-scaling domain-growth rule (base
+//! 1536³, each dimension doubled in x, y, z order).
+
+/// Global domain dimensions in cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Domain {
+    pub nx: u64,
+    pub ny: u64,
+    pub nz: u64,
+}
+
+impl Domain {
+    pub fn cells(&self) -> u64 {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Weak-scaling domain for `nodes` (a power of two): start from `base³`
+    /// and double dimensions in x, y, z order as the node count doubles.
+    pub fn weak_scaled(base: u64, nodes: usize) -> Domain {
+        assert!(nodes.is_power_of_two(), "weak scaling doubles node counts");
+        let k = nodes.trailing_zeros() as usize;
+        let mut d = [base; 3];
+        for i in 0..k {
+            d[i % 3] *= 2;
+        }
+        Domain {
+            nx: d[0],
+            ny: d[1],
+            nz: d[2],
+        }
+    }
+}
+
+/// Block grid: `px × py × pz` cuboid blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockGrid {
+    pub px: u64,
+    pub py: u64,
+    pub pz: u64,
+}
+
+impl BlockGrid {
+    pub fn blocks(&self) -> u64 {
+        self.px * self.py * self.pz
+    }
+
+    /// Linear index of block `(x, y, z)` (x fastest: x-neighbors land on
+    /// adjacent ranks, hence adjacent GPUs).
+    pub fn index(&self, x: u64, y: u64, z: u64) -> u64 {
+        x + self.px * (y + self.py * z)
+    }
+
+    /// Coordinates of block `i`.
+    pub fn coords(&self, i: u64) -> (u64, u64, u64) {
+        (
+            i % self.px,
+            (i / self.px) % self.py,
+            i / (self.px * self.py),
+        )
+    }
+}
+
+/// Pick the factorization `px·py·pz = n` minimizing the total inter-block
+/// surface area for `domain` (the communication volume).
+pub fn decompose(domain: Domain, n: u64) -> BlockGrid {
+    let mut best: Option<(u64, BlockGrid)> = None;
+    for px in 1..=n {
+        if !n.is_multiple_of(px) {
+            continue;
+        }
+        let rest = n / px;
+        for py in 1..=rest {
+            if !rest.is_multiple_of(py) {
+                continue;
+            }
+            let pz = rest / py;
+            // Cut surfaces: (px-1) planes of ny*nz cells, etc.
+            let surface = (px - 1) * domain.ny * domain.nz
+                + (py - 1) * domain.nx * domain.nz
+                + (pz - 1) * domain.nx * domain.ny;
+            let g = BlockGrid { px, py, pz };
+            if best.is_none_or(|(s, _)| surface < s) {
+                best = Some((surface, g));
+            }
+        }
+    }
+    best.expect("n >= 1").1
+}
+
+/// One block's placement and geometry.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Linear block index (== rank == chare index).
+    pub index: u64,
+    pub coords: (u64, u64, u64),
+    /// Local dimensions in cells.
+    pub lx: u64,
+    pub ly: u64,
+    pub lz: u64,
+    /// Neighbor block index per direction (-x, +x, -y, +y, -z, +z).
+    pub neighbors: [Option<u64>; 6],
+}
+
+/// Face direction helpers.
+pub const DIRS: usize = 6;
+
+/// Opposite direction (messages sent "toward +x" arrive on the receiver's
+/// "-x" face).
+pub fn opposite(dir: usize) -> usize {
+    dir ^ 1
+}
+
+impl Block {
+    /// Build block `i` of `grid` over `domain`. Dimensions must divide.
+    pub fn new(domain: Domain, grid: BlockGrid, i: u64) -> Block {
+        assert_eq!(domain.nx % grid.px, 0, "px must divide nx");
+        assert_eq!(domain.ny % grid.py, 0, "py must divide ny");
+        assert_eq!(domain.nz % grid.pz, 0, "pz must divide nz");
+        let (x, y, z) = grid.coords(i);
+        let mut neighbors = [None; 6];
+        if x > 0 {
+            neighbors[0] = Some(grid.index(x - 1, y, z));
+        }
+        if x + 1 < grid.px {
+            neighbors[1] = Some(grid.index(x + 1, y, z));
+        }
+        if y > 0 {
+            neighbors[2] = Some(grid.index(x, y - 1, z));
+        }
+        if y + 1 < grid.py {
+            neighbors[3] = Some(grid.index(x, y + 1, z));
+        }
+        if z > 0 {
+            neighbors[4] = Some(grid.index(x, y, z - 1));
+        }
+        if z + 1 < grid.pz {
+            neighbors[5] = Some(grid.index(x, y, z + 1));
+        }
+        Block {
+            index: i,
+            coords: (x, y, z),
+            lx: domain.nx / grid.px,
+            ly: domain.ny / grid.py,
+            lz: domain.nz / grid.pz,
+            neighbors,
+        }
+    }
+
+    /// Cells in this block.
+    pub fn cells(&self) -> u64 {
+        self.lx * self.ly * self.lz
+    }
+
+    /// Bytes of one halo face in direction `dir` (doubles).
+    pub fn face_bytes(&self, dir: usize) -> u64 {
+        let cells = match dir / 2 {
+            0 => self.ly * self.lz,
+            1 => self.lx * self.lz,
+            _ => self.lx * self.ly,
+        };
+        cells * 8
+    }
+
+    /// Number of actual neighbors.
+    pub fn neighbor_count(&self) -> usize {
+        self.neighbors.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_scaling_doubles_in_xyz_order() {
+        let b = 1536;
+        assert_eq!(Domain::weak_scaled(b, 1), Domain { nx: b, ny: b, nz: b });
+        assert_eq!(
+            Domain::weak_scaled(b, 2),
+            Domain { nx: 2 * b, ny: b, nz: b }
+        );
+        assert_eq!(
+            Domain::weak_scaled(b, 4),
+            Domain { nx: 2 * b, ny: 2 * b, nz: b }
+        );
+        assert_eq!(
+            Domain::weak_scaled(b, 8),
+            Domain { nx: 2 * b, ny: 2 * b, nz: 2 * b }
+        );
+        assert_eq!(
+            Domain::weak_scaled(b, 256),
+            Domain { nx: 8 * b, ny: 8 * b, nz: 4 * b }
+        );
+    }
+
+    #[test]
+    fn decompose_minimizes_surface_for_cube() {
+        // A cube into 8 blocks: 2x2x2 beats 8x1x1.
+        let d = Domain { nx: 512, ny: 512, nz: 512 };
+        assert_eq!(decompose(d, 8), BlockGrid { px: 2, py: 2, pz: 2 });
+        // 6 blocks of a cube: 3x2x1 (or permutation with equal surface).
+        let g = decompose(d, 6);
+        let mut dims = [g.px, g.py, g.pz];
+        dims.sort();
+        assert_eq!(dims, [1, 2, 3]);
+    }
+
+    #[test]
+    fn block_geometry_and_neighbors() {
+        let d = Domain { nx: 1536, ny: 1536, nz: 1536 };
+        let g = decompose(d, 6);
+        let n = g.blocks();
+        assert_eq!(n, 6);
+        // Corner block has fewer neighbors than interior-ish ones.
+        let b0 = Block::new(d, g, 0);
+        assert!(b0.neighbor_count() <= 3);
+        // All blocks equal size.
+        for i in 0..n {
+            let b = Block::new(d, g, i);
+            assert_eq!(b.cells(), d.cells() / n);
+        }
+        // Neighbor relations are symmetric.
+        for i in 0..n {
+            let b = Block::new(d, g, i);
+            for (dir, nb) in b.neighbors.iter().enumerate() {
+                if let Some(j) = nb {
+                    let other = Block::new(d, g, *j);
+                    assert_eq!(other.neighbors[opposite(dir)], Some(i));
+                    assert_eq!(b.face_bytes(dir), other.face_bytes(opposite(dir)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coords_index_roundtrip() {
+        let g = BlockGrid { px: 3, py: 4, pz: 5 };
+        for i in 0..g.blocks() {
+            let (x, y, z) = g.coords(i);
+            assert_eq!(g.index(x, y, z), i);
+        }
+    }
+
+    #[test]
+    fn weak_scaled_block_fits_v100() {
+        // Per-GPU block must stay under 16 GB at every weak-scaling point.
+        for k in 0..=8 {
+            let nodes = 1usize << k;
+            let d = Domain::weak_scaled(1536, nodes);
+            let blocks = (nodes * 6) as u64;
+            let bytes_per_block = d.cells() / blocks * 8;
+            assert!(
+                bytes_per_block < 16 << 30,
+                "nodes={nodes}: {bytes_per_block} bytes/GPU"
+            );
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Additional OSU-suite benchmarks beyond the paper's two: bi-directional
+//! bandwidth (`osu_bibw`) and multi-pair aggregate bandwidth
+//! (`osu_mbw_mr`-style). The paper evaluates uni-directional curves; these
+//! extend the harness to the rest of the suite's point-to-point coverage
+//! and expose full-duplex and multi-rail behaviour of the fabric model.
+
+use std::sync::Arc;
+
+use rucx_sim::time::bandwidth_mbps;
+use rucx_sim::RunOutcome;
+
+use crate::mpi_like::{P2p, RankFactory};
+use crate::{setup, OsuConfig, Placement, Series};
+
+/// Bi-directional bandwidth: both endpoints send a window simultaneously
+/// each iteration (non-blocking both ways), reported as aggregate MB/s.
+pub fn mpi_bibw_point<F: RankFactory>(
+    cfg: &OsuConfig,
+    size: u64,
+    place: Placement,
+    factory: F,
+) -> f64 {
+    let mut s = setup(&cfg.machine, size);
+    let peer = place.peer();
+    let d = Arc::new(s.d.clone());
+    let result = Arc::new(parking_lot::Mutex::new(0.0f64));
+    let result2 = result.clone();
+    let (iters, warmup, window) = (cfg.bw_iters, cfg.bw_warmup, cfg.bw_window);
+
+    factory.launch(&mut s.sim, move |mpi, ctx| {
+        let me = mpi.rank();
+        if me != 0 && me != peer {
+            return;
+        }
+        let other = if me == 0 { peer } else { 0 };
+        let my_d = d[me].slice(0, size);
+        let mut t0 = 0;
+        for i in 0..(warmup + iters) {
+            if i == warmup {
+                t0 = ctx.now();
+            }
+            let mut reqs = Vec::with_capacity(2 * window as usize);
+            for w in 0..window {
+                reqs.push(mpi.irecv(ctx, my_d, other as i32 as usize, w as i32));
+            }
+            for w in 0..window {
+                reqs.push(mpi.isend(ctx, my_d, other, w as i32));
+            }
+            // The waitall itself synchronizes the pair: each side holds
+            // until the other's window has fully arrived. (No barrier: only
+            // two of the twelve ranks participate.)
+            mpi.waitall(ctx, reqs);
+        }
+        if me == 0 {
+            // Both directions moved `size * window * iters` bytes.
+            let bytes = 2 * size * window as u64 * iters as u64;
+            *result2.lock() = bandwidth_mbps(bytes, ctx.now() - t0);
+        }
+    });
+    assert_eq!(s.sim.run(), RunOutcome::Completed, "bibw deadlocked");
+    let r = *result.lock();
+    r
+}
+
+/// Multi-pair bandwidth: `pairs` disjoint sender/receiver pairs drive the
+/// fabric simultaneously (senders on node 0, receivers on node 1 for the
+/// inter-node variant — exercising both NIC rails). Aggregate MB/s.
+pub fn mpi_mbw_point<F: RankFactory>(
+    cfg: &OsuConfig,
+    size: u64,
+    pairs: usize,
+    factory: F,
+) -> f64 {
+    assert!(pairs <= 6, "one pair per GPU pair");
+    let mut s = setup(&cfg.machine, size);
+    let d = Arc::new(s.d.clone());
+    let ack = Arc::new(s.ack.clone());
+    let result = Arc::new(parking_lot::Mutex::new(0.0f64));
+    let result2 = result.clone();
+    let (iters, warmup, window) = (cfg.bw_iters, cfg.bw_warmup, cfg.bw_window);
+
+    factory.launch(&mut s.sim, move |mpi, ctx| {
+        let me = mpi.rank();
+        // Senders: ranks 0..pairs (node 0); receivers: 6..6+pairs (node 1).
+        let is_sender = me < pairs;
+        let is_receiver = (6..6 + pairs).contains(&me);
+        if !is_sender && !is_receiver {
+            return;
+        }
+        let other = if is_sender { me + 6 } else { me - 6 };
+        let my_d = d[me].slice(0, size);
+        let my_ack = ack[me].slice(0, 4);
+        let mut t0 = 0;
+        for i in 0..(warmup + iters) {
+            if i == warmup {
+                t0 = ctx.now();
+            }
+            if is_sender {
+                let mut reqs = Vec::with_capacity(window as usize);
+                for w in 0..window {
+                    reqs.push(mpi.isend(ctx, my_d, other, w as i32));
+                }
+                mpi.waitall(ctx, reqs);
+                mpi.recv(ctx, my_ack, other as i32 as usize, 99);
+            } else {
+                let mut reqs = Vec::with_capacity(window as usize);
+                for w in 0..window {
+                    reqs.push(mpi.irecv(ctx, my_d, other as i32 as usize, w as i32));
+                }
+                mpi.waitall(ctx, reqs);
+                mpi.send(ctx, my_ack, other, 99);
+            }
+        }
+        if me == 0 {
+            let bytes = pairs as u64 * size * window as u64 * iters as u64;
+            *result2.lock() = bandwidth_mbps(bytes, ctx.now() - t0);
+        }
+    });
+    assert_eq!(s.sim.run(), RunOutcome::Completed, "mbw deadlocked");
+    let r = *result.lock();
+    r
+}
+
+/// Bi-directional bandwidth series for one model.
+pub fn bibw_series<F: RankFactory + Copy>(
+    cfg: &OsuConfig,
+    label: &str,
+    place: Placement,
+    factory: F,
+) -> Series {
+    Series {
+        label: format!("{label} {} bi-bandwidth", place.label()),
+        unit: "MB/s",
+        points: cfg
+            .sizes
+            .iter()
+            .map(|&s| (s, mpi_bibw_point(cfg, s, place, factory)))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpi_like::{AmpiFactory, OmpiFactory};
+    use crate::Mode;
+
+    fn cfg() -> OsuConfig {
+        let mut c = OsuConfig::quick();
+        c.sizes = vec![1 << 20];
+        c
+    }
+
+    #[test]
+    fn bibw_exceeds_unidirectional_inter_node() {
+        // Full duplex: bi-directional inter-node bandwidth must beat the
+        // one-way rate (TX and RX ports are independent).
+        let c = cfg();
+        let uni = crate::bandwidth(&c, crate::Model::Ompi, Mode::Device, Placement::InterNode);
+        let bi = mpi_bibw_point(&c, 1 << 20, Placement::InterNode, OmpiFactory);
+        let uni_v = uni.at(1 << 20).unwrap();
+        assert!(
+            bi > uni_v * 1.4,
+            "bibw {bi:.0} should exceed unidirectional {uni_v:.0} by well over 1.4x"
+        );
+    }
+
+    #[test]
+    fn multi_pair_uses_both_rails() {
+        // 1 pair is capped by one rail; 6 pairs (3 per socket) drive both
+        // rails and must exceed a single rail's rate.
+        let c = cfg();
+        let one = mpi_mbw_point(&c, 1 << 20, 1, OmpiFactory);
+        let six = mpi_mbw_point(&c, 1 << 20, 6, OmpiFactory);
+        assert!(one < 12_500.0, "single pair capped by one rail: {one:.0}");
+        assert!(
+            six > one * 1.5,
+            "six pairs {six:.0} should beat one pair {one:.0} via dual rails"
+        );
+    }
+
+    #[test]
+    fn ampi_bibw_works() {
+        let c = cfg();
+        let bi = mpi_bibw_point(&c, 1 << 20, Placement::IntraNode, AmpiFactory);
+        assert!(bi > 10_000.0, "intra-node bibw {bi:.0}");
+    }
+}

@@ -1,0 +1,41 @@
+//! # rucx-sim — deterministic discrete-event simulation engine
+//!
+//! Foundation of the `rucx` reproduction of *GPU-aware Communication with
+//! UCX in Parallel Programming Models* (IPDPSW 2021). All hardware the paper
+//! evaluates on (Summit's GPUs, NVLink, X-Bus, EDR InfiniBand) is simulated;
+//! this crate provides the virtual clock, the event queue, and *simulated
+//! processes* — OS threads that execute strictly one at a time under a
+//! rendezvous protocol with the driver, so runtime layers above can write
+//! natural blocking code (an `MPI_Recv` that simply does not return until
+//! virtual time reaches message arrival) while the whole simulation stays
+//! deterministic.
+//!
+//! ## Architecture
+//!
+//! - [`Scheduler`] — virtual clock, `(time, seq)`-ordered event queue, and
+//!   wait primitives ([`Trigger`] one-shot latches, [`Notify`]
+//!   epoch-counting condition variables).
+//! - [`Simulation`] — owns the world `W` (all model state), the scheduler,
+//!   and the process table; runs the main loop.
+//! - [`ProcCtx`] — handed to each process body; `advance` models local
+//!   compute, `with_world` gives synchronous access to model state on the
+//!   driver thread, `wait`/`wait_notify`/`wait_until` park the process.
+//!
+//! Determinism: events are dispatched in `(time, insertion order)`; processes
+//! woken at the same instant run in wake order; only one process thread runs
+//! at any moment, and the world is touched exclusively from the driver
+//! thread.
+
+pub mod process;
+pub mod rng;
+pub mod sched;
+pub mod sim;
+pub mod stats;
+pub mod time;
+
+pub use process::ProcCtx;
+pub use rng::SimRng;
+pub use sched::{Notify, ProcId, Scheduler, Trigger};
+pub use sim::{RunOutcome, SimConfig, Simulation};
+pub use stats::{Counters, DurationStats};
+pub use time::{Duration, Time};

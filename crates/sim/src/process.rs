@@ -1,0 +1,268 @@
+//! Thread-backed simulated processes.
+//!
+//! Each simulated process (one per PE in the runtime layers above) is an OS
+//! thread that runs **strictly one at a time** under a rendezvous protocol
+//! with the simulation driver. This gives process code natural *blocking*
+//! semantics — `MPI_Recv` can simply not return until virtual time has
+//! advanced to the message arrival — while keeping the whole simulation
+//! deterministic and data-race free: the world is only ever touched from the
+//! driver thread, via [`ProcCtx::with_world`].
+
+#![allow(clippy::type_complexity)]
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::sched::{Notify, ProcId, Scheduler, Trigger};
+use crate::time::{Duration, Time};
+
+/// Message from the driver to a process thread.
+pub(crate) enum ResumeMsg {
+    /// Continue running; virtual time is `now`.
+    Resume { now: Time },
+    /// A world call submitted by this process has completed.
+    CallDone,
+}
+
+/// How a process yielded back to the driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum YieldKind {
+    /// Wake me at this absolute virtual time.
+    AdvanceTo(Time),
+    /// Park me until the trigger fires.
+    WaitTrigger(Trigger),
+    /// Park me until the notify epoch moves past `seen`.
+    WaitNotify(Notify, u64),
+    /// Put me at the back of the runnable queue (same virtual time).
+    YieldNow,
+}
+
+/// Message from a process thread to the driver.
+pub(crate) enum ProcMsg<W> {
+    /// Execute this closure on the world, then reply `CallDone`.
+    Call(Box<dyn FnOnce(&mut W, &mut Scheduler<W>) + Send>),
+    /// The process yields; driver decides when to resume it.
+    Yield(YieldKind),
+    /// The process body returned normally.
+    Done,
+    /// The process body panicked; message for diagnostics.
+    Panicked(String),
+}
+
+/// Internal marker unwound through process bodies when the simulation is
+/// dropped while the process is still parked; the wrapper swallows it.
+pub(crate) struct SimShutdown;
+
+/// Handle a process body uses to interact with the simulation.
+///
+/// Obtained as the argument to the closure passed to
+/// [`crate::Simulation::spawn`]. All methods may block (in wall-clock terms)
+/// while other parts of the simulation run; in virtual-time terms,
+/// [`ProcCtx::with_world`] is instantaneous while [`ProcCtx::advance`] and
+/// the wait methods let virtual time pass.
+pub struct ProcCtx<W> {
+    pub(crate) id: ProcId,
+    pub(crate) name: String,
+    pub(crate) now: Time,
+    pub(crate) resume_rx: Receiver<ResumeMsg>,
+    pub(crate) cmd_tx: Sender<ProcMsg<W>>,
+}
+
+impl<W> ProcCtx<W> {
+    /// This process's id.
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// This process's name (for traces and deadlock reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current virtual time as of the last resume.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    fn send(&self, msg: ProcMsg<W>) {
+        if self.cmd_tx.send(msg).is_err() {
+            // Driver is gone (simulation dropped): unwind quietly.
+            std::panic::panic_any(SimShutdown);
+        }
+    }
+
+    fn recv(&self) -> ResumeMsg {
+        match self.resume_rx.recv() {
+            Ok(m) => m,
+            Err(_) => std::panic::panic_any(SimShutdown),
+        }
+    }
+
+    fn yield_and_wait(&mut self, kind: YieldKind) {
+        self.send(ProcMsg::Yield(kind));
+        match self.recv() {
+            ResumeMsg::Resume { now } => self.now = now,
+            ResumeMsg::CallDone => unreachable!("CallDone while yielded"),
+        }
+    }
+
+    /// Let `dt` of virtual time pass (models local computation of known
+    /// duration). Other processes and events run meanwhile.
+    pub fn advance(&mut self, dt: Duration) {
+        let target = self.now.saturating_add(dt);
+        self.yield_and_wait(YieldKind::AdvanceTo(target));
+        debug_assert!(self.now >= target);
+    }
+
+    /// Yield to other runnable processes at the same virtual time.
+    pub fn yield_now(&mut self) {
+        self.yield_and_wait(YieldKind::YieldNow);
+    }
+
+    /// Block until the trigger fires (returns immediately if already fired).
+    pub fn wait(&mut self, t: Trigger) {
+        self.yield_and_wait(YieldKind::WaitTrigger(t));
+    }
+
+    /// Block until the notify epoch differs from `seen`.
+    ///
+    /// Usage pattern (lost-wakeup free):
+    /// ```ignore
+    /// loop {
+    ///     let (done, seen) = ctx.with_world(|w, s| (w.check(), s.notify_epoch(n)));
+    ///     if done { break; }
+    ///     ctx.wait_notify(n, seen);
+    /// }
+    /// ```
+    pub fn wait_notify(&mut self, n: Notify, seen: u64) {
+        self.yield_and_wait(YieldKind::WaitNotify(n, seen));
+    }
+
+    /// Run `f` against the world and scheduler on the driver thread, at the
+    /// current virtual time, and return its result. Virtual time does not
+    /// advance.
+    pub fn with_world<R, F>(&mut self, f: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut W, &mut Scheduler<W>) -> R + Send + 'static,
+    {
+        let slot = std::sync::Arc::new(parking_lot::Mutex::new(None::<R>));
+        let slot2 = slot.clone();
+        self.send(ProcMsg::Call(Box::new(move |w, s| {
+            *slot2.lock() = Some(f(w, s));
+        })));
+        match self.recv() {
+            ResumeMsg::CallDone => {}
+            ResumeMsg::Resume { .. } => unreachable!("Resume while awaiting call"),
+        }
+        let r = slot.lock().take().expect("world call did not produce a result");
+        r
+    }
+
+    /// Convenience: create a trigger via a world call.
+    pub fn new_trigger(&mut self) -> Trigger {
+        self.with_world(|_, s| s.new_trigger())
+    }
+
+    /// Convenience: wait until `pred` holds, re-checking whenever `n` is
+    /// notified. `pred` runs on the driver thread; the predicate check and
+    /// the epoch snapshot happen in one world call, so no notification can
+    /// be lost between them.
+    pub fn wait_until<F>(&mut self, n: Notify, pred: F)
+    where
+        F: FnMut(&mut W, &mut Scheduler<W>) -> bool + Send + 'static,
+    {
+        let pred = std::sync::Arc::new(parking_lot::Mutex::new(pred));
+        loop {
+            let p = pred.clone();
+            let (done, seen) = self.with_world(move |w, s| ((p.lock())(w, s), s.notify_epoch(n)));
+            if done {
+                return;
+            }
+            self.wait_notify(n, seen);
+        }
+    }
+}
+
+/// Driver-side record of one process.
+pub(crate) struct ProcSlot<W> {
+    pub name: String,
+    pub resume_tx: Sender<ResumeMsg>,
+    pub cmd_rx: Receiver<ProcMsg<W>>,
+    pub join: Option<std::thread::JoinHandle<()>>,
+    pub state: ProcState,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ProcState {
+    /// Not yet started or currently runnable/running.
+    Active,
+    /// Parked on a wait primitive (description for deadlock reports).
+    Blocked(String),
+    Finished,
+}
+
+/// Spawn the OS thread backing a simulated process.
+pub(crate) fn spawn_thread<W: 'static>(
+    id: ProcId,
+    name: String,
+    stack_size: usize,
+    body: Box<dyn FnOnce(&mut ProcCtx<W>) + Send + 'static>,
+) -> ProcSlot<W> {
+    let (resume_tx, resume_rx) = unbounded::<ResumeMsg>();
+    let (cmd_tx, cmd_rx) = unbounded::<ProcMsg<W>>();
+    let thread_name = format!("sim:{name}");
+    let cmd_tx2 = cmd_tx.clone();
+    let pname = name.clone();
+    let join = std::thread::Builder::new()
+        .name(thread_name)
+        .stack_size(stack_size)
+        .spawn(move || {
+            // Wait for the first resume before running the body.
+            let now = match resume_rx.recv() {
+                Ok(ResumeMsg::Resume { now }) => now,
+                _ => return,
+            };
+            let mut ctx = ProcCtx {
+                id,
+                name: pname,
+                now,
+                resume_rx,
+                cmd_tx: cmd_tx2,
+            };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                body(&mut ctx);
+            }));
+            match result {
+                Ok(()) => {
+                    let _ = ctx.cmd_tx.send(ProcMsg::Done);
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<SimShutdown>().is_some() {
+                        // Simulation dropped while we were parked: exit quietly.
+                        return;
+                    }
+                    let msg = panic_message(payload.as_ref());
+                    let _ = ctx.cmd_tx.send(ProcMsg::Panicked(msg));
+                }
+            }
+        })
+        .expect("failed to spawn simulated process thread");
+    ProcSlot {
+        name,
+        resume_tx,
+        cmd_rx,
+        join: Some(join),
+        state: ProcState::Active,
+    }
+}
+
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

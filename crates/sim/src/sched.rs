@@ -1,0 +1,438 @@
+//! The event scheduler: virtual clock, event queue, and wait primitives.
+//!
+//! The scheduler is deliberately separate from the [`crate::Simulation`]
+//! driver so that model code (event closures, world calls) can schedule
+//! further events and fire triggers while the world is mutably borrowed
+//! alongside it: every event closure receives `(&mut W, &mut Scheduler<W>)`.
+
+#![allow(clippy::type_complexity)]
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+use crate::process::ProcCtx;
+use crate::time::{Duration, Time};
+
+/// Identifier of a simulated process (index into the process table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub(crate) u32);
+
+impl ProcId {
+    /// Raw index of this process.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One-shot latch a process can block on. Created by
+/// [`Scheduler::new_trigger`], fired at most once by [`Scheduler::fire`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Trigger(pub(crate) u32);
+
+impl Trigger {
+    /// Construct a handle from a raw id. Only for tests and placeholder
+    /// values; a handle not produced by [`Scheduler::new_trigger`] must not
+    /// be waited on or fired.
+    #[doc(hidden)]
+    pub fn from_raw(id: u32) -> Self {
+        Trigger(id)
+    }
+}
+
+/// Reusable wakeup source with an epoch counter (condition-variable style).
+///
+/// A process snapshots the epoch, re-checks its predicate against world
+/// state, and then waits for the epoch to move past the snapshot; every
+/// [`Scheduler::notify`] advances the epoch and wakes all current waiters.
+/// This is the lost-wakeup-free primitive PE schedulers idle on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Notify(pub(crate) u32);
+
+impl Notify {
+    /// See [`Trigger::from_raw`]; same caveats apply.
+    #[doc(hidden)]
+    pub fn from_raw(id: u32) -> Self {
+        Notify(id)
+    }
+}
+
+/// A scheduled event: either a model closure or a process wakeup.
+pub(crate) enum EventPayload<W> {
+    Closure(Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>),
+    WakeProc(ProcId),
+}
+
+pub(crate) struct EventEntry<W> {
+    pub time: Time,
+    pub seq: u64,
+    pub payload: EventPayload<W>,
+}
+
+impl<W> PartialEq for EventEntry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for EventEntry<W> {}
+impl<W> PartialOrd for EventEntry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for EventEntry<W> {
+    // Reversed: BinaryHeap is a max-heap, we want earliest (time, seq) first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+struct TriggerState {
+    fired: bool,
+    waiters: Vec<ProcId>,
+}
+
+struct NotifyState {
+    epoch: u64,
+    waiters: Vec<ProcId>,
+}
+
+pub(crate) struct PendingSpawn<W> {
+    pub name: String,
+    pub start: Time,
+    pub body: Box<dyn FnOnce(&mut ProcCtx<W>) + Send + 'static>,
+}
+
+/// Event scheduler and wait-primitive registry.
+///
+/// `W` is the *world* type: the single-threaded, mutable model state (GPUs,
+/// network, communication library state). The scheduler never touches the
+/// world itself; it only sequences closures that do.
+pub struct Scheduler<W> {
+    now: Time,
+    seq: u64,
+    events_executed: u64,
+    queue: BinaryHeap<EventEntry<W>>,
+    triggers: Vec<TriggerState>,
+    free_triggers: Vec<u32>,
+    notifies: Vec<NotifyState>,
+    /// Processes runnable at the current virtual time, in wake order.
+    pub(crate) runnable: VecDeque<ProcId>,
+    pub(crate) pending_spawns: Vec<PendingSpawn<W>>,
+    stopped: bool,
+    /// Optional trace sink for debugging model behaviour.
+    trace: Option<Box<dyn FnMut(Time, &str)>>,
+}
+
+impl<W> Default for Scheduler<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Scheduler<W> {
+    pub fn new() -> Self {
+        Scheduler {
+            now: 0,
+            seq: 0,
+            events_executed: 0,
+            queue: BinaryHeap::new(),
+            triggers: Vec::new(),
+            free_triggers: Vec::new(),
+            notifies: Vec::new(),
+            runnable: VecDeque::new(),
+            pending_spawns: Vec::new(),
+            stopped: false,
+            trace: None,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn events_executed(&self) -> u64 {
+        self.events_executed
+    }
+
+    /// Request that the simulation loop stop after the current dispatch.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    pub(crate) fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    pub(crate) fn clear_stopped(&mut self) {
+        self.stopped = false;
+    }
+
+    /// Install a trace sink receiving `(time, message)` lines.
+    pub fn set_trace(&mut self, f: impl FnMut(Time, &str) + 'static) {
+        self.trace = Some(Box::new(f));
+    }
+
+    /// Emit a trace line if a sink is installed.
+    #[inline]
+    pub fn trace(&mut self, msg: &str) {
+        if let Some(t) = &mut self.trace {
+            t(self.now, msg);
+        }
+    }
+
+    /// True if tracing is enabled (lets hot paths skip building messages).
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Schedule `f` to run on the world at absolute time `t` (clamped to the
+    /// present: scheduling in the past runs at the current time).
+    pub fn schedule_at(&mut self, t: Time, f: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static) {
+        let t = t.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(EventEntry {
+            time: t,
+            seq,
+            payload: EventPayload::Closure(Box::new(f)),
+        });
+    }
+
+    /// Schedule `f` to run `dt` after the current time.
+    pub fn schedule_in(&mut self, dt: Duration, f: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static) {
+        self.schedule_at(self.now.saturating_add(dt), f);
+    }
+
+    pub(crate) fn schedule_wake(&mut self, t: Time, p: ProcId) {
+        let t = t.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(EventEntry {
+            time: t,
+            seq,
+            payload: EventPayload::WakeProc(p),
+        });
+    }
+
+    pub(crate) fn pop_event(&mut self) -> Option<EventEntry<W>> {
+        let e = self.queue.pop();
+        if e.is_some() {
+            self.events_executed += 1;
+        }
+        e
+    }
+
+    pub(crate) fn peek_time(&self) -> Option<Time> {
+        self.queue.peek().map(|e| e.time)
+    }
+
+    pub(crate) fn set_now(&mut self, t: Time) {
+        debug_assert!(t >= self.now, "virtual time must be monotone");
+        self.now = t;
+    }
+
+    /// Queue a new simulated process for creation; the simulation driver
+    /// drains these. Usable from world calls and event closures, so runtimes
+    /// can create workers dynamically.
+    pub fn spawn_process(
+        &mut self,
+        name: impl Into<String>,
+        start: Time,
+        body: impl FnOnce(&mut ProcCtx<W>) + Send + 'static,
+    ) {
+        self.pending_spawns.push(PendingSpawn {
+            name: name.into(),
+            start: start.max(self.now),
+            body: Box::new(body),
+        });
+    }
+
+    // ---- Triggers ----------------------------------------------------
+
+    /// Create a new unfired one-shot trigger (recycled ids are reused).
+    pub fn new_trigger(&mut self) -> Trigger {
+        if let Some(id) = self.free_triggers.pop() {
+            let st = &mut self.triggers[id as usize];
+            st.fired = false;
+            debug_assert!(st.waiters.is_empty());
+            return Trigger(id);
+        }
+        let id = self.triggers.len() as u32;
+        self.triggers.push(TriggerState {
+            fired: false,
+            waiters: Vec::new(),
+        });
+        Trigger(id)
+    }
+
+    /// Return a trigger's slot to the free list for reuse.
+    ///
+    /// The caller must be the sole remaining owner of the handle: recycling
+    /// a trigger another component still waits on (or will wait on) aliases
+    /// two logically distinct completions onto one slot.
+    pub fn recycle_trigger(&mut self, t: Trigger) {
+        let st = &mut self.triggers[t.0 as usize];
+        assert!(
+            st.waiters.is_empty(),
+            "cannot recycle a trigger with parked waiters"
+        );
+        self.free_triggers.push(t.0);
+    }
+
+    /// Fire a trigger, waking every process waiting on it at the current
+    /// virtual time. Firing an already-fired trigger is a no-op.
+    pub fn fire(&mut self, t: Trigger) {
+        let st = &mut self.triggers[t.0 as usize];
+        if st.fired {
+            return;
+        }
+        st.fired = true;
+        let waiters = std::mem::take(&mut st.waiters);
+        self.runnable.extend(waiters);
+    }
+
+    /// Whether the trigger has fired.
+    pub fn fired(&self, t: Trigger) -> bool {
+        self.triggers[t.0 as usize].fired
+    }
+
+    pub(crate) fn add_trigger_waiter(&mut self, t: Trigger, p: ProcId) -> bool {
+        let st = &mut self.triggers[t.0 as usize];
+        if st.fired {
+            false
+        } else {
+            st.waiters.push(p);
+            true
+        }
+    }
+
+    // ---- Notifies ----------------------------------------------------
+
+    /// Create a new notification source (epoch 0).
+    pub fn new_notify(&mut self) -> Notify {
+        let id = self.notifies.len() as u32;
+        self.notifies.push(NotifyState {
+            epoch: 0,
+            waiters: Vec::new(),
+        });
+        Notify(id)
+    }
+
+    /// Advance the notify epoch and wake all current waiters.
+    pub fn notify(&mut self, n: Notify) {
+        let st = &mut self.notifies[n.0 as usize];
+        st.epoch += 1;
+        let waiters = std::mem::take(&mut st.waiters);
+        self.runnable.extend(waiters);
+    }
+
+    /// Current epoch of a notify source.
+    pub fn notify_epoch(&self, n: Notify) -> u64 {
+        self.notifies[n.0 as usize].epoch
+    }
+
+    /// Returns true if the process was parked (epoch unchanged), false if the
+    /// epoch already moved past `seen` (process stays runnable).
+    pub(crate) fn add_notify_waiter(&mut self, n: Notify, seen: u64, p: ProcId) -> bool {
+        let st = &mut self.notifies[n.0 as usize];
+        if st.epoch != seen {
+            false
+        } else {
+            st.waiters.push(p);
+            true
+        }
+    }
+
+    /// Number of events currently queued (for tests/diagnostics).
+    pub fn queued_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type S = Scheduler<Vec<u32>>;
+
+    #[test]
+    fn event_order_is_time_then_fifo() {
+        let mut s = S::new();
+        s.schedule_at(10, |w, _| w.push(1));
+        s.schedule_at(5, |w, _| w.push(2));
+        s.schedule_at(10, |w, _| w.push(3));
+        let mut world = Vec::new();
+        // Manual mini-loop (the real one lives in Simulation).
+        while let Some(e) = s.pop_event() {
+            s.set_now(e.time);
+            match e.payload {
+                EventPayload::Closure(f) => f(&mut world, &mut s),
+                EventPayload::WakeProc(_) => unreachable!(),
+            }
+        }
+        assert_eq!(world, vec![2, 1, 3]);
+        assert_eq!(s.now(), 10);
+        assert_eq!(s.events_executed(), 3);
+    }
+
+    #[test]
+    fn schedule_in_past_clamps_to_now() {
+        let mut s = S::new();
+        s.set_now(100);
+        s.schedule_at(50, |w, _| w.push(1));
+        let e = s.pop_event().unwrap();
+        assert_eq!(e.time, 100);
+    }
+
+    #[test]
+    fn trigger_fire_is_idempotent_and_wakes_waiters() {
+        let mut s = S::new();
+        let t = s.new_trigger();
+        assert!(!s.fired(t));
+        assert!(s.add_trigger_waiter(t, ProcId(7)));
+        s.fire(t);
+        assert!(s.fired(t));
+        assert_eq!(s.runnable.pop_front(), Some(ProcId(7)));
+        s.fire(t); // no-op
+        assert!(s.runnable.is_empty());
+        // Waiting on a fired trigger does not park.
+        assert!(!s.add_trigger_waiter(t, ProcId(8)));
+    }
+
+    #[test]
+    fn notify_epoch_prevents_lost_wakeups() {
+        let mut s = S::new();
+        let n = s.new_notify();
+        let seen = s.notify_epoch(n);
+        s.notify(n); // epoch moves before the waiter parks
+        assert!(!s.add_notify_waiter(n, seen, ProcId(1)), "must not park");
+        let seen2 = s.notify_epoch(n);
+        assert!(s.add_notify_waiter(n, seen2, ProcId(2)));
+        s.notify(n);
+        assert_eq!(s.runnable.pop_front(), Some(ProcId(2)));
+    }
+
+    #[test]
+    fn nested_scheduling_from_events() {
+        let mut s = S::new();
+        s.schedule_at(1, |w, s| {
+            w.push(1);
+            s.schedule_in(4, |w, _| w.push(2));
+        });
+        let mut world = Vec::new();
+        while let Some(e) = s.pop_event() {
+            s.set_now(e.time);
+            match e.payload {
+                EventPayload::Closure(f) => f(&mut world, &mut s),
+                EventPayload::WakeProc(_) => unreachable!(),
+            }
+        }
+        assert_eq!(world, vec![1, 2]);
+        assert_eq!(s.now(), 5);
+    }
+}

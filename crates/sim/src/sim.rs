@@ -1,0 +1,474 @@
+//! The simulation driver: owns the world, the scheduler, and the process
+//! table, and runs the main event loop.
+
+use crate::process::{spawn_thread, ProcCtx, ProcMsg, ProcSlot, ProcState, ResumeMsg, YieldKind};
+use crate::sched::{EventPayload, ProcId, Scheduler};
+use crate::time::Time;
+
+/// Why [`Simulation::run_until`] returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Event queue drained and every process finished.
+    Completed,
+    /// The time limit was reached with work still pending.
+    TimeLimit,
+    /// [`Scheduler::stop`] was called.
+    Stopped,
+    /// No events pending but some processes are still parked: a deadlock.
+    /// Contains `(process name, what it is blocked on)` pairs.
+    Deadlock(Vec<(String, String)>),
+}
+
+/// Configuration for the simulation driver.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Stack size for process threads. Simulated PEs are shallow; the
+    /// default keeps 1000+ PE simulations cheap.
+    pub stack_size: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            stack_size: 512 * 1024,
+        }
+    }
+}
+
+/// A deterministic discrete-event simulation over world state `W`.
+///
+/// ```
+/// use rucx_sim::Simulation;
+///
+/// let mut sim = Simulation::new(0u64);
+/// sim.scheduler().schedule_at(100, |w, _| *w += 1);
+/// sim.spawn("worker", 0, |ctx| {
+///     ctx.advance(50);
+///     ctx.with_world(|w, _| *w += 10);
+/// });
+/// let outcome = sim.run();
+/// assert_eq!(outcome, rucx_sim::RunOutcome::Completed);
+/// assert_eq!(*sim.world(), 11);
+/// assert_eq!(sim.scheduler().now(), 100);
+/// ```
+pub struct Simulation<W> {
+    world: W,
+    sched: Scheduler<W>,
+    procs: Vec<ProcSlot<W>>,
+    config: SimConfig,
+}
+
+impl<W: 'static> Simulation<W> {
+    /// Create a simulation around an initial world.
+    pub fn new(world: W) -> Self {
+        Self::with_config(world, SimConfig::default())
+    }
+
+    /// Create a simulation with an explicit driver configuration.
+    pub fn with_config(world: W, config: SimConfig) -> Self {
+        Simulation {
+            world,
+            sched: Scheduler::new(),
+            procs: Vec::new(),
+            config,
+        }
+    }
+
+    /// Immutable access to the world (between runs).
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (between runs).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Access the scheduler (to create triggers, schedule setup events…).
+    pub fn scheduler(&mut self) -> &mut Scheduler<W> {
+        &mut self.sched
+    }
+
+    /// Spawn a simulated process whose body starts at virtual time `start`.
+    pub fn spawn(
+        &mut self,
+        name: impl Into<String>,
+        start: Time,
+        body: impl FnOnce(&mut ProcCtx<W>) + Send + 'static,
+    ) -> ProcId {
+        let id = ProcId(self.procs.len() as u32);
+        let slot = spawn_thread(id, name.into(), self.config.stack_size, Box::new(body));
+        self.procs.push(slot);
+        self.sched.schedule_wake(start, id);
+        id
+    }
+
+    fn drain_pending_spawns(&mut self) {
+        while let Some(p) = self.sched.pending_spawns.pop() {
+            let id = ProcId(self.procs.len() as u32);
+            let slot = spawn_thread(id, p.name, self.config.stack_size, p.body);
+            self.procs.push(slot);
+            self.sched.schedule_wake(p.start, id);
+        }
+    }
+
+    /// Resume process `p` and service its world calls until it yields,
+    /// finishes, or panics.
+    fn run_proc(&mut self, p: ProcId) {
+        let now = self.sched.now();
+        {
+            let slot = &mut self.procs[p.index()];
+            if slot.state == ProcState::Finished {
+                return;
+            }
+            slot.state = ProcState::Active;
+            slot.resume_tx
+                .send(ResumeMsg::Resume { now })
+                .expect("process thread vanished");
+        }
+        loop {
+            let msg = match self.procs[p.index()].cmd_rx.recv() {
+                Ok(m) => m,
+                Err(_) => {
+                    // Channel closed without Done/Panicked: the thread was
+                    // torn down abnormally.
+                    let name = self.procs[p.index()].name.clone();
+                    panic!("simulated process '{name}' terminated abnormally");
+                }
+            };
+            match msg {
+                ProcMsg::Call(f) => {
+                    f(&mut self.world, &mut self.sched);
+                    self.drain_pending_spawns();
+                    self.procs[p.index()]
+                        .resume_tx
+                        .send(ResumeMsg::CallDone)
+                        .expect("process thread vanished");
+                }
+                ProcMsg::Yield(kind) => {
+                    let slot = &mut self.procs[p.index()];
+                    match kind {
+                        YieldKind::AdvanceTo(t) => {
+                            slot.state = Blocked::sleep(t);
+                            self.sched.schedule_wake(t, p);
+                        }
+                        YieldKind::YieldNow => {
+                            slot.state = ProcState::Active;
+                            self.sched.runnable.push_back(p);
+                        }
+                        YieldKind::WaitTrigger(t) => {
+                            if self.sched.add_trigger_waiter(t, p) {
+                                self.procs[p.index()].state = Blocked::trigger(t.0);
+                            } else {
+                                self.sched.runnable.push_back(p);
+                            }
+                        }
+                        YieldKind::WaitNotify(n, seen) => {
+                            if self.sched.add_notify_waiter(n, seen, p) {
+                                self.procs[p.index()].state = Blocked::notify(n.0);
+                            } else {
+                                self.sched.runnable.push_back(p);
+                            }
+                        }
+                    }
+                    return;
+                }
+                ProcMsg::Done => {
+                    let slot = &mut self.procs[p.index()];
+                    slot.state = ProcState::Finished;
+                    if let Some(j) = slot.join.take() {
+                        let _ = j.join();
+                    }
+                    return;
+                }
+                ProcMsg::Panicked(msg) => {
+                    let name = self.procs[p.index()].name.clone();
+                    if let Some(j) = self.procs[p.index()].join.take() {
+                        let _ = j.join();
+                    }
+                    panic!("simulated process '{name}' panicked: {msg}");
+                }
+            }
+        }
+    }
+
+    /// Run until the event queue drains, a deadlock is detected, `stop()` is
+    /// called, or virtual time would exceed `limit`.
+    pub fn run_until(&mut self, limit: Time) -> RunOutcome {
+        self.sched.clear_stopped();
+        loop {
+            // Drain all processes runnable at the current time first; they
+            // may create events or wake more processes at the same instant.
+            while let Some(p) = self.sched.runnable.pop_front() {
+                self.run_proc(p);
+                self.drain_pending_spawns();
+                if self.sched.is_stopped() {
+                    return RunOutcome::Stopped;
+                }
+            }
+            match self.sched.peek_time() {
+                None => {
+                    return if self.all_finished() {
+                        RunOutcome::Completed
+                    } else {
+                        RunOutcome::Deadlock(self.blocked_report())
+                    };
+                }
+                Some(t) if t > limit => return RunOutcome::TimeLimit,
+                Some(t) => {
+                    self.sched.set_now(t);
+                    let ev = self.sched.pop_event().expect("peeked event vanished");
+                    match ev.payload {
+                        EventPayload::Closure(f) => {
+                            f(&mut self.world, &mut self.sched);
+                            self.drain_pending_spawns();
+                        }
+                        EventPayload::WakeProc(p) => {
+                            // A sleeping process may have been woken earlier
+                            // by a trigger only if it yielded again since;
+                            // sleeps are exact, so just run it.
+                            self.sched.runnable.push_back(p);
+                        }
+                    }
+                    if self.sched.is_stopped() {
+                        return RunOutcome::Stopped;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run to completion (no time limit).
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_until(Time::MAX)
+    }
+
+    fn all_finished(&self) -> bool {
+        self.procs.iter().all(|p| p.state == ProcState::Finished)
+    }
+
+    fn blocked_report(&self) -> Vec<(String, String)> {
+        self.procs
+            .iter()
+            .filter_map(|p| match &p.state {
+                ProcState::Blocked(what) => Some((p.name.clone(), what.clone())),
+                ProcState::Active => Some((p.name.clone(), "runnable?".to_string())),
+                ProcState::Finished => None,
+            })
+            .collect()
+    }
+
+    /// Number of processes ever spawned.
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
+}
+
+/// Helpers producing `ProcState::Blocked` descriptions.
+struct Blocked;
+impl Blocked {
+    fn sleep(t: Time) -> ProcState {
+        ProcState::Blocked(format!("sleep until t={t}"))
+    }
+    fn trigger(id: u32) -> ProcState {
+        ProcState::Blocked(format!("trigger #{id}"))
+    }
+    fn notify(id: u32) -> ProcState {
+        ProcState::Blocked(format!("notify #{id}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_simulation_completes() {
+        let mut sim = Simulation::new(());
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(sim.scheduler().now(), 0);
+    }
+
+    #[test]
+    fn events_advance_time() {
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        sim.scheduler().schedule_at(10, |w, s| w.push(s.now()));
+        sim.scheduler().schedule_at(30, |w, s| w.push(s.now()));
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(sim.world(), &vec![10, 30]);
+    }
+
+    #[test]
+    fn process_advance_and_world_calls() {
+        let mut sim = Simulation::new(0u64);
+        sim.spawn("p", 5, |ctx| {
+            assert_eq!(ctx.now(), 5);
+            ctx.advance(20);
+            assert_eq!(ctx.now(), 25);
+            let doubled = ctx.with_world(|w, _| {
+                *w = 21;
+                *w * 2
+            });
+            assert_eq!(doubled, 42);
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(*sim.world(), 21);
+        assert_eq!(sim.scheduler().now(), 25);
+    }
+
+    #[test]
+    fn trigger_handshake_between_processes() {
+        let mut sim = Simulation::new(Vec::<&'static str>::new());
+        let t = sim.scheduler().new_trigger();
+        sim.spawn("waiter", 0, move |ctx| {
+            ctx.wait(t);
+            let now = ctx.now();
+            ctx.with_world(move |w, _| w.push("woken"));
+            assert_eq!(now, 40);
+        });
+        sim.spawn("firer", 0, move |ctx| {
+            ctx.advance(40);
+            ctx.with_world(move |w, s| {
+                w.push("firing");
+                s.fire(t);
+            });
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(sim.world(), &vec!["firing", "woken"]);
+    }
+
+    #[test]
+    fn wait_on_fired_trigger_returns_immediately() {
+        let mut sim = Simulation::new(());
+        let t = sim.scheduler().new_trigger();
+        sim.scheduler().fire(t);
+        sim.spawn("p", 0, move |ctx| {
+            ctx.wait(t);
+            assert_eq!(ctx.now(), 0);
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+    }
+
+    #[test]
+    fn deadlock_detected_and_reported() {
+        let mut sim = Simulation::new(());
+        let t = sim.scheduler().new_trigger();
+        sim.spawn("stuck", 0, move |ctx| {
+            ctx.wait(t); // never fired
+        });
+        match sim.run() {
+            RunOutcome::Deadlock(blocked) => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].0, "stuck");
+                assert!(blocked[0].1.contains("trigger"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn time_limit_stops_early() {
+        let mut sim = Simulation::new(0u32);
+        sim.scheduler().schedule_at(1_000, |w, _| *w += 1);
+        assert_eq!(sim.run_until(500), RunOutcome::TimeLimit);
+        assert_eq!(*sim.world(), 0);
+        // Resuming past the limit executes the event.
+        assert_eq!(sim.run_until(2_000), RunOutcome::Completed);
+        assert_eq!(*sim.world(), 1);
+    }
+
+    #[test]
+    fn stop_from_event() {
+        let mut sim = Simulation::new(());
+        sim.scheduler().schedule_at(10, |_, s| s.stop());
+        sim.scheduler().schedule_at(20, |_, _| panic!("must not run"));
+        assert_eq!(sim.run(), RunOutcome::Stopped);
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked: boom")]
+    fn process_panic_propagates() {
+        let mut sim = Simulation::new(());
+        sim.spawn("bad", 0, |_| panic!("boom"));
+        let _ = sim.run();
+    }
+
+    #[test]
+    fn notify_wakes_all_waiters_in_order() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        let n = sim.scheduler().new_notify();
+        for i in 0..3u32 {
+            sim.spawn(format!("w{i}"), 0, move |ctx| {
+                let seen = ctx.with_world(move |_, s| s.notify_epoch(n));
+                ctx.wait_notify(n, seen);
+                ctx.with_world(move |w, _| w.push(i));
+            });
+        }
+        sim.spawn("notifier", 0, move |ctx| {
+            ctx.advance(100);
+            ctx.with_world(move |_, s| s.notify(n));
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(sim.world(), &vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wait_until_rechecks_predicate() {
+        let mut sim = Simulation::new(0u32);
+        let n = sim.scheduler().new_notify();
+        sim.spawn("consumer", 0, move |ctx| {
+            ctx.wait_until(n, |w, _| *w >= 3);
+            assert_eq!(ctx.now(), 30);
+        });
+        sim.spawn("producer", 0, move |ctx| {
+            for _ in 0..3 {
+                ctx.advance(10);
+                ctx.with_world(move |w, s| {
+                    *w += 1;
+                    s.notify(n);
+                });
+            }
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+    }
+
+    #[test]
+    fn dynamic_spawn_from_world_call() {
+        let mut sim = Simulation::new(0u32);
+        sim.spawn("parent", 0, |ctx| {
+            ctx.with_world(|_, s| {
+                s.spawn_process("child", 10, |ctx| {
+                    assert_eq!(ctx.now(), 10);
+                    ctx.with_world(|w, _| *w += 7);
+                });
+            });
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(*sim.world(), 7);
+        assert_eq!(sim.process_count(), 2);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        // Two identical simulations must produce identical event traces.
+        fn build_and_run() -> Vec<(u64, u32)> {
+            let mut sim = Simulation::new(Vec::<(u64, u32)>::new());
+            let n = sim.scheduler().new_notify();
+            for i in 0..8u32 {
+                sim.spawn(format!("p{i}"), (i as u64) * 3 % 5, move |ctx| {
+                    for k in 0..4u64 {
+                        ctx.advance((i as u64 * 7 + k * 13) % 17 + 1);
+                        let now = ctx.now();
+                        ctx.with_world(move |w, s| {
+                            w.push((now, i));
+                            s.notify(n);
+                        });
+                    }
+                });
+            }
+            sim.run();
+            sim.world().clone()
+        }
+        assert_eq!(build_and_run(), build_and_run());
+    }
+}

@@ -1,0 +1,148 @@
+//! Lightweight measurement helpers shared by the benchmark harnesses.
+
+use crate::time::Duration;
+
+/// Online accumulator for a series of duration samples.
+#[derive(Debug, Clone, Default)]
+pub struct DurationStats {
+    count: u64,
+    sum: u128,
+    min: Option<Duration>,
+    max: Option<Duration>,
+}
+
+impl DurationStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.count += 1;
+        self.sum += d as u128;
+        self.min = Some(self.min.map_or(d, |m| m.min(d)));
+        self.max = Some(self.max.map_or(d, |m| m.max(d)));
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample in nanoseconds (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn min(&self) -> Option<Duration> {
+        self.min
+    }
+
+    pub fn max(&self) -> Option<Duration> {
+        self.max
+    }
+
+    pub fn total(&self) -> u128 {
+        self.sum
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &DurationStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if let Some(m) = other.min {
+            self.min = Some(self.min.map_or(m, |x| x.min(m)));
+        }
+        if let Some(m) = other.max {
+            self.max = Some(self.max.map_or(m, |x| x.max(m)));
+        }
+    }
+}
+
+/// Simple named counters for model introspection (protocol choices, cache
+/// hits…). Deterministic iteration order (insertion order).
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    entries: Vec<(&'static str, u64)>,
+}
+
+impl Counters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `v` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &'static str, v: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            e.1 += v;
+        } else {
+            self.entries.push((name, v));
+        }
+    }
+
+    /// Increment counter `name` by one.
+    pub fn bump(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Read a counter (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Iterate `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = DurationStats::new();
+        assert_eq!(s.mean(), 0.0);
+        for d in [10, 20, 30] {
+            s.record(d);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 20.0);
+        assert_eq!(s.min(), Some(10));
+        assert_eq!(s.max(), Some(30));
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = DurationStats::new();
+        a.record(5);
+        let mut b = DurationStats::new();
+        b.record(15);
+        b.record(25);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(25));
+        assert_eq!(a.mean(), 15.0);
+    }
+
+    #[test]
+    fn counters_bump_and_get() {
+        let mut c = Counters::new();
+        c.bump("eager");
+        c.bump("eager");
+        c.add("rndv", 5);
+        assert_eq!(c.get("eager"), 2);
+        assert_eq!(c.get("rndv"), 5);
+        assert_eq!(c.get("missing"), 0);
+        let names: Vec<_> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["eager", "rndv"]);
+    }
+}

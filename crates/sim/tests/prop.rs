@@ -1,0 +1,99 @@
+//! Property-based tests of the simulation engine's core guarantees:
+//! deterministic replay, monotone time, and exact wakeup semantics.
+
+use proptest::prelude::*;
+use rucx_sim::{RunOutcome, Simulation};
+
+/// A small random program: per process, a list of (advance, value) steps.
+fn program_strategy() -> impl Strategy<Value = Vec<Vec<(u64, u32)>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u64..50, 0u32..1000), 0..12),
+        1..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The same program always produces the identical event trace.
+    #[test]
+    fn replay_is_deterministic(prog in program_strategy()) {
+        fn run(prog: &[Vec<(u64, u32)>]) -> (Vec<(u64, usize, u32)>, u64) {
+            let mut sim = Simulation::new(Vec::<(u64, usize, u32)>::new());
+            for (pi, steps) in prog.iter().enumerate() {
+                let steps = steps.clone();
+                sim.spawn(format!("p{pi}"), 0, move |ctx| {
+                    for (dt, v) in steps {
+                        ctx.advance(dt);
+                        let now = ctx.now();
+                        ctx.with_world(move |w, _| w.push((now, pi, v)));
+                    }
+                });
+            }
+            assert_eq!(sim.run(), RunOutcome::Completed);
+            let end = sim.scheduler().now();
+            (sim.world().clone(), end)
+        }
+        let a = run(&prog);
+        let b = run(&prog);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Virtual time as observed by any process is monotone, and every
+    /// `advance(dt)` lands exactly `dt` later.
+    #[test]
+    fn advance_is_exact(steps in prop::collection::vec(0u64..1000, 1..50)) {
+        let mut sim = Simulation::new(());
+        let expected: u64 = steps.iter().sum();
+        sim.spawn("p", 0, move |ctx| {
+            let mut t = 0u64;
+            for dt in steps {
+                ctx.advance(dt);
+                t += dt;
+                assert_eq!(ctx.now(), t);
+            }
+        });
+        prop_assert_eq!(sim.run(), RunOutcome::Completed);
+        prop_assert_eq!(sim.scheduler().now(), expected);
+    }
+
+    /// Events fire in (time, insertion) order regardless of insertion order.
+    #[test]
+    fn event_order_is_stable_sort(times in prop::collection::vec(0u64..100, 1..60)) {
+        let mut sim = Simulation::new(Vec::<(u64, usize)>::new());
+        for (i, &t) in times.iter().enumerate() {
+            sim.scheduler().schedule_at(t, move |w, s| {
+                w.push((s.now(), i));
+            });
+        }
+        prop_assert_eq!(sim.run(), RunOutcome::Completed);
+        let fired = sim.world().clone();
+        // Stable sort of (time, insertion index).
+        let mut expected: Vec<(u64, usize)> = times.iter().copied().zip(0..).collect();
+        expected.sort_by_key(|&(t, i)| (t, i));
+        prop_assert_eq!(fired, expected);
+    }
+
+    /// A trigger fired at time T wakes all waiters at exactly T, regardless
+    /// of when they started waiting.
+    #[test]
+    fn trigger_wakes_exactly_at_fire_time(
+        fire_at in 1u64..1000,
+        waiter_starts in prop::collection::vec(0u64..1000, 1..8),
+    ) {
+        let mut sim = Simulation::new(Vec::<(usize, u64)>::new());
+        let t = sim.scheduler().new_trigger();
+        for (i, &start) in waiter_starts.iter().enumerate() {
+            sim.spawn(format!("w{i}"), start, move |ctx| {
+                ctx.wait(t);
+                let now = ctx.now();
+                ctx.with_world(move |w, _| w.push((i, now)));
+            });
+        }
+        sim.scheduler().schedule_at(fire_at, move |_, s| s.fire(t));
+        prop_assert_eq!(sim.run(), RunOutcome::Completed);
+        for &(i, woke) in sim.world().iter() {
+            prop_assert_eq!(woke, fire_at.max(waiter_starts[i]));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! UCX-layer configuration: protocol thresholds and transport cost
+//! parameters (the simulation analogue of `UCX_*` environment variables).
+
+use rucx_sim::time::{us, Duration};
+
+/// Protocol/transport configuration of the UCP layer.
+///
+/// Defaults correspond to the paper's Summit configuration *with GDRCopy
+/// detected* (§IV-B1 notes its detection is essential for small-message
+/// latency). The ablation benches flip [`UcpConfig::gdrcopy_enabled`].
+#[derive(Debug, Clone)]
+pub struct UcpConfig {
+    /// Host-memory messages up to this size use the eager protocol.
+    pub eager_thresh_host: u64,
+    /// Device-memory messages up to this size use the eager protocol via
+    /// GDRCopy bounce buffers (only when [`UcpConfig::gdrcopy_enabled`]).
+    pub eager_thresh_device: u64,
+    /// Whether the GDRCopy library was detected. When false, *all* device
+    /// transfers take the rendezvous path regardless of size.
+    pub gdrcopy_enabled: bool,
+    /// Chunk size of the pipelined host-staging rendezvous for inter-node
+    /// device transfers.
+    pub pipeline_chunk: u64,
+    /// Use direct GPUDirect-RDMA for inter-node device rendezvous instead of
+    /// the pipelined host-staging path (off by default, matching the paper's
+    /// observed UCX behaviour on Summit; the ablation bench enables it).
+    pub direct_gdr_rndv: bool,
+    /// Intra-node shared-memory transport: per-message latency.
+    pub shm_latency: Duration,
+    /// Intra-node shared-memory / CMA copy bandwidth (GB/s).
+    pub shm_gbps: f64,
+    /// GDRCopy mapped read/write fixed cost (per message).
+    pub gdrcopy_base: Duration,
+    /// GDRCopy mapped copy bandwidth (GB/s) — low; it is a CPU-driven copy
+    /// through the PCIe BAR window, only sensible for small messages.
+    pub gdrcopy_gbps: f64,
+    /// Software protocol processing per message on each side.
+    pub proto_overhead: Duration,
+    /// Host-side copy-out cost base when an eager message is matched.
+    pub eager_copy_base: Duration,
+    /// Host-side copy-out bandwidth for eager matches (GB/s).
+    pub eager_copy_gbps: f64,
+    /// Fixed per-transfer overhead of the CUDA-IPC rendezvous path
+    /// (event synchronization, stream ordering; handle opens are cached).
+    pub ipc_sync: Duration,
+    /// Wire size of an RTS control message.
+    pub rts_size: u64,
+    /// Wire size of an ATS (ack-to-sender) control message.
+    pub ats_size: u64,
+    /// CPU cost of one `ucp_tag_send_nb`/`ucp_tag_recv_nb` call (modeled by
+    /// calling layers via `ProcCtx::advance`).
+    pub cpu_call: Duration,
+}
+
+impl Default for UcpConfig {
+    fn default() -> Self {
+        UcpConfig {
+            eager_thresh_host: 16 * 1024,
+            eager_thresh_device: 4 * 1024,
+            gdrcopy_enabled: true,
+            pipeline_chunk: 512 * 1024,
+            direct_gdr_rndv: false,
+            shm_latency: us(0.30),
+            shm_gbps: 5.2,
+            gdrcopy_base: us(0.45),
+            gdrcopy_gbps: 5.0,
+            proto_overhead: us(0.15),
+            eager_copy_base: us(0.05),
+            eager_copy_gbps: 11.0,
+            ipc_sync: us(4.5),
+            rts_size: 64,
+            ats_size: 32,
+            cpu_call: us(0.30),
+        }
+    }
+}
+
+impl UcpConfig {
+    /// Cost of a GDRCopy mapped read/write of `size` bytes.
+    pub fn gdrcopy_cost(&self, size: u64) -> Duration {
+        self.gdrcopy_base + rucx_sim::time::transfer_time(size, self.gdrcopy_gbps)
+    }
+
+    /// Cost of the receive-side eager copy-out into the user buffer.
+    pub fn eager_copy_cost(&self, size: u64) -> Duration {
+        self.eager_copy_base + rucx_sim::time::transfer_time(size, self.eager_copy_gbps)
+    }
+
+    /// Intra-node shared-memory wire time for `size` bytes.
+    pub fn shm_time(&self, size: u64) -> Duration {
+        self.shm_latency + rucx_sim::time::transfer_time(size, self.shm_gbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_sane() {
+        let c = UcpConfig::default();
+        assert!(c.eager_thresh_device < c.eager_thresh_host);
+        assert!(c.gdrcopy_enabled);
+        assert!(!c.direct_gdr_rndv);
+        assert!(c.pipeline_chunk >= 64 * 1024);
+    }
+
+    #[test]
+    fn gdrcopy_cost_grows_with_size() {
+        let c = UcpConfig::default();
+        assert!(c.gdrcopy_cost(4096) > c.gdrcopy_cost(8));
+        // 4 KiB at 5 GB/s ≈ 0.82 us + base.
+        let t = c.gdrcopy_cost(4096);
+        assert!(t > us(1.0) && t < us(1.6), "t={t}");
+    }
+
+    #[test]
+    fn shm_small_message_latency_dominated() {
+        let c = UcpConfig::default();
+        let t = c.shm_time(8);
+        assert!(t >= c.shm_latency && t < c.shm_latency + 10);
+    }
+}

@@ -1,0 +1,465 @@
+//! # rucx-ucp — UCX-like communication framework over the simulated fabric
+//!
+//! The simulation analogue of UCX's UCP layer (§II-B of the paper): 64-bit
+//! tag matching with masks, eager and rendezvous protocols, and GPU-aware
+//! transports — GDRCopy bounce buffers for small device messages, CUDA-IPC
+//! peer DMA for intra-node rendezvous, RDMA for host data, and the pipelined
+//! host-staging path for large inter-node device transfers.
+//!
+//! This crate also defines the concrete simulated world, [`Machine`]
+//! (GPU subsystem + network + UCP state), that every programming-model layer
+//! above (Charm++, AMPI, Charm4py, OpenMPI) runs on.
+
+pub mod am;
+pub mod config;
+pub mod machine;
+pub mod proto;
+pub mod tag;
+pub mod worker;
+
+pub use am::{am_register, am_send_nb, AmHandler, AmId, AmMsg, AmPayload};
+pub use config::UcpConfig;
+pub use machine::{build_sim, build_sim_with, MCtx, MSim, Machine, MachineConfig, UcpSubsystem};
+pub use proto::{inject_local, probe_pop, rndv_fetch, tag_recv_nb, tag_send_nb, FetchDst, PoppedMsg, SendBuf};
+pub use tag::{tag_matches, Tag, TagMask, MASK_FULL, MASK_NONE};
+pub use worker::{Completion, MSched, RecvCompletion, RecvInfo, Worker};
+
+use rucx_gpu::MemRef;
+
+/// Blocking conveniences for simulated-process code (MPI-style layers).
+pub mod blocking {
+    use super::*;
+
+    /// Send and wait for local completion (eager: buffered; rendezvous:
+    /// remote data fetched). Models the `ucp_tag_send_nb` CPU call cost.
+    pub fn send(ctx: &mut MCtx, src: usize, dst: usize, buf: SendBuf, tag: Tag) {
+        let done = ctx.with_world(move |w, s| {
+            let t = s.new_trigger();
+            tag_send_nb(w, s, src, dst, buf, tag, Completion::Trigger(t));
+            t
+        });
+        let cost = cpu_call_cost(ctx);
+        ctx.advance(cost);
+        ctx.wait(done);
+        ctx.with_world(move |_, s| s.recycle_trigger(done));
+    }
+
+    /// Post a receive and wait for the data. Returns `(src, tag, size)`.
+    pub fn recv(
+        ctx: &mut MCtx,
+        proc: usize,
+        buf: MemRef,
+        tag: Tag,
+        mask: TagMask,
+    ) -> RecvInfo {
+        let info = std::sync::Arc::new(parking_lot::Mutex::new(None::<RecvInfo>));
+        let info2 = info.clone();
+        let done = ctx.with_world(move |w, s| {
+            let t = s.new_trigger();
+            tag_recv_nb(
+                w,
+                s,
+                proc,
+                buf,
+                tag,
+                mask,
+                RecvCompletion::Callback(Box::new(move |_, s, i| {
+                    *info2.lock() = Some(i);
+                    s.fire(t);
+                })),
+            );
+            t
+        });
+        let cost = cpu_call_cost(ctx);
+        ctx.advance(cost);
+        ctx.wait(done);
+        ctx.with_world(move |_, s| s.recycle_trigger(done));
+        let i = info.lock().take().expect("recv completed without info");
+        i
+    }
+
+    fn cpu_call_cost(ctx: &mut MCtx) -> rucx_sim::Duration {
+        ctx.with_world(|w, _| w.ucp.config.cpu_call)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rucx_fabric::Topology;
+    use rucx_gpu::DeviceId;
+    use rucx_sim::time::{as_us, us};
+    use rucx_sim::RunOutcome;
+
+    fn sim2nodes() -> MSim {
+        build_sim(Topology::summit(2), MachineConfig::default())
+    }
+
+    fn alloc_dev(sim: &mut MSim, dev: u32, size: u64) -> MemRef {
+        sim.world_mut()
+            .gpu
+            .pool
+            .alloc_device(DeviceId(dev), size, true)
+            .unwrap()
+    }
+
+    fn alloc_host(sim: &mut MSim, node: usize, size: u64) -> MemRef {
+        sim.world_mut().gpu.pool.alloc_host(node, size, true, true)
+    }
+
+    fn pattern(n: usize, seed: u8) -> Vec<u8> {
+        (0..n).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    }
+
+    /// Run a 2-process send/recv of `size` bytes and return (elapsed_ns,
+    /// received bytes).
+    fn p2p_roundtrip(sim: &mut MSim, src_buf: MemRef, dst_buf: MemRef, a: usize, b: usize) -> u64 {
+        let done_at = std::sync::Arc::new(parking_lot::Mutex::new(0u64));
+        let done2 = done_at.clone();
+        sim.spawn("sender", 0, move |ctx| {
+            blocking::send(ctx, a, b, SendBuf::Mem(src_buf), 42);
+        });
+        sim.spawn("receiver", 0, move |ctx| {
+            let info = blocking::recv(ctx, b, dst_buf, 42, MASK_FULL);
+            assert_eq!(info.src, a);
+            assert_eq!(info.tag, 42);
+            *done2.lock() = ctx.now();
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let t = *done_at.lock();
+        t
+    }
+
+    #[test]
+    fn host_eager_intra_node_delivers_data() {
+        let mut sim = sim2nodes();
+        let a = alloc_host(&mut sim, 0, 1024);
+        let b = alloc_host(&mut sim, 0, 1024);
+        let data = pattern(1024, 3);
+        sim.world_mut().gpu.pool.write(a, &data).unwrap();
+        let t = p2p_roundtrip(&mut sim, a, b, 0, 1);
+        assert_eq!(sim.world().gpu.pool.read(b).unwrap(), data);
+        assert_eq!(sim.world().ucp.counters.get("ucp.eager"), 1);
+        // Small host message: ~1 us including call costs.
+        assert!(t < us(3.0), "latency {}us", as_us(t));
+    }
+
+    #[test]
+    fn host_rndv_inter_node_delivers_data() {
+        let mut sim = sim2nodes();
+        let size = 1 << 20;
+        let a = alloc_host(&mut sim, 0, size);
+        let b = alloc_host(&mut sim, 1, size);
+        let data = pattern(size as usize, 9);
+        sim.world_mut().gpu.pool.write(a, &data).unwrap();
+        let t = p2p_roundtrip(&mut sim, a, b, 0, 6);
+        assert_eq!(sim.world().gpu.pool.read(b).unwrap(), data);
+        assert_eq!(sim.world().ucp.counters.get("ucp.rndv"), 1);
+        assert_eq!(sim.world().ucp.counters.get("ucp.rndv.rdma"), 1);
+        // 1 MiB at 12.2 GB/s ≈ 86 us + control.
+        assert!(t > us(80.0) && t < us(120.0), "latency {}us", as_us(t));
+        assert_eq!(sim.world().ucp.inflight_rndv(), 0);
+    }
+
+    #[test]
+    fn device_eager_gdrcopy_small_latency() {
+        let mut sim = sim2nodes();
+        let a = alloc_dev(&mut sim, 0, 8);
+        let b = alloc_dev(&mut sim, 1, 8);
+        sim.world_mut().gpu.pool.write(a, &[5u8; 8]).unwrap();
+        let t = p2p_roundtrip(&mut sim, a, b, 0, 1);
+        assert_eq!(sim.world().gpu.pool.read(b).unwrap(), vec![5u8; 8]);
+        assert_eq!(sim.world().ucp.counters.get("ucp.eager"), 1);
+        assert_eq!(sim.world().ucp.counters.get("ucp.eager.gdrcopy_read"), 1);
+        assert_eq!(sim.world().ucp.counters.get("ucp.eager.gdrcopy_write"), 1);
+        // Small device message with GDRCopy: a few microseconds.
+        assert!(t < us(4.0), "latency {}us", as_us(t));
+    }
+
+    #[test]
+    fn device_rndv_intra_uses_ipc() {
+        let mut sim = sim2nodes();
+        let size = 4u64 << 20;
+        let a = alloc_dev(&mut sim, 0, size);
+        let b = alloc_dev(&mut sim, 1, size);
+        let data = pattern(size as usize, 1);
+        sim.world_mut().gpu.pool.write(a, &data).unwrap();
+        let t = p2p_roundtrip(&mut sim, a, b, 0, 1);
+        assert_eq!(sim.world().gpu.pool.read(b).unwrap(), data);
+        assert_eq!(sim.world().ucp.counters.get("ucp.rndv.ipc"), 1);
+        // 4 MiB over NVLink at 44 GB/s ≈ 95 us.
+        assert!(t > us(90.0) && t < us(120.0), "latency {}us", as_us(t));
+    }
+
+    #[test]
+    fn device_rndv_inter_uses_pipeline() {
+        let mut sim = sim2nodes();
+        let size = 4u64 << 20;
+        let a = alloc_dev(&mut sim, 0, size);
+        let b = alloc_dev(&mut sim, 6, size);
+        let data = pattern(size as usize, 7);
+        sim.world_mut().gpu.pool.write(a, &data).unwrap();
+        let t = p2p_roundtrip(&mut sim, a, b, 0, 6);
+        assert_eq!(sim.world().gpu.pool.read(b).unwrap(), data);
+        assert_eq!(sim.world().ucp.counters.get("ucp.rndv.pipeline"), 1);
+        assert_eq!(sim.world().ucp.counters.get("ucp.pipeline_chunks"), 8);
+        // Net-bound pipeline: ≈ size/12.2 GB/s + one chunk fill/drain
+        // (~355 us), well below the unpipelined ~550 us.
+        assert!(t > us(330.0) && t < us(460.0), "latency {}us", as_us(t));
+    }
+
+    #[test]
+    fn gdrcopy_disabled_forces_rendezvous_for_tiny_device_msgs() {
+        let mut cfg = MachineConfig::default();
+        cfg.ucp.gdrcopy_enabled = false;
+        let mut sim = build_sim(Topology::summit(2), cfg);
+        let a = alloc_dev(&mut sim, 0, 8);
+        let b = alloc_dev(&mut sim, 1, 8);
+        let t = p2p_roundtrip(&mut sim, a, b, 0, 1);
+        assert_eq!(sim.world().ucp.counters.get("ucp.eager"), 0);
+        assert_eq!(sim.world().ucp.counters.get("ucp.rndv.ipc"), 1);
+        // Without GDRCopy even 8-byte messages pay RTS + DMA setup.
+        assert!(t > us(2.5), "latency {}us", as_us(t));
+    }
+
+    #[test]
+    fn unexpected_eager_then_recv() {
+        let mut sim = sim2nodes();
+        let a = alloc_host(&mut sim, 0, 64);
+        let b = alloc_host(&mut sim, 0, 64);
+        sim.world_mut().gpu.pool.write(a, &[0xEE; 64]).unwrap();
+        sim.spawn("sender", 0, move |ctx| {
+            blocking::send(ctx, 0, 1, SendBuf::Mem(a), 9);
+        });
+        // Receiver posts long after arrival.
+        sim.spawn("receiver", us(50.0), move |ctx| {
+            let (exp, unexp) = ctx.with_world(|w, _| w.ucp.worker(1).depths());
+            assert_eq!((exp, unexp), (0, 1), "message should be unexpected");
+            let info = blocking::recv(ctx, 1, b, 9, MASK_FULL);
+            assert_eq!(info.size, 64);
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(sim.world().gpu.pool.read(b).unwrap(), vec![0xEE; 64]);
+    }
+
+    #[test]
+    fn inline_send_probe_pop() {
+        let mut sim = sim2nodes();
+        sim.spawn("sender", 0, move |ctx| {
+            ctx.with_world(|w, s| {
+                tag_send_nb(
+                    w,
+                    s,
+                    0,
+                    1,
+                    SendBuf::bytes(vec![1, 2, 3, 4]),
+                    0xABCD,
+                    Completion::None,
+                );
+            });
+        });
+        let got = std::sync::Arc::new(parking_lot::Mutex::new(None));
+        let got2 = got.clone();
+        sim.spawn("receiver", 0, move |ctx| {
+            loop {
+                let popped = ctx.with_world(|w, s| {
+                    let r = probe_pop(w, 1, 0, MASK_NONE);
+                    let seen = s.notify_epoch(w.ucp.worker(1).notify);
+                    (r.map(|m| match m {
+                        PoppedMsg::Eager { bytes, tag, src, .. } => (bytes, tag, src),
+                        _ => panic!("expected eager"),
+                    }), seen)
+                });
+                match popped {
+                    (Some(m), _) => {
+                        *got2.lock() = Some(m);
+                        break;
+                    }
+                    (None, seen) => {
+                        let n = ctx.with_world(|w, _| w.ucp.worker(1).notify);
+                        ctx.wait_notify(n, seen);
+                    }
+                }
+            }
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let (bytes, tag, src) = got.lock().take().unwrap();
+        assert_eq!(bytes, Some(vec![1, 2, 3, 4]));
+        assert_eq!(tag, 0xABCD);
+        assert_eq!(src, 0);
+    }
+
+    #[test]
+    fn rndv_probe_then_fetch_bytes() {
+        let mut sim = sim2nodes();
+        let big = pattern(100_000, 2);
+        let big2 = big.clone();
+        sim.spawn("sender", 0, move |ctx| {
+            ctx.with_world(move |w, s| {
+                tag_send_nb(w, s, 0, 6, SendBuf::bytes(big2), 5, Completion::None);
+            });
+        });
+        let got = std::sync::Arc::new(parking_lot::Mutex::new(None));
+        let got2 = got.clone();
+        sim.spawn("receiver", 0, move |ctx| {
+            let n = ctx.with_world(|w, _| w.ucp.worker(6).notify);
+            loop {
+                let (popped, seen) = ctx.with_world(|w, s| {
+                    (probe_pop(w, 6, 5, MASK_FULL), s.notify_epoch(w.ucp.worker(6).notify))
+                });
+                match popped {
+                    Some(PoppedMsg::Rndv { rts_id, size, src, tag }) => {
+                        assert_eq!(size, 100_000);
+                        assert_eq!(src, 0);
+                        let done = ctx.with_world(move |w, s| {
+                            let t = s.new_trigger();
+                            let got3 = got2.clone();
+                            rndv_fetch(
+                                w,
+                                s,
+                                6,
+                                tag,
+                                rts_id,
+                                FetchDst::Bytes,
+                                RecvCompletion::Bytes(Box::new(move |_, s, bytes, _| {
+                                    *got3.lock() = bytes;
+                                    s.fire(t);
+                                })),
+                            );
+                            t
+                        });
+                        ctx.wait(done);
+                        break;
+                    }
+                    Some(_) => panic!("expected rndv"),
+                    None => ctx.wait_notify(n, seen),
+                }
+            }
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(got.lock().take().unwrap(), big);
+        assert_eq!(sim.world().ucp.inflight_rndv(), 0);
+    }
+
+    #[test]
+    fn tag_mask_separates_streams() {
+        // Two messages with different high bits; receiver picks them out of
+        // order using masks.
+        let mut sim = sim2nodes();
+        let b1 = alloc_host(&mut sim, 0, 8);
+        let b2 = alloc_host(&mut sim, 0, 8);
+        let h1 = alloc_host(&mut sim, 0, 8);
+        let h2 = alloc_host(&mut sim, 0, 8);
+        sim.world_mut().gpu.pool.write(h1, &[1; 8]).unwrap();
+        sim.world_mut().gpu.pool.write(h2, &[2; 8]).unwrap();
+        let kind_a = 0x1000_0000_0000_0000u64;
+        let kind_b = 0x2000_0000_0000_0000u64;
+        sim.spawn("sender", 0, move |ctx| {
+            blocking::send(ctx, 0, 1, SendBuf::Mem(h1), kind_a | 7);
+            blocking::send(ctx, 0, 1, SendBuf::Mem(h2), kind_b | 9);
+        });
+        sim.spawn("receiver", 0, move |ctx| {
+            let mask = 0xF000_0000_0000_0000u64;
+            // Receive kind B first despite arrival order.
+            let ib = blocking::recv(ctx, 1, b2, kind_b, mask);
+            assert_eq!(ib.tag, kind_b | 9);
+            let ia = blocking::recv(ctx, 1, b1, kind_a, mask);
+            assert_eq!(ia.tag, kind_a | 7);
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(sim.world().gpu.pool.read(b1).unwrap(), vec![1; 8]);
+        assert_eq!(sim.world().gpu.pool.read(b2).unwrap(), vec![2; 8]);
+    }
+
+    #[test]
+    fn posted_recv_before_rts_fetches_immediately() {
+        let mut sim = sim2nodes();
+        let size = 256u64 << 10;
+        let a = alloc_dev(&mut sim, 0, size);
+        let b = alloc_dev(&mut sim, 1, size);
+        let data = pattern(size as usize, 4);
+        sim.world_mut().gpu.pool.write(a, &data).unwrap();
+        // Receiver posts at t=0; sender sends at t=20us.
+        sim.spawn("receiver", 0, move |ctx| {
+            let info = blocking::recv(ctx, 1, b, 77, MASK_FULL);
+            assert_eq!(info.size, size);
+        });
+        sim.spawn("sender", us(20.0), move |ctx| {
+            blocking::send(ctx, 0, 1, SendBuf::Mem(a), 77);
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(sim.world().gpu.pool.read(b).unwrap(), data);
+    }
+
+    #[test]
+    fn sender_rndv_completion_waits_for_ats() {
+        let mut sim = sim2nodes();
+        let size = 1u64 << 20;
+        let a = alloc_dev(&mut sim, 0, size);
+        let b = alloc_dev(&mut sim, 1, size);
+        let send_done = std::sync::Arc::new(parking_lot::Mutex::new(0u64));
+        let recv_done = std::sync::Arc::new(parking_lot::Mutex::new(0u64));
+        let sd = send_done.clone();
+        let rd = recv_done.clone();
+        sim.spawn("sender", 0, move |ctx| {
+            blocking::send(ctx, 0, 1, SendBuf::Mem(a), 1);
+            *sd.lock() = ctx.now();
+        });
+        sim.spawn("receiver", 0, move |ctx| {
+            blocking::recv(ctx, 1, b, 1, MASK_FULL);
+            *rd.lock() = ctx.now();
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let (s_t, r_t) = (*send_done.lock(), *recv_done.lock());
+        assert!(s_t > r_t, "sender {s_t} completes after receiver {r_t} (ATS)");
+    }
+
+    #[test]
+    fn phantom_payload_times_like_real_data() {
+        let mut sim_a = sim2nodes();
+        let mut sim_b = sim2nodes();
+        let size = 2u64 << 20;
+        let a1 = alloc_dev(&mut sim_a, 0, size);
+        let b1 = alloc_dev(&mut sim_a, 6, size);
+        let t_real = p2p_roundtrip(&mut sim_a, a1, b1, 0, 6);
+        let a2 = sim_b
+            .world_mut()
+            .gpu
+            .pool
+            .alloc_device(DeviceId(0), size, false)
+            .unwrap();
+        let b2 = sim_b
+            .world_mut()
+            .gpu
+            .pool
+            .alloc_device(DeviceId(6), size, false)
+            .unwrap();
+        let t_phantom = p2p_roundtrip(&mut sim_b, a2, b2, 0, 6);
+        assert_eq!(t_real, t_phantom);
+    }
+
+    #[test]
+    fn blocking_latency_echo_is_symmetric() {
+        // Ping-pong: one-way latency equals half the round trip.
+        let mut sim = sim2nodes();
+        let a_s = alloc_host(&mut sim, 0, 8);
+        let a_r = alloc_host(&mut sim, 0, 8);
+        let b_s = alloc_host(&mut sim, 0, 8);
+        let b_r = alloc_host(&mut sim, 0, 8);
+        let rtt = std::sync::Arc::new(parking_lot::Mutex::new(0u64));
+        let rtt2 = rtt.clone();
+        sim.spawn("p0", 0, move |ctx| {
+            let t0 = ctx.now();
+            blocking::send(ctx, 0, 1, SendBuf::Mem(a_s), 1);
+            blocking::recv(ctx, 0, a_r, 2, MASK_FULL);
+            *rtt2.lock() = ctx.now() - t0;
+        });
+        sim.spawn("p1", 0, move |ctx| {
+            blocking::recv(ctx, 1, b_r, 1, MASK_FULL);
+            blocking::send(ctx, 1, 0, SendBuf::Mem(b_s), 2);
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let rtt = *rtt.lock();
+        assert!(rtt > us(1.0) && rtt < us(6.0), "rtt {}us", as_us(rtt));
+    }
+}

@@ -1,0 +1,243 @@
+//! The concrete simulated-world type: GPU subsystem + network + UCP state,
+//! plus the builder that assembles a ready-to-run simulation.
+
+use std::collections::HashMap;
+
+use rucx_fabric::{HasNet, NetParams, NetSubsystem, Topology};
+use rucx_gpu::{GpuParams, GpuSubsystem, HasGpu, MemRef, StreamId};
+use rucx_sim::sched::Scheduler;
+use rucx_sim::stats::Counters;
+use rucx_sim::time::Time;
+use rucx_sim::{ProcCtx, SimConfig, Simulation};
+
+use crate::config::UcpConfig;
+use crate::worker::{Completion, Worker};
+
+/// Payload still held at the sender during a rendezvous.
+pub(crate) enum SendPayload {
+    Mem(MemRef),
+    Bytes(Vec<u8>),
+    /// Size-only payload (phantom at-scale data).
+    Phantom,
+}
+
+/// Sender-side state of an in-flight rendezvous.
+pub(crate) struct RtsState {
+    pub src_proc: usize,
+    pub payload: SendPayload,
+    pub wire_size: u64,
+    pub sender_done: Completion,
+}
+
+/// World component: UCP framework state.
+pub struct UcpSubsystem {
+    pub config: UcpConfig,
+    pub counters: Counters,
+    pub(crate) workers: Vec<Worker>,
+    pub(crate) rts_table: HashMap<u64, RtsState>,
+    pub(crate) next_rts: u64,
+    /// Per (src, dst) pair: the shared-memory channel's busy-until time.
+    /// Serializes intra-node transfers between a pair (the CPU-driven
+    /// copies cannot overlap), which both enforces per-connection ordering
+    /// and bounds windowed throughput to the CMA copy bandwidth.
+    pub(crate) pair_busy: HashMap<(u32, u32), Time>,
+    /// One internal stream per device for UCX-driven DMA (IPC reads,
+    /// pipeline staging), so user streams are unaffected.
+    pub(crate) ucx_streams: Vec<StreamId>,
+    /// Per-process pinned staging buffer (phantom, 2x pipeline chunk) for
+    /// the pipelined host-staging rendezvous path.
+    pub staging: Vec<MemRef>,
+}
+
+impl UcpSubsystem {
+    /// Worker (tag-matching engine) of process `p`.
+    pub fn worker(&self, p: usize) -> &Worker {
+        &self.workers[p]
+    }
+
+    pub(crate) fn worker_mut(&mut self, p: usize) -> &mut Worker {
+        &mut self.workers[p]
+    }
+
+    /// Number of rendezvous currently in flight (for leak tests).
+    pub fn inflight_rndv(&self) -> usize {
+        self.rts_table.len()
+    }
+}
+
+/// The simulated world: everything below the parallel programming models.
+pub struct Machine {
+    pub topo: Topology,
+    pub gpu: GpuSubsystem,
+    pub net: NetSubsystem,
+    pub ucp: UcpSubsystem,
+}
+
+impl HasGpu for Machine {
+    fn gpu(&mut self) -> &mut GpuSubsystem {
+        &mut self.gpu
+    }
+    fn gpu_ref(&self) -> &GpuSubsystem {
+        &self.gpu
+    }
+}
+
+impl HasNet for Machine {
+    fn net(&mut self) -> &mut NetSubsystem {
+        &mut self.net
+    }
+    fn net_ref(&self) -> &NetSubsystem {
+        &self.net
+    }
+}
+
+/// Simulation over the concrete world.
+pub type MSim = Simulation<Machine>;
+/// Process context over the concrete world.
+pub type MCtx = ProcCtx<Machine>;
+
+/// All calibration knobs in one place.
+#[derive(Debug, Clone, Default)]
+pub struct MachineConfig {
+    pub gpu: GpuParams,
+    pub net: NetParams,
+    pub ucp: UcpConfig,
+    /// Device memory capacity per GPU (default 16 GiB, V100).
+    pub device_mem: Option<u64>,
+}
+
+impl Machine {
+    /// UCX-internal DMA stream of a device.
+    pub fn ucx_stream(&self, device: rucx_gpu::DeviceId) -> StreamId {
+        self.ucp.ucx_streams[device.index()]
+    }
+}
+
+/// Build a ready-to-run simulation of `topo` under `cfg`.
+///
+/// Creates the GPU subsystem (one device per process), the network, one UCP
+/// worker per process (with its wakeup [`rucx_sim::Notify`]), one internal
+/// UCX stream per device, and a pinned staging buffer per process for the
+/// pipelined host-staging rendezvous path.
+pub fn build_sim(topo: Topology, cfg: MachineConfig) -> MSim {
+    build_sim_with(topo, cfg, SimConfig::default())
+}
+
+/// [`build_sim`] with an explicit driver configuration.
+pub fn build_sim_with(topo: Topology, cfg: MachineConfig, sim_cfg: SimConfig) -> MSim {
+    let device_mem = cfg.device_mem.unwrap_or(16 << 30);
+    let mut gpu = GpuSubsystem::new(
+        topo.nodes,
+        topo.gpus_per_node,
+        topo.gpus_per_socket,
+        device_mem,
+        cfg.gpu,
+    );
+    let net = NetSubsystem::new(topo.nodes, cfg.net);
+    let procs = topo.procs();
+
+    let mut ucx_streams = Vec::with_capacity(procs);
+    let mut staging = Vec::with_capacity(procs);
+    for p in 0..procs {
+        let dev = topo.device_of(p);
+        ucx_streams.push(gpu.create_stream(dev));
+        // Phantom pinned bounce buffer; 2x chunk so fill/drain can overlap.
+        let buf = gpu
+            .pool
+            .alloc_host(topo.node_of(p), cfg.ucp.pipeline_chunk * 2, true, false);
+        staging.push(buf);
+    }
+
+    let ucp = UcpSubsystem {
+        config: cfg.ucp,
+        counters: Counters::new(),
+        workers: Vec::new(),
+        rts_table: HashMap::new(),
+        next_rts: 1,
+        pair_busy: HashMap::new(),
+        ucx_streams,
+        staging,
+    };
+
+    let machine = Machine {
+        topo,
+        gpu,
+        net,
+        ucp,
+    };
+    let mut sim = Simulation::with_config(machine, sim_cfg);
+    // Workers need Notify handles, which only the scheduler can mint.
+    let notifies: Vec<_> = (0..procs).map(|_| sim.scheduler().new_notify()).collect();
+    let workers = notifies.into_iter().map(Worker::new).collect();
+    sim.world_mut().ucp.workers = workers;
+    sim
+}
+
+/// Convenience: run `f` with both the scheduler and world halves of a
+/// simulation-side borrow (used by setup code, not model code).
+pub fn with_parts<R: 'static>(
+    sim: &mut MSim,
+    f: impl FnOnce(&mut Machine, &mut Scheduler<Machine>) -> R + 'static,
+) -> R {
+    // Schedule-and-run would disturb time; instead split borrows via the
+    // driver loop: we piggyback on an immediate event.
+    let out = std::rc::Rc::new(std::cell::RefCell::new(None));
+    let out2 = out.clone();
+    let now = sim.scheduler().now();
+    sim.scheduler().schedule_at(now, move |w, s| {
+        *out2.borrow_mut() = Some(f(w, s));
+    });
+    sim.run_until(now);
+    let r = out.borrow_mut().take();
+    r.expect("with_parts event did not run")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_creates_per_proc_state() {
+        let topo = Topology::summit(2);
+        let sim = build_sim(topo.clone(), MachineConfig::default());
+        let m = sim.world();
+        assert_eq!(m.ucp.workers.len(), 12);
+        assert_eq!(m.ucp.ucx_streams.len(), 12);
+        assert_eq!(m.ucp.staging.len(), 12);
+        assert_eq!(m.gpu.device_count(), 12);
+        assert_eq!(m.net.nodes(), 2);
+        // UCX streams belong to the right devices.
+        for p in 0..12 {
+            assert_eq!(
+                m.gpu.stream_device(m.ucp.ucx_streams[p]),
+                topo.device_of(p)
+            );
+        }
+    }
+
+    #[test]
+    fn worker_notifies_are_distinct() {
+        let sim = build_sim(Topology::summit(1), MachineConfig::default());
+        let m = sim.world();
+        let mut seen = std::collections::HashSet::new();
+        for w in &m.ucp.workers {
+            assert!(seen.insert(w.notify));
+        }
+    }
+
+    #[test]
+    fn staging_buffers_are_pinned_phantom() {
+        let sim = build_sim(Topology::summit(1), MachineConfig::default());
+        let m = sim.world();
+        for (p, buf) in m.ucp.staging.iter().enumerate() {
+            let kind = m.gpu.pool.kind(buf.id).unwrap();
+            assert_eq!(
+                kind,
+                rucx_gpu::MemKind::HostPinned {
+                    node: m.topo.node_of(p)
+                }
+            );
+            assert!(!m.gpu.pool.is_materialized(buf.id).unwrap());
+        }
+    }
+}

@@ -1,0 +1,699 @@
+//! UCP tagged-API protocols: eager, rendezvous (RTS/CTS/ATS), and the
+//! GPU-aware transports (GDRCopy bounce, CUDA-IPC DMA, pipelined
+//! host-staging) — the mechanisms §II-B and §IV-B1 of the paper attribute to
+//! UCX.
+//!
+//! Protocol selection, matching the paper's description of UCX on Summit:
+//!
+//! | memory   | size                | path |
+//! |----------|---------------------|------|
+//! | host     | ≤ eager_thresh_host | eager via shm (intra) / IB (inter) |
+//! | host     | larger              | rendezvous, CMA (intra) / RDMA get (inter) |
+//! | device   | ≤ eager_thresh_device, GDRCopy on | eager via GDRCopy bounce |
+//! | device   | larger or GDRCopy off | rendezvous: CUDA IPC (intra), pipelined host-staging (inter) |
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use rucx_fabric::{net_transfer, WireKind};
+use rucx_gpu::{CopyPath, MemKind, MemRef};
+use rucx_sim::time::Duration;
+
+use crate::machine::{Machine, RtsState, SendPayload};
+use crate::tag::{Tag, TagMask};
+use crate::worker::{ArrivedBody, ArrivedMsg, Completion, ExpectedRecv, MSched, RecvCompletion, RecvInfo};
+
+/// What a send supplies.
+pub enum SendBuf {
+    /// A buffer in the simulated memory pool (host or device).
+    Mem(MemRef),
+    /// Runtime-internal host bytes (message envelopes etc.). `wire_size`
+    /// may exceed `bytes.len()` to model a payload that is not materialized.
+    Inline { bytes: Vec<u8>, wire_size: u64 },
+    /// Size-only host payload.
+    Phantom { wire_size: u64 },
+}
+
+impl SendBuf {
+    /// Bytes that travel on the wire.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            SendBuf::Mem(r) => r.len,
+            SendBuf::Inline { wire_size, .. } => *wire_size,
+            SendBuf::Phantom { wire_size } => *wire_size,
+        }
+    }
+
+    /// Convenience constructor for inline bytes whose wire size equals the
+    /// byte length.
+    pub fn bytes(b: Vec<u8>) -> Self {
+        let wire_size = b.len() as u64;
+        SendBuf::Inline {
+            bytes: b,
+            wire_size,
+        }
+    }
+}
+
+/// Where a rendezvous fetch should put the data.
+pub enum FetchDst {
+    /// Into a pool buffer.
+    Mem(MemRef),
+    /// Deliver the bytes to the completion (`RecvCompletion::Bytes`).
+    Bytes,
+}
+
+/// Result of probing the unexpected queue.
+pub enum PoppedMsg {
+    /// A complete eager message.
+    Eager {
+        src: usize,
+        tag: Tag,
+        bytes: Option<Vec<u8>>,
+        wire_size: u64,
+    },
+    /// A rendezvous announcement; fetch with [`rndv_fetch`].
+    Rndv {
+        src: usize,
+        tag: Tag,
+        rts_id: u64,
+        size: u64,
+    },
+}
+
+/// NIC rail a process uses: its CPU socket (Summit: dual-rail, one port
+/// per socket).
+fn rail(w: &Machine, proc: usize) -> usize {
+    w.topo.socket_of(proc)
+}
+
+fn payload_kind(w: &Machine, buf: &SendBuf, src_proc: usize) -> MemKind {
+    match buf {
+        SendBuf::Mem(r) => w.gpu.pool.kind(r.id).expect("send from bad handle"),
+        SendBuf::Inline { .. } | SendBuf::Phantom { .. } => MemKind::HostPinned {
+            node: w.topo.node_of(src_proc),
+        },
+    }
+}
+
+/// Run a completion action for process `proc` and wake its worker.
+pub(crate) fn complete(w: &mut Machine, s: &mut MSched, proc: usize, c: Completion) {
+    match c {
+        Completion::None => {}
+        Completion::Trigger(t) => s.fire(t),
+        Completion::Callback(f) => f(w, s),
+    }
+    let n = w.ucp.workers[proc].notify;
+    s.notify(n);
+}
+
+fn complete_recv(
+    w: &mut Machine,
+    s: &mut MSched,
+    proc: usize,
+    c: RecvCompletion,
+    bytes: Option<Vec<u8>>,
+    info: RecvInfo,
+) {
+    match c {
+        RecvCompletion::Trigger(t) => s.fire(t),
+        RecvCompletion::Callback(f) => f(w, s, info),
+        RecvCompletion::Bytes(f) => f(w, s, bytes, info),
+    }
+    let n = w.ucp.workers[proc].notify;
+    s.notify(n);
+}
+
+/// Schedule delivery of a tagged wire message (eager payload or RTS) from
+/// `src` to `dst`, `local_delay` after now, and return nothing — arrival is
+/// handled by the matching engine.
+#[allow(clippy::too_many_arguments)]
+fn send_wire(
+    w: &mut Machine,
+    s: &mut MSched,
+    src: usize,
+    dst: usize,
+    wire_size: u64,
+    local_delay: Duration,
+    tag: Tag,
+    body: ArrivedBody,
+) {
+    let now = s.now();
+    let msg = ArrivedMsg { tag, src, body };
+    if w.topo.same_node(src, dst) {
+        let arrival = shm_occupy(w, src, dst, now + local_delay, wire_size);
+        s.schedule_at(arrival, move |w, s| deliver(w, s, dst, msg));
+    } else {
+        let src_port = (w.topo.node_of(src), rail(w, src));
+        let dst_port = (w.topo.node_of(dst), rail(w, dst));
+        s.schedule_at(now + local_delay, move |w, s| {
+            net_transfer(w, s, src_port, dst_port, wire_size, WireKind::Host, move |w, s| {
+                deliver(w, s, dst, msg)
+            });
+        });
+    }
+}
+
+/// Occupy the shared-memory channel between `src` and `dst` for a transfer
+/// of `size` bytes becoming ready at `ready`; returns the arrival time.
+/// The channel is a serial resource (a CPU-driven copy), so back-to-back
+/// transfers between a pair queue behind each other — this bounds windowed
+/// intra-node throughput to the CMA bandwidth and preserves ordering.
+fn shm_occupy(w: &mut Machine, src: usize, dst: usize, ready: rucx_sim::time::Time, size: u64) -> rucx_sim::time::Time {
+    let lat = w.ucp.config.shm_latency;
+    let gbps = w.ucp.config.shm_gbps;
+    let key = (src as u32, dst as u32);
+    let busy = w.ucp.pair_busy.get(&key).copied().unwrap_or(0);
+    let start = (ready + lat).max(busy);
+    let arrival = start + rucx_sim::time::transfer_time(size, gbps);
+    w.ucp.pair_busy.insert(key, arrival);
+    arrival
+}
+
+/// Wire transport for active messages: same paths and costs as tagged
+/// traffic, but arrival dispatches the registered handler instead of the
+/// matching engine. The sender completes locally after `local_delay`
+/// (eager semantics; rendezvous senders complete via the ATS instead).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn deliver_am_wire(
+    w: &mut Machine,
+    s: &mut MSched,
+    src: usize,
+    dst: usize,
+    id: crate::am::AmId,
+    header: Vec<u8>,
+    wire: crate::am::AmWire,
+    wire_size: u64,
+    local_delay: Duration,
+    sender_done: Completion,
+) {
+    let now = s.now();
+    let deliver_it = move |w: &mut Machine, s: &mut MSched| {
+        let msg = crate::am::AmMsg {
+            src,
+            header,
+            payload: wire.into_payload(),
+        };
+        crate::am::dispatch_am(w, s, dst, id, msg);
+    };
+    if w.topo.same_node(src, dst) {
+        let arrival = shm_occupy(w, src, dst, now + local_delay, wire_size);
+        s.schedule_at(arrival, deliver_it);
+    } else {
+        let src_port = (w.topo.node_of(src), rail(w, src));
+        let dst_port = (w.topo.node_of(dst), rail(w, dst));
+        s.schedule_at(now + local_delay, move |w, s| {
+            net_transfer(w, s, src_port, dst_port, wire_size, WireKind::Host, deliver_it);
+        });
+    }
+    if !matches!(sender_done, Completion::None) {
+        s.schedule_at(now + local_delay, move |w, s| complete(w, s, src, sender_done));
+    }
+}
+
+/// Schedule a non-matched control message (ATS) and run `f` at arrival.
+fn send_control<F>(w: &mut Machine, s: &mut MSched, src: usize, dst: usize, size: u64, f: F)
+where
+    F: FnOnce(&mut Machine, &mut MSched) + 'static,
+{
+    let now = s.now();
+    if w.topo.same_node(src, dst) {
+        let arrival = now + w.ucp.config.shm_time(size);
+        s.schedule_at(arrival, f);
+    } else {
+        let src_port = (w.topo.node_of(src), rail(w, src));
+        let dst_port = (w.topo.node_of(dst), rail(w, dst));
+        net_transfer(w, s, src_port, dst_port, size, WireKind::Host, f);
+    }
+}
+
+/// `ucp_tag_send_nb`: non-blocking tagged send from `src` to `dst`.
+///
+/// CPU call cost is modeled by the calling layer
+/// (`advance(ucp.config.cpu_call)`); this function models everything from
+/// protocol selection onward.
+pub fn tag_send_nb(
+    w: &mut Machine,
+    s: &mut MSched,
+    src: usize,
+    dst: usize,
+    buf: SendBuf,
+    tag: Tag,
+    done: Completion,
+) {
+    let cfg_proto = w.ucp.config.proto_overhead;
+    let size = buf.wire_size();
+    let kind = payload_kind(w, &buf, src);
+    let eager = if kind.is_device() {
+        w.ucp.config.gdrcopy_enabled && size <= w.ucp.config.eager_thresh_device
+    } else {
+        size <= w.ucp.config.eager_thresh_host
+    };
+
+    if eager {
+        // Sender-side staging: GDRCopy read for device payloads.
+        let local_delay = cfg_proto
+            + if kind.is_device() {
+                w.ucp.counters.bump("ucp.eager.gdrcopy_read");
+                w.ucp.config.gdrcopy_cost(size)
+            } else {
+                0
+            };
+        let bytes = match &buf {
+            SendBuf::Mem(r) => {
+                if w.gpu.pool.is_materialized(r.id).unwrap_or(false) {
+                    Some(w.gpu.pool.read(*r).expect("eager read"))
+                } else {
+                    None
+                }
+            }
+            SendBuf::Inline { bytes, .. } => Some(bytes.clone()),
+            SendBuf::Phantom { .. } => None,
+        };
+        w.ucp.counters.bump("ucp.eager");
+        send_wire(
+            w,
+            s,
+            src,
+            dst,
+            size,
+            local_delay,
+            tag,
+            ArrivedBody::Eager {
+                bytes,
+                wire_size: size,
+            },
+        );
+        // Eager sends complete locally once the payload is staged out.
+        let t_done = s.now() + local_delay;
+        s.schedule_at(t_done, move |w, s| complete(w, s, src, done));
+    } else {
+        let payload = match buf {
+            SendBuf::Mem(r) => SendPayload::Mem(r),
+            SendBuf::Inline { bytes, .. } => SendPayload::Bytes(bytes),
+            SendBuf::Phantom { .. } => SendPayload::Phantom,
+        };
+        let rts_id = w.ucp.next_rts;
+        w.ucp.next_rts += 1;
+        w.ucp.rts_table.insert(
+            rts_id,
+            RtsState {
+                src_proc: src,
+                payload,
+                wire_size: size,
+                sender_done: done,
+            },
+        );
+        w.ucp.counters.bump("ucp.rndv");
+        let rts_size = w.ucp.config.rts_size;
+        send_wire(
+            w,
+            s,
+            src,
+            dst,
+            rts_size,
+            cfg_proto,
+            tag,
+            ArrivedBody::Rts { rts_id, size },
+        );
+    }
+}
+
+/// Arrival of a tagged wire message at `dst`'s worker: match a posted
+/// receive or park in the unexpected queue.
+fn deliver(w: &mut Machine, s: &mut MSched, dst: usize, msg: ArrivedMsg) {
+    let worker = w.ucp.worker_mut(dst);
+    if let Some(i) = worker.find_expected(msg.tag) {
+        let exp = worker.expected.remove(i).expect("matched recv vanished");
+        process_match(w, s, dst, exp, msg);
+    } else {
+        worker.unexpected.push_back(msg);
+        let n = worker.notify;
+        w.ucp.counters.bump("ucp.unexpected");
+        s.notify(n);
+    }
+}
+
+/// A receive met its message: run the data path.
+fn process_match(w: &mut Machine, s: &mut MSched, dst_proc: usize, exp: ExpectedRecv, msg: ArrivedMsg) {
+    match msg.body {
+        ArrivedBody::Eager { bytes, wire_size } => {
+            let dst_kind = w.gpu.pool.kind(exp.buf.id).expect("recv into bad handle");
+            let delay = if dst_kind.is_device() {
+                w.ucp.counters.bump("ucp.eager.gdrcopy_write");
+                w.ucp.config.gdrcopy_cost(wire_size)
+            } else {
+                w.ucp.config.eager_copy_cost(wire_size)
+            };
+            let info = RecvInfo {
+                src: msg.src,
+                tag: msg.tag,
+                size: wire_size,
+            };
+            let buf = exp.buf;
+            let done = exp.done;
+            s.schedule_in(delay, move |w, s| {
+                if let Some(b) = &bytes {
+                    let n = (buf.len as usize).min(b.len());
+                    w.gpu
+                        .pool
+                        .write(buf.slice(0, n as u64), &b[..n])
+                        .expect("eager copy-out");
+                }
+                complete_recv(w, s, dst_proc, done, bytes, info);
+            });
+        }
+        ArrivedBody::Rts { rts_id, .. } => {
+            start_fetch(w, s, dst_proc, msg.tag, rts_id, FetchDst::Mem(exp.buf), exp.done);
+        }
+    }
+}
+
+/// `ucp_tag_recv_nb`: post a receive into `buf`.
+pub fn tag_recv_nb(
+    w: &mut Machine,
+    s: &mut MSched,
+    proc: usize,
+    buf: MemRef,
+    tag: Tag,
+    mask: TagMask,
+    done: RecvCompletion,
+) {
+    let worker = w.ucp.worker_mut(proc);
+    if let Some(i) = worker.find_unexpected(tag, mask) {
+        let msg = worker.unexpected.remove(i).expect("probed msg vanished");
+        let exp = ExpectedRecv {
+            tag,
+            mask,
+            buf,
+            done,
+        };
+        process_match(w, s, proc, exp, msg);
+    } else {
+        worker.expected.push_back(ExpectedRecv {
+            tag,
+            mask,
+            buf,
+            done,
+        });
+    }
+}
+
+/// Probe-and-remove the first unexpected message matching `(tag, mask)` —
+/// how the Converse machine layer ingests host-side messages without
+/// pre-posted buffers.
+pub fn probe_pop(w: &mut Machine, proc: usize, tag: Tag, mask: TagMask) -> Option<PoppedMsg> {
+    let worker = w.ucp.worker_mut(proc);
+    let i = worker.find_unexpected(tag, mask)?;
+    let msg = worker.unexpected.remove(i).expect("probed msg vanished");
+    Some(match msg.body {
+        ArrivedBody::Eager { bytes, wire_size } => PoppedMsg::Eager {
+            src: msg.src,
+            tag: msg.tag,
+            bytes,
+            wire_size,
+        },
+        ArrivedBody::Rts { rts_id, size } => PoppedMsg::Rndv {
+            src: msg.src,
+            tag: msg.tag,
+            rts_id,
+            size,
+        },
+    })
+}
+
+/// Deliver locally-produced bytes to a worker as if an eager message with
+/// `tag` had just arrived. Used by runtime layers that complete a
+/// rendezvous fetch asynchronously and re-inject the result so their
+/// scheduler keeps processing other messages meanwhile.
+pub fn inject_local(
+    w: &mut Machine,
+    s: &mut MSched,
+    proc: usize,
+    src: usize,
+    tag: Tag,
+    bytes: Option<Vec<u8>>,
+    wire_size: u64,
+) {
+    deliver(
+        w,
+        s,
+        proc,
+        ArrivedMsg {
+            tag,
+            src,
+            body: ArrivedBody::Eager { bytes, wire_size },
+        },
+    );
+}
+
+/// Fetch the data of a rendezvous previously surfaced by [`probe_pop`].
+pub fn rndv_fetch(
+    w: &mut Machine,
+    s: &mut MSched,
+    proc: usize,
+    tag: Tag,
+    rts_id: u64,
+    dst: FetchDst,
+    done: RecvCompletion,
+) {
+    start_fetch(w, s, proc, tag, rts_id, dst, done);
+}
+
+/// The rendezvous data path. Runs on the receiver (`recv_proc`).
+fn start_fetch(
+    w: &mut Machine,
+    s: &mut MSched,
+    recv_proc: usize,
+    tag: Tag,
+    rts_id: u64,
+    dst: FetchDst,
+    done: RecvCompletion,
+) {
+    let rts = w
+        .ucp
+        .rts_table
+        .remove(&rts_id)
+        .expect("rendezvous fetched twice or never announced");
+    let src_proc = rts.src_proc;
+    let size = rts.wire_size;
+    let info = RecvInfo {
+        src: src_proc,
+        tag,
+        size,
+    };
+    let src_kind = match &rts.payload {
+        SendPayload::Mem(r) => w.gpu.pool.kind(r.id).expect("rndv src freed"),
+        _ => MemKind::HostPinned {
+            node: w.topo.node_of(src_proc),
+        },
+    };
+    let dst_kind = match &dst {
+        FetchDst::Mem(r) => w.gpu.pool.kind(r.id).expect("rndv dst bad"),
+        FetchDst::Bytes => MemKind::HostPinned {
+            node: w.topo.node_of(recv_proc),
+        },
+    };
+    let intra = w.topo.same_node(src_proc, recv_proc);
+    let sender_done = rts.sender_done;
+    let payload = rts.payload;
+
+    // After the data is in place: deliver bytes / run receive completion,
+    // then ack the sender (ATS) so its request completes.
+    let finalize = move |w: &mut Machine, s: &mut MSched| {
+        let bytes = finalize_data(w, &payload, &dst);
+        complete_recv(w, s, recv_proc, done, bytes, info);
+        let ats = w.ucp.config.ats_size;
+        send_control(w, s, recv_proc, src_proc, ats, move |w, s| {
+            complete(w, s, src_proc, sender_done);
+        });
+    };
+
+    if intra {
+        fetch_intra(w, s, src_kind, dst_kind, size, recv_proc, src_proc, finalize);
+    } else {
+        fetch_inter(w, s, src_kind, dst_kind, size, recv_proc, src_proc, finalize);
+    }
+}
+
+/// Move the actual bytes once the timing chain has completed, and return
+/// bytes for `FetchDst::Bytes` completions.
+fn finalize_data(w: &mut Machine, payload: &SendPayload, dst: &FetchDst) -> Option<Vec<u8>> {
+    match (payload, dst) {
+        (SendPayload::Mem(src), FetchDst::Mem(d)) => {
+            let n = src.len.min(d.len);
+            w.gpu
+                .pool
+                .copy(src.slice(0, n), d.slice(0, n))
+                .expect("rndv data move");
+            None
+        }
+        (SendPayload::Mem(src), FetchDst::Bytes) => {
+            if w.gpu.pool.is_materialized(src.id).unwrap_or(false) {
+                Some(w.gpu.pool.read(*src).expect("rndv read"))
+            } else {
+                None
+            }
+        }
+        (SendPayload::Bytes(b), FetchDst::Mem(d)) => {
+            let n = (d.len as usize).min(b.len());
+            w.gpu
+                .pool
+                .write(d.slice(0, n as u64), &b[..n])
+                .expect("rndv write");
+            None
+        }
+        (SendPayload::Bytes(b), FetchDst::Bytes) => Some(b.clone()),
+        (SendPayload::Phantom, _) => None,
+    }
+}
+
+/// Intra-node rendezvous: CUDA IPC DMA when both sides are devices, a
+/// staged CPU-GPU leg for mixed pairs, CMA for host-to-host.
+#[allow(clippy::too_many_arguments)]
+fn fetch_intra<F>(
+    w: &mut Machine,
+    s: &mut MSched,
+    src_kind: MemKind,
+    dst_kind: MemKind,
+    size: u64,
+    recv_proc: usize,
+    src_proc: usize,
+    finalize: F,
+) where
+    F: FnOnce(&mut Machine, &mut MSched) + 'static,
+{
+    match (src_kind, dst_kind) {
+        (MemKind::Device(sd), MemKind::Device(dd)) => {
+            // CUDA IPC: receiver-driven peer-to-peer DMA on the receiver's
+            // UCX-internal stream, contending on device ports / X-Bus.
+            w.ucp.counters.bump("ucp.rndv.ipc");
+            let stream = w.ucp.ucx_streams[recv_proc];
+            let path = if sd == dd {
+                CopyPath::OnDevice
+            } else if w.gpu.device(sd).socket == w.gpu.device(dd).socket {
+                CopyPath::NvLink
+            } else {
+                CopyPath::XBus
+            };
+            let dur = w.ucp.config.ipc_sync + w.gpu.params.wire_time(path, size);
+            let end = rucx_gpu::ops::occupy_transfer(w, s, sd, dd, stream, dur, size);
+            s.schedule_at(end, finalize);
+        }
+        (MemKind::Device(_), _) | (_, MemKind::Device(_)) => {
+            // One staged leg over the CPU-GPU link plus the shm handoff.
+            let leg = w.gpu.params.wire_time(CopyPath::HostPinnedLink, size);
+            w.ucp.counters.bump("ucp.rndv.staged_intra");
+            let end = shm_occupy(w, src_proc, recv_proc, s.now(), size) + leg;
+            s.schedule_at(end, finalize);
+        }
+        _ => {
+            // Host-to-host: CMA single copy (serial per pair).
+            w.ucp.counters.bump("ucp.rndv.cma");
+            let end = shm_occupy(w, src_proc, recv_proc, s.now(), size);
+            s.schedule_at(end, finalize);
+        }
+    }
+}
+
+/// Inter-node rendezvous.
+#[allow(clippy::too_many_arguments)]
+fn fetch_inter<F>(
+    w: &mut Machine,
+    s: &mut MSched,
+    src_kind: MemKind,
+    dst_kind: MemKind,
+    size: u64,
+    recv_proc: usize,
+    src_proc: usize,
+    finalize: F,
+) where
+    F: FnOnce(&mut Machine, &mut MSched) + 'static,
+{
+    let src_port = (w.topo.node_of(src_proc), rail(w, src_proc));
+    let dst_port = (w.topo.node_of(recv_proc), rail(w, recv_proc));
+    match (src_kind.is_device(), dst_kind.is_device()) {
+        (true, true) => {
+            if w.ucp.config.direct_gdr_rndv {
+                w.ucp.counters.bump("ucp.rndv.gdr_direct");
+                net_transfer(w, s, src_port, dst_port, size, WireKind::Gdr, finalize);
+            } else {
+                pipeline_fetch(w, s, src_proc, recv_proc, size, finalize);
+            }
+        }
+        (true, false) => {
+            // D2H on the sender, then RDMA.
+            let leg = w.gpu.params.wire_time(CopyPath::HostPinnedLink, size);
+            w.ucp.counters.bump("ucp.rndv.staged_inter");
+            s.schedule_in(leg, move |w, s| {
+                let _ = net_transfer(w, s, src_port, dst_port, size, WireKind::Host, finalize);
+            });
+        }
+        (false, true) => {
+            // RDMA, then H2D on the receiver.
+            w.ucp.counters.bump("ucp.rndv.staged_inter");
+            let leg = w.gpu.params.wire_time(CopyPath::HostPinnedLink, size);
+            net_transfer(w, s, src_port, dst_port, size, WireKind::Host, move |w, s| {
+                let _ = w;
+                s.schedule_in(leg, finalize);
+            });
+        }
+        (false, false) => {
+            // Zero-copy RDMA get.
+            w.ucp.counters.bump("ucp.rndv.rdma");
+            net_transfer(w, s, src_port, dst_port, size, WireKind::Host, finalize);
+        }
+    }
+}
+
+/// The pipelined host-staging path for large inter-node device transfers:
+/// chunks are staged D2H on the sender, sent over the wire, and staged H2D
+/// on the receiver, all overlapped (§IV-B1).
+fn pipeline_fetch<F>(
+    w: &mut Machine,
+    s: &mut MSched,
+    src_proc: usize,
+    recv_proc: usize,
+    size: u64,
+    finalize: F,
+) where
+    F: FnOnce(&mut Machine, &mut MSched) + 'static,
+{
+    let chunk = w.ucp.config.pipeline_chunk.max(1);
+    let nchunks = size.div_ceil(chunk);
+    w.ucp.counters.add("ucp.pipeline_chunks", nchunks);
+    w.ucp.counters.bump("ucp.rndv.pipeline");
+    let src_port = (w.topo.node_of(src_proc), rail(w, src_proc));
+    let dst_port = (w.topo.node_of(recv_proc), rail(w, recv_proc));
+    let src_dev = w.topo.device_of(src_proc);
+    let dst_dev = w.topo.device_of(recv_proc);
+    let src_stream = w.ucp.ucx_streams[src_proc];
+    let dst_stream = w.ucp.ucx_streams[recv_proc];
+
+    let remaining = Rc::new(Cell::new(nchunks));
+    let finalize = Rc::new(Cell::new(Some(finalize)));
+
+    for i in 0..nchunks {
+        let len = chunk.min(size - i * chunk);
+        // Sender-side D2H staging (serializes on the sender's UCX stream).
+        let path = CopyPath::HostPinnedLink;
+        let dur = w.gpu.params.wire_time(path, len);
+        let d2h_end = rucx_gpu::ops::occupy_egress(w, s, src_dev, src_stream, dur);
+        let remaining = remaining.clone();
+        let finalize = finalize.clone();
+        s.schedule_at(d2h_end, move |w, s| {
+            net_transfer(w, s, src_port, dst_port, len, WireKind::Host, move |w, s| {
+                let h2d_dur = w.gpu.params.wire_time(CopyPath::HostPinnedLink, len);
+                let h2d_end =
+                    rucx_gpu::ops::occupy_ingress(w, s, dst_dev, dst_stream, h2d_dur);
+                s.schedule_at(h2d_end, move |w, s| {
+                    remaining.set(remaining.get() - 1);
+                    if remaining.get() == 0 {
+                        let f = finalize.take().expect("pipeline finalized twice");
+                        f(w, s);
+                    }
+                });
+            });
+        });
+    }
+}

@@ -1,0 +1,44 @@
+//! 64-bit message tags and masks (UCP tagged-API style).
+
+/// A 64-bit message tag.
+pub type Tag = u64;
+
+/// A tag mask: a receive matches an arrival when
+/// `recv.tag & recv.mask == arrival.tag & recv.mask`.
+pub type TagMask = u64;
+
+/// Match-everything mask.
+pub const MASK_NONE: TagMask = 0;
+/// Exact-match mask.
+pub const MASK_FULL: TagMask = u64::MAX;
+
+/// Whether `arrived` satisfies a receive posted with `(want, mask)`.
+#[inline]
+pub fn tag_matches(want: Tag, mask: TagMask, arrived: Tag) -> bool {
+    (want & mask) == (arrived & mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mask_is_exact() {
+        assert!(tag_matches(42, MASK_FULL, 42));
+        assert!(!tag_matches(42, MASK_FULL, 43));
+    }
+
+    #[test]
+    fn zero_mask_matches_everything() {
+        assert!(tag_matches(0, MASK_NONE, u64::MAX));
+        assert!(tag_matches(7, MASK_NONE, 0));
+    }
+
+    #[test]
+    fn partial_mask_matches_prefix() {
+        // Match on the top 4 bits only.
+        let mask = 0xF000_0000_0000_0000;
+        assert!(tag_matches(0x3000_0000_0000_0000, mask, 0x3FFF_0000_1234_5678));
+        assert!(!tag_matches(0x3000_0000_0000_0000, mask, 0x4000_0000_0000_0000));
+    }
+}

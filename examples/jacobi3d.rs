@@ -1,0 +1,47 @@
+//! The Jacobi3D proxy application (paper §IV-C) on a small cluster: compare
+//! host-staging vs GPU-direct halo exchange for every programming model.
+//!
+//! Run: `cargo run --release --example jacobi3d [nodes]`
+
+use rucx::jacobi::{run, JacobiConfig, JacobiModel, Mode};
+
+fn main() {
+    let nodes: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    assert!(nodes.is_power_of_two(), "node count must be a power of two");
+
+    println!(
+        "Jacobi3D, weak scaling point at {nodes} node(s) ({} GPUs), domain {:?}:\n",
+        nodes * 6,
+        JacobiConfig::weak(nodes, Mode::Device).domain
+    );
+    println!(
+        "{:>10}  {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "model", "overall-H", "overall-D", "comm-H", "comm-D", "comm-spd"
+    );
+    for model in [
+        JacobiModel::Charm,
+        JacobiModel::Ampi,
+        JacobiModel::Ompi,
+        JacobiModel::Charm4py,
+    ] {
+        let mut ch = JacobiConfig::weak(nodes, Mode::HostStaging);
+        let mut cd = JacobiConfig::weak(nodes, Mode::Device);
+        ch.iters = 3;
+        cd.iters = 3;
+        let h = run(model, &ch);
+        let d = run(model, &cd);
+        println!(
+            "{:>10}  {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>8.1}x",
+            model.label(),
+            h.overall_ms,
+            d.overall_ms,
+            h.comm_ms,
+            d.comm_ms,
+            h.comm_ms / d.comm_ms
+        );
+    }
+    println!("\n(overall/comm = per-iteration times, max over ranks; H = host-staging, D = GPU-direct)");
+}

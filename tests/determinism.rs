@@ -1,0 +1,65 @@
+//! Whole-stack determinism: identical configurations must produce
+//! bit-identical virtual-time results, across every layer at once — the
+//! property that makes simulation results citable and regressions
+//! detectable.
+
+use rucx::jacobi::{run, JacobiConfig, JacobiModel, Mode};
+
+fn jacobi_fingerprint(model: JacobiModel) -> (u64, u64) {
+    let mut cfg = JacobiConfig::weak(2, Mode::Device);
+    cfg.iters = 2;
+    cfg.warmup = 1;
+    let r = run(model, &cfg);
+    // Exact bit patterns, not approximate comparisons.
+    (r.overall_ms.to_bits(), r.comm_ms.to_bits())
+}
+
+#[test]
+fn jacobi_runs_are_bit_reproducible() {
+    for model in [
+        JacobiModel::Charm,
+        JacobiModel::Ampi,
+        JacobiModel::Ompi,
+        JacobiModel::Charm4py,
+    ] {
+        let a = jacobi_fingerprint(model);
+        let b = jacobi_fingerprint(model);
+        assert_eq!(a, b, "{model:?} must be deterministic");
+    }
+}
+
+#[test]
+fn overdecomposed_run_is_reproducible() {
+    let once = || {
+        let mut cfg = JacobiConfig::weak(1, Mode::Device);
+        cfg.iters = 2;
+        cfg.warmup = 1;
+        cfg.overdecomp = 4;
+        let r = run(JacobiModel::Charm, &cfg);
+        (r.overall_ms.to_bits(), r.comm_ms.to_bits())
+    };
+    assert_eq!(once(), once());
+}
+
+#[test]
+fn config_changes_actually_change_results() {
+    // Guard against accidentally ignoring configuration: flipping GDRCopy
+    // must move microbenchmark output.
+    let mut on = rucx::osu::OsuConfig::quick();
+    on.sizes = vec![8];
+    let mut off = on.clone();
+    off.machine.ucp.gdrcopy_enabled = false;
+    let a = rucx::osu::latency(
+        &on,
+        rucx::osu::Model::Ompi,
+        rucx::osu::Mode::Device,
+        rucx::osu::Placement::IntraNode,
+    );
+    let b = rucx::osu::latency(
+        &off,
+        rucx::osu::Model::Ompi,
+        rucx::osu::Mode::Device,
+        rucx::osu::Placement::IntraNode,
+    );
+    assert_ne!(a.at(8), b.at(8));
+}
