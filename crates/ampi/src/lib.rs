@@ -240,7 +240,7 @@ mod tests {
     #[test]
     fn barrier_synchronizes_all_ranks() {
         let mut sim = sim(1);
-        let reached = Arc::new(parking_lot::Mutex::new(Vec::<(usize, u64)>::new()));
+        let reached = Arc::new(rucx_compat::sync::Mutex::new(Vec::<(usize, u64)>::new()));
         let reached2 = reached.clone();
         launch(&mut sim, move |mpi, ctx| {
             // Stagger arrival times.
@@ -264,7 +264,7 @@ mod tests {
         let mut sim = sim(1);
         let a = dev_buf(&mut sim, 0, 8);
         let b = dev_buf(&mut sim, 1, 8);
-        let out = Arc::new(parking_lot::Mutex::new(0u64));
+        let out = Arc::new(rucx_compat::sync::Mutex::new(0u64));
         let out2 = out.clone();
         launch(&mut sim, move |mpi, ctx| match mpi.rank() {
             0 => {

@@ -1,103 +1,99 @@
-//! Criterion microbenchmarks of the simulation substrate itself: event
-//! throughput, process context switching, tag-matching under deep queues,
-//! and end-to-end simulated message cost. These measure the *simulator*
-//! (wall-clock), not the modeled system (virtual time).
+//! Microbenchmarks of the simulation substrate itself: event throughput,
+//! process context switching, tag-matching under deep queues, and
+//! end-to-end simulated message cost. These measure the *simulator*
+//! (wall-clock), not the modeled system (virtual time), so they run on the
+//! in-repo [`rucx_compat::timer`] runner rather than an external harness.
+//!
+//! Run with `cargo bench --bench engine`. `RUCX_BENCH_ITERS` /
+//! `RUCX_BENCH_WARMUP` control iteration counts.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rucx_compat::timer::Runner;
 use rucx_fabric::Topology;
 use rucx_sim::Simulation;
 use rucx_ucp::{
     blocking, build_sim, probe_pop, tag_send_nb, Completion, MachineConfig, SendBuf, MASK_FULL,
 };
 
-fn bench_event_throughput(c: &mut Criterion) {
-    c.bench_function("sim_dispatch_100k_events", |b| {
-        b.iter_batched(
-            || {
-                let mut sim = Simulation::new(0u64);
-                for i in 0..100_000u64 {
-                    sim.scheduler().schedule_at(i, |w, _| *w += 1);
-                }
-                sim
-            },
-            |mut sim| {
-                sim.run();
-                assert_eq!(*sim.world(), 100_000);
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-fn bench_process_switching(c: &mut Criterion) {
-    c.bench_function("sim_process_10k_switches", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new(());
-            sim.spawn("p", 0, |ctx| {
-                for _ in 0..10_000 {
-                    ctx.advance(1);
-                }
-            });
+fn bench_event_throughput(r: &mut Runner) {
+    r.bench_with_setup(
+        "sim_dispatch_100k_events",
+        || {
+            let mut sim = Simulation::new(0u64);
+            for i in 0..100_000u64 {
+                sim.scheduler().schedule_at(i, |w, _| *w += 1);
+            }
+            sim
+        },
+        |mut sim| {
             sim.run();
-        })
+            assert_eq!(*sim.world(), 100_000);
+        },
+    );
+}
+
+fn bench_process_switching(r: &mut Runner) {
+    r.bench("sim_process_10k_switches", || {
+        let mut sim = Simulation::new(());
+        sim.spawn("p", 0, |ctx| {
+            for _ in 0..10_000 {
+                ctx.advance(1);
+            }
+        });
+        sim.run();
     });
 }
 
-fn bench_ucp_message(c: &mut Criterion) {
-    c.bench_function("ucp_host_eager_roundtrip", |b| {
-        b.iter(|| {
+fn bench_ucp_message(r: &mut Runner) {
+    r.bench("ucp_host_eager_roundtrip", || {
+        let mut sim = build_sim(Topology::summit(1), MachineConfig::default());
+        let a = sim.world_mut().gpu.pool.alloc_host(0, 64, true, true);
+        let bb = sim.world_mut().gpu.pool.alloc_host(0, 64, true, true);
+        sim.spawn("s", 0, move |ctx| {
+            blocking::send(ctx, 0, 1, SendBuf::Mem(a), 7);
+        });
+        sim.spawn("r", 0, move |ctx| {
+            blocking::recv(ctx, 1, bb, 7, MASK_FULL);
+        });
+        sim.run();
+    });
+}
+
+fn bench_tag_matching_depth(r: &mut Runner) {
+    r.bench_with_setup(
+        "ucp_unexpected_queue_1k_probe",
+        || {
             let mut sim = build_sim(Topology::summit(1), MachineConfig::default());
-            let a = sim.world_mut().gpu.pool.alloc_host(0, 64, true, true);
-            let bb = sim.world_mut().gpu.pool.alloc_host(0, 64, true, true);
-            sim.spawn("s", 0, move |ctx| {
-                blocking::send(ctx, 0, 1, SendBuf::Mem(a), 7);
-            });
-            sim.spawn("r", 0, move |ctx| {
-                blocking::recv(ctx, 1, bb, 7, MASK_FULL);
+            sim.scheduler().schedule_at(0, |w, s| {
+                for i in 0..1_000u64 {
+                    tag_send_nb(
+                        w,
+                        s,
+                        0,
+                        1,
+                        SendBuf::bytes(vec![0u8; 8]),
+                        i,
+                        Completion::None,
+                    );
+                }
             });
             sim.run();
-        })
-    });
+            sim
+        },
+        |mut sim| {
+            // Probe the deepest entry (worst-case scan).
+            let found = rucx_ucp::machine::with_parts(&mut sim, |w, _| {
+                probe_pop(w, 1, 999, MASK_FULL).is_some()
+            });
+            assert!(found);
+        },
+    );
 }
 
-fn bench_tag_matching_depth(c: &mut Criterion) {
-    c.bench_function("ucp_unexpected_queue_1k_probe", |b| {
-        b.iter_batched(
-            || {
-                let mut sim = build_sim(Topology::summit(1), MachineConfig::default());
-                sim.scheduler().schedule_at(0, |w, s| {
-                    for i in 0..1_000u64 {
-                        tag_send_nb(
-                            w,
-                            s,
-                            0,
-                            1,
-                            SendBuf::bytes(vec![0u8; 8]),
-                            i,
-                            Completion::None,
-                        );
-                    }
-                });
-                sim.run();
-                sim
-            },
-            |mut sim| {
-                // Probe the deepest entry (worst-case scan).
-                let found = rucx_ucp::machine::with_parts(&mut sim, |w, _| {
-                    probe_pop(w, 1, 999, MASK_FULL).is_some()
-                });
-                assert!(found);
-            },
-            BatchSize::SmallInput,
-        )
-    });
+fn main() {
+    let mut r = Runner::from_env();
+    bench_event_throughput(&mut r);
+    bench_process_switching(&mut r);
+    bench_ucp_message(&mut r);
+    bench_tag_matching_depth(&mut r);
+    rucx_bench::write_json("engine_microbench", r.results());
 }
-
-criterion_group!(
-    benches,
-    bench_event_throughput,
-    bench_process_switching,
-    bench_ucp_message,
-    bench_tag_matching_depth
-);
-criterion_main!(benches);

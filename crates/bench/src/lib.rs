@@ -4,7 +4,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use serde::Serialize;
+use rucx_compat::json::ToJson;
 
 /// Directory benchmark results are written to (JSON, one file per figure).
 pub fn out_dir() -> PathBuf {
@@ -20,10 +20,9 @@ pub fn out_dir() -> PathBuf {
 }
 
 /// Write a machine-readable copy of a figure's data.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+pub fn write_json<T: ToJson + ?Sized>(name: &str, value: &T) {
     let path = out_dir().join(format!("{name}.json"));
-    let data = serde_json::to_string_pretty(value).expect("serialize results");
-    fs::write(&path, data).expect("write results");
+    fs::write(&path, value.to_json()).expect("write results");
     println!("  [results written to {}]", path.display());
 }
 

@@ -7,7 +7,7 @@
 //! paper's `CkDeviceBuffer` metadata (Fig. 5): everything the receiver needs
 //! to post the matching device receive.
 
-use bytes::{Buf, BufMut};
+use rucx_compat::buf::{Buf, BufMut};
 
 /// Metadata describing one in-flight GPU buffer (wire form of
 /// `CkDeviceBuffer`).
@@ -117,7 +117,7 @@ impl Envelope {
 
 /// Tiny helpers for marshalling entry-method parameters.
 pub mod marshal {
-    use bytes::{Buf, BufMut};
+    use rucx_compat::buf::{Buf, BufMut};
 
     /// Append a `u64` parameter.
     pub fn put_u64(buf: &mut Vec<u8>, v: u64) {

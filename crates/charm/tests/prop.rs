@@ -1,98 +1,99 @@
 //! Property-based tests of the machine-layer tag scheme (paper Fig. 3) and
-//! the envelope wire format.
+//! the envelope wire format, on the in-repo harness
+//! ([`rucx_compat::check`]).
 
-use proptest::prelude::*;
+use rucx_compat::check::{check, Gen};
 use rucx_charm::{marshal, DeviceMeta, Envelope, MsgType, TagScheme, MSG_BITS};
 
-fn scheme_strategy() -> impl Strategy<Value = TagScheme> {
-    (1u32..(64 - MSG_BITS)).prop_map(|pe_bits| {
-        TagScheme::new(pe_bits, 64 - MSG_BITS - pe_bits).expect("valid split")
-    })
+fn gen_scheme(g: &mut Gen) -> TagScheme {
+    let pe_bits = g.u32(1..(64 - MSG_BITS));
+    TagScheme::new(pe_bits, 64 - MSG_BITS - pe_bits).expect("valid split")
 }
 
-proptest! {
-    /// Any valid PE/CNT split roundtrips (type, PE, counter) exactly.
-    #[test]
-    fn tag_roundtrip_for_any_split(
-        scheme in scheme_strategy(),
-        pe_frac in 0.0f64..1.0,
-        cnt in any::<u64>(),
-    ) {
+/// Any valid PE/CNT split roundtrips (type, PE, counter) exactly.
+#[test]
+fn tag_roundtrip_for_any_split() {
+    check("tag_roundtrip_for_any_split", |g| {
+        let scheme = gen_scheme(g);
+        let pe_frac = g.f64(0.0..1.0);
+        let cnt = g.any_u64();
         let pe = ((pe_frac * scheme.max_pe() as f64) as u64)
             .min(scheme.max_pe()) as usize;
         let t = scheme.device_tag(pe, cnt);
-        prop_assert_eq!(scheme.msg_type(t), Some(MsgType::Device));
-        prop_assert_eq!(scheme.src_pe(t), pe);
-        prop_assert_eq!(scheme.cnt(t), cnt % scheme.cnt_period());
+        assert_eq!(scheme.msg_type(t), Some(MsgType::Device));
+        assert_eq!(scheme.src_pe(t), pe);
+        assert_eq!(scheme.cnt(t), cnt % scheme.cnt_period());
         // Host tags never collide with device tags.
         let h = scheme.host_tag(pe);
-        prop_assert_ne!(t, h);
+        assert_ne!(t, h);
         let (want, mask) = scheme.host_probe();
-        prop_assert!(rucx_ucp::tag_matches(want, mask, h));
-        prop_assert!(!rucx_ucp::tag_matches(want, mask, t));
-    }
+        assert!(rucx_ucp::tag_matches(want, mask, h));
+        assert!(!rucx_ucp::tag_matches(want, mask, t));
+    });
+}
 
-    /// Tags are unique within a PE until the counter wraps.
-    #[test]
-    fn tags_unique_within_period(scheme_cnt_bits in 2u32..12, pe in 0usize..64) {
+/// Tags are unique within a PE until the counter wraps.
+#[test]
+fn tags_unique_within_period() {
+    check("tags_unique_within_period", |g| {
+        let scheme_cnt_bits = g.u32(2..12);
+        let pe = g.usize(0..64);
         let scheme = TagScheme::new(64 - MSG_BITS - scheme_cnt_bits, scheme_cnt_bits).unwrap();
         let period = scheme.cnt_period().min(1 << 12);
         let mut seen = std::collections::HashSet::new();
         for c in 0..period {
-            prop_assert!(seen.insert(scheme.device_tag(pe, c)));
+            assert!(seen.insert(scheme.device_tag(pe, c)));
         }
         // Wrap: counter `period` aliases counter 0.
-        prop_assert_eq!(scheme.device_tag(pe, period), scheme.device_tag(pe, 0));
-    }
+        assert_eq!(scheme.device_tag(pe, period), scheme.device_tag(pe, 0));
+    });
+}
 
-    /// Envelope encode/decode is the identity for arbitrary contents.
-    #[test]
-    fn envelope_roundtrip(
-        collection in any::<u16>(),
-        index in any::<u64>(),
-        ep in any::<u16>(),
-        src_pe in any::<u32>(),
-        params in prop::collection::vec(any::<u8>(), 0..256),
-        phantom in any::<u64>(),
-        device in prop::collection::vec((any::<u64>(), any::<u64>()), 0..8),
-    ) {
+/// Envelope encode/decode is the identity for arbitrary contents.
+#[test]
+fn envelope_roundtrip() {
+    check("envelope_roundtrip", |g| {
         let e = Envelope {
-            collection,
-            index,
-            ep,
-            src_pe,
-            params,
-            phantom_payload: phantom,
-            device: device
-                .into_iter()
-                .map(|(tag, size)| DeviceMeta {
+            collection: g.any_u16(),
+            index: g.any_u64(),
+            ep: g.any_u16(),
+            src_pe: g.any_u32(),
+            params: g.bytes(0..256),
+            phantom_payload: g.any_u64(),
+            device: g.vec(0..8, |g| {
+                let tag = g.any_u64();
+                DeviceMeta {
                     tag,
-                    size,
+                    size: g.any_u64(),
                     user_tagged: tag % 2 == 0,
-                })
-                .collect(),
+                }
+            }),
         };
         let bytes = e.encode();
-        prop_assert_eq!(Envelope::decode(&bytes), Some(e));
-    }
+        assert_eq!(Envelope::decode(&bytes), Some(e));
+    });
+}
 
-    /// Decoding never panics on arbitrary bytes (malformed input is None or
-    /// a best-effort envelope, never a crash).
-    #[test]
-    fn envelope_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+/// Decoding never panics on arbitrary bytes (malformed input is None or
+/// a best-effort envelope, never a crash).
+#[test]
+fn envelope_decode_never_panics() {
+    check("envelope_decode_never_panics", |g| {
+        let bytes = g.bytes(0..128);
         let _ = Envelope::decode(&bytes);
-    }
+    });
+}
 
-    /// Marshal helpers roundtrip arbitrary sequences.
-    #[test]
-    fn marshal_roundtrip(
-        a in any::<u64>(),
-        b in any::<f64>(),
-        c in any::<u32>(),
-        d in any::<i64>(),
-        e in any::<u8>(),
-        blob in prop::collection::vec(any::<u8>(), 0..64),
-    ) {
+/// Marshal helpers roundtrip arbitrary sequences.
+#[test]
+fn marshal_roundtrip() {
+    check("marshal_roundtrip", |g| {
+        let a = g.any_u64();
+        let b = g.any_f64();
+        let c = g.any_u32();
+        let d = g.any_i64();
+        let e = g.any_u8();
+        let blob = g.bytes(0..64);
         let mut buf = Vec::new();
         marshal::put_u64(&mut buf, a);
         marshal::put_f64(&mut buf, b);
@@ -101,12 +102,12 @@ proptest! {
         marshal::put_u8(&mut buf, e);
         marshal::put_bytes(&mut buf, &blob);
         let mut r = marshal::Reader(&buf);
-        prop_assert_eq!(r.u64(), a);
+        assert_eq!(r.u64(), a);
         let rb = r.f64();
-        prop_assert!(rb == b || (rb.is_nan() && b.is_nan()));
-        prop_assert_eq!(r.u32(), c);
-        prop_assert_eq!(r.i64(), d);
-        prop_assert_eq!(r.u8(), e);
-        prop_assert_eq!(r.bytes(), &blob[..]);
-    }
+        assert!(rb == b || (rb.is_nan() && b.is_nan()));
+        assert_eq!(r.u32(), c);
+        assert_eq!(r.i64(), d);
+        assert_eq!(r.u8(), e);
+        assert_eq!(r.bytes(), &blob[..]);
+    });
 }

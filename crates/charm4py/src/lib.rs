@@ -594,7 +594,7 @@ mod tests {
     #[test]
     fn host_object_pickling_roundtrip() {
         let mut sim = sim(1);
-        let got = Arc::new(parking_lot::Mutex::new(None));
+        let got = Arc::new(rucx_compat::sync::Mutex::new(None));
         let got2 = got.clone();
         launch(&mut sim, move |py, ctx| match py.rank() {
             2 => {
@@ -628,7 +628,7 @@ mod tests {
             .pool
             .alloc_device(DeviceId(1), 8, true)
             .unwrap();
-        let out = Arc::new(parking_lot::Mutex::new(0u64));
+        let out = Arc::new(rucx_compat::sync::Mutex::new(0u64));
         let out2 = out.clone();
         launch(&mut sim, move |py, ctx| match py.rank() {
             0 => {
@@ -662,7 +662,7 @@ mod tests {
     #[test]
     fn barrier_synchronizes() {
         let mut sim = sim(1);
-        let times = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let times = Arc::new(rucx_compat::sync::Mutex::new(Vec::new()));
         let t2 = times.clone();
         launch(&mut sim, move |py, ctx| {
             ctx.advance(us(5.0 * py.rank() as f64));
@@ -689,7 +689,7 @@ mod tests {
             .unwrap();
         let h = sim.world_mut().gpu.pool.alloc_host(0, size, true, true);
         sim.world_mut().gpu.pool.write(d, &vec![0xAB; size as usize]).unwrap();
-        let elapsed = Arc::new(parking_lot::Mutex::new(0u64));
+        let elapsed = Arc::new(rucx_compat::sync::Mutex::new(0u64));
         let e2 = elapsed.clone();
         launch(&mut sim, move |py, ctx| {
             if py.rank() != 0 {

@@ -1,0 +1,195 @@
+//! Unbounded MPSC channels with the `crossbeam::channel` surface.
+//!
+//! The simulation's rendezvous protocol (driver ⇄ process threads) needs
+//! exactly: `unbounded()`, cloneable `Sender`s, blocking `Receiver::recv`,
+//! and disconnection errors on both ends so a dropped simulation unwinds
+//! parked process threads cleanly. Built on [`crate::sync`] primitives —
+//! no OS-specific machinery.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::sync::{Condvar, Mutex};
+
+struct Shared<T> {
+    queue: Mutex<Inner<T>>,
+    avail: Condvar,
+}
+
+struct Inner<T> {
+    buf: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+}
+
+/// Sending half; cloneable, usable from any thread.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiver was dropped; the unsent value is returned.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+/// All senders were dropped and the queue is drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Why a non-blocking receive returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(Inner {
+            buf: VecDeque::new(),
+            senders: 1,
+            receiver_alive: true,
+        }),
+        avail: Condvar::new(),
+    });
+    (
+        Sender { shared: shared.clone() },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a value; never blocks. Errors iff the receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut q = self.shared.queue.lock();
+        if !q.receiver_alive {
+            return Err(SendError(value));
+        }
+        q.buf.push_back(value);
+        drop(q);
+        self.shared.avail.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().senders += 1;
+        Sender { shared: self.shared.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut q = self.shared.queue.lock();
+        q.senders -= 1;
+        let last = q.senders == 0;
+        drop(q);
+        if last {
+            // Wake a blocked receiver so it can observe disconnection.
+            self.shared.avail.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a value arrives or every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.shared.queue.lock();
+        loop {
+            if let Some(v) = q.buf.pop_front() {
+                return Ok(v);
+            }
+            if q.senders == 0 {
+                return Err(RecvError);
+            }
+            self.shared.avail.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.shared.queue.lock();
+        match q.buf.pop_front() {
+            Some(v) => Ok(v),
+            None if q.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut q = self.shared.queue.lock();
+        q.receiver_alive = false;
+        // Senders never block, so nothing to wake; the flag makes their
+        // next `send` fail fast.
+        q.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn cross_thread_blocking_recv() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tx.send(42u32).unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(42));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn disconnect_on_all_senders_dropped() {
+        let (tx, rx) = unbounded::<u8>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_dropped() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(9).is_err());
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        let h = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(tx);
+        assert_eq!(h.join().unwrap(), Err(RecvError));
+    }
+}

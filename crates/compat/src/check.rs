@@ -1,0 +1,250 @@
+//! Minimal deterministic property-testing harness.
+//!
+//! A property is a closure over a [`Gen`] that panics (usually via
+//! `assert!`) when the property is violated. [`check`] runs it for a
+//! configurable number of seeded cases; every case's randomness derives
+//! from `(suite seed, case index)` via splitmix64, so the whole suite is
+//! reproducible and any single failing case can be replayed in isolation.
+//!
+//! No shrinking: on failure the harness reports the exact case seed and a
+//! one-line reproduction recipe instead.
+//!
+//! Environment knobs:
+//! - `RUCX_PROP_CASES=N` — cases per property (default [`DEFAULT_CASES`]).
+//! - `RUCX_PROP_SEED=0x<hex>` — run exactly one case, with this case seed
+//!   (the value printed by a failure). Case count is ignored.
+
+use crate::rng::{splitmix64, Rng};
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Per-case value source: a seeded [`Rng`] plus generation conveniences
+/// shaped like the property-test combinators the suites were written
+/// against.
+pub struct Gen {
+    rng: Rng,
+    /// The case seed; printed on failure for exact reproduction.
+    pub case_seed: u64,
+}
+
+impl Gen {
+    fn new(case_seed: u64) -> Self {
+        Gen { rng: Rng::new(case_seed), case_seed }
+    }
+
+    /// The underlying RNG, for draws the helpers below don't cover.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    pub fn u64(&mut self, range: std::ops::Range<u64>) -> u64 {
+        self.rng.gen_range(range)
+    }
+
+    pub fn any_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    pub fn u32(&mut self, range: std::ops::Range<u32>) -> u32 {
+        self.rng.gen_range(range.start as u64..range.end as u64) as u32
+    }
+
+    pub fn any_u32(&mut self) -> u32 {
+        self.rng.next_u32()
+    }
+
+    pub fn u16(&mut self, range: std::ops::Range<u16>) -> u16 {
+        self.rng.gen_range(range.start as u64..range.end as u64) as u16
+    }
+
+    pub fn any_u16(&mut self) -> u16 {
+        self.rng.next_u64() as u16
+    }
+
+    pub fn u8(&mut self, range: std::ops::Range<u8>) -> u8 {
+        self.rng.gen_range(range.start as u64..range.end as u64) as u8
+    }
+
+    pub fn any_u8(&mut self) -> u8 {
+        self.rng.next_u64() as u8
+    }
+
+    pub fn any_i64(&mut self) -> i64 {
+        self.rng.next_u64() as i64
+    }
+
+    pub fn usize(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.rng.gen_range_usize(range)
+    }
+
+    pub fn f64(&mut self, range: std::ops::Range<f64>) -> f64 {
+        self.rng.gen_range_f64(range)
+    }
+
+    /// Arbitrary f64 from arbitrary bits: exercises NaN, infinities, and
+    /// subnormals, like `any::<f64>()` did.
+    pub fn any_f64(&mut self) -> f64 {
+        f64::from_bits(self.rng.next_u64())
+    }
+
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// A vector with a length drawn from `len` and elements from `f`.
+    pub fn vec<T>(
+        &mut self,
+        len: std::ops::Range<usize>,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.usize(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A byte vector with a length drawn from `len`.
+    pub fn bytes(&mut self, len: std::ops::Range<usize>) -> Vec<u8> {
+        let n = self.usize(len);
+        let mut v = vec![0u8; n];
+        self.rng.fill(&mut v);
+        v
+    }
+
+    /// Uniformly choose one element of a non-empty slice.
+    pub fn pick<T: Clone>(&mut self, items: &[T]) -> T {
+        self.rng.choose(items).clone()
+    }
+}
+
+/// How many cases to run, honoring `RUCX_PROP_CASES`.
+fn case_count(default_cases: u32) -> u32 {
+    std::env::var("RUCX_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default_cases)
+}
+
+/// Parse `RUCX_PROP_SEED` (accepts `0x<hex>`, plain hex, or decimal).
+/// A set-but-unparseable value panics rather than silently running the full
+/// suite: a typo'd replay must not masquerade as a passing reproduction.
+fn replay_seed() -> Option<u64> {
+    let raw = std::env::var("RUCX_PROP_SEED").ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse()
+            .ok()
+            .or_else(|| u64::from_str_radix(raw, 16).ok())
+    };
+    match parsed {
+        Some(seed) => Some(seed),
+        None => panic!(
+            "RUCX_PROP_SEED={raw:?} is not a valid seed (expected 0x<hex>, hex, or decimal)"
+        ),
+    }
+}
+
+/// Deterministic suite seed from the property name, so distinct properties
+/// explore distinct streams but every run of the same binary explores the
+/// same cases (FNV-1a).
+fn suite_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Run `property` for the default number of seeded cases ([`DEFAULT_CASES`],
+/// or `RUCX_PROP_CASES`). Panics with the failing case seed on the first
+/// violated case.
+pub fn check(name: &str, property: impl FnMut(&mut Gen)) {
+    check_with(name, DEFAULT_CASES, property)
+}
+
+/// [`check`] with an explicit default case count (still overridable via
+/// `RUCX_PROP_CASES`, and bypassed entirely by `RUCX_PROP_SEED`).
+pub fn check_with(name: &str, default_cases: u32, mut property: impl FnMut(&mut Gen)) {
+    if let Some(seed) = replay_seed() {
+        eprintln!("[check] {name}: replaying single case seed {seed:#x} (RUCX_PROP_SEED)");
+        let mut g = Gen::new(seed);
+        property(&mut g);
+        return;
+    }
+    let cases = case_count(default_cases);
+    let mut sm = suite_seed(name);
+    for case in 0..cases {
+        let case_seed = splitmix64(&mut sm);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g = Gen::new(case_seed);
+            property(&mut g);
+        }));
+        if let Err(payload) = result {
+            let msg = if let Some(s) = payload.downcast_ref::<&'static str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "<non-string panic payload>".to_string()
+            };
+            panic!(
+                "property '{name}' failed at case {case}/{cases} (case seed {case_seed:#x}):\n  \
+                 {msg}\n  reproduce with: RUCX_PROP_SEED={case_seed:#x} cargo test -q {name}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0u32);
+        check_with("always_true", 16, |g| {
+            let _ = g.any_u64();
+            count.set(count.get() + 1);
+        });
+        assert_eq!(count.get(), 16);
+    }
+
+    #[test]
+    fn case_seeds_are_deterministic_per_name() {
+        let mut a = Vec::new();
+        check_with("seed_stream", 8, |g| a.push(g.case_seed));
+        let mut b = Vec::new();
+        check_with("seed_stream", 8, |g| b.push(g.case_seed));
+        assert_eq!(a, b);
+        let mut c = Vec::new();
+        check_with("other_name", 8, |g| c.push(g.case_seed));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn failure_reports_case_seed() {
+        let err = std::panic::catch_unwind(|| {
+            check_with("fails_on_big", 64, |g| {
+                let v = g.u64(0..100);
+                assert!(v < 10, "v={v}");
+            });
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("fails_on_big"), "{msg}");
+        assert!(msg.contains("RUCX_PROP_SEED=0x"), "{msg}");
+    }
+
+    #[test]
+    fn gen_vec_and_bytes_respect_ranges() {
+        check_with("gen_ranges", 32, |g| {
+            let v = g.vec(2..5, |g| g.u32(10..20));
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| (10..20).contains(&x)));
+            let b = g.bytes(0..9);
+            assert!(b.len() < 9);
+        });
+    }
+}

@@ -1,0 +1,229 @@
+//! Minimal JSON emission for benchmark results.
+//!
+//! The benchmarks only ever *write* JSON (one file per figure, consumed by
+//! plotting scripts), so this is an encoder, not a parser: a [`ToJson`]
+//! trait with impls for the primitive / tuple / vector shapes the figure
+//! data takes, plus a [`JsonObject`] builder for struct-shaped results.
+//!
+//! Non-finite floats encode as `null` (JSON has no NaN/Infinity), matching
+//! what `serde_json` produced for the same data.
+
+/// Types that can serialize themselves as a JSON value.
+pub trait ToJson {
+    fn write_json(&self, out: &mut String);
+
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+}
+
+/// Escape and quote a string per RFC 8259.
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl ToJson for f64 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // `{:?}` keeps enough digits to roundtrip the exact value.
+            out.push_str(&format!("{self:?}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl ToJson for f32 {
+    fn write_json(&self, out: &mut String) {
+        (*self as f64).write_json(out);
+    }
+}
+
+impl ToJson for str {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(self, out);
+    }
+}
+
+impl ToJson for String {
+    fn write_json(&self, out: &mut String) {
+        write_escaped(self, out);
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn write_seq<'a, T: ToJson + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        item.write_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: ToJson),+> ToJson for ($($name,)+) {
+            fn write_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push_str(", "); }
+                    first = false;
+                    self.$idx.write_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    };
+}
+
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Builder for object-shaped values; used by hand-written [`ToJson`] impls
+/// on result structs.
+///
+/// ```
+/// use rucx_compat::json::{JsonObject, ToJson};
+/// struct P { x: u64 }
+/// impl ToJson for P {
+///     fn write_json(&self, out: &mut String) {
+///         JsonObject::new(out).field("x", &self.x).finish();
+///     }
+/// }
+/// assert_eq!(P { x: 3 }.to_json(), r#"{"x": 3}"#);
+/// ```
+pub struct JsonObject<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> JsonObject<'a> {
+    pub fn new(out: &'a mut String) -> Self {
+        out.push('{');
+        JsonObject { out, first: true }
+    }
+
+    pub fn field<T: ToJson + ?Sized>(mut self, name: &str, value: &T) -> Self {
+        if !self.first {
+            self.out.push_str(", ");
+        }
+        self.first = false;
+        write_escaped(name, self.out);
+        self.out.push_str(": ");
+        value.write_json(self.out);
+        self
+    }
+
+    pub fn finish(self) {
+        self.out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(42u64.to_json(), "42");
+        assert_eq!((-3i64).to_json(), "-3");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(2.5f64.to_json(), "2.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!("a\"b\\c\nd".to_json(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn float_roundtrips_exactly() {
+        let v = 0.1f64 + 0.2;
+        assert_eq!(v.to_json().parse::<f64>().unwrap().to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn nested_collections_and_tuples() {
+        let rows = vec![vec!["a".to_string()], vec!["b".to_string(), "c".to_string()]];
+        assert_eq!(rows.to_json(), r#"[["a"], ["b", "c"]]"#);
+        let t = ("x", 1u64, 1.5f64, 2.0f64);
+        assert_eq!(t.to_json(), r#"["x", 1, 1.5, 2.0]"#);
+        let five = (1usize, 1.0f64, 2.0f64, 3.0f64, 4.0f64);
+        assert_eq!(five.to_json(), "[1, 1.0, 2.0, 3.0, 4.0]");
+    }
+
+    #[test]
+    fn object_builder() {
+        let mut s = String::new();
+        JsonObject::new(&mut s)
+            .field("label", "Charm++-D")
+            .field("points", &vec![(1u64, 2.0f64)])
+            .finish();
+        assert_eq!(s, r#"{"label": "Charm++-D", "points": [[1, 2.0]]}"#);
+    }
+}

@@ -1,0 +1,193 @@
+//! Criterion-free micro-benchmark runner.
+//!
+//! Measures the *simulator's* wall-clock cost (event dispatch, context
+//! switches, tag matching) — never simulated results, which stay purely
+//! virtual-time and deterministic. Each benchmark runs `warmup` unmeasured
+//! iterations then `iters` timed ones, and reports min / mean / median /
+//! p99 / max per iteration, plus a JSON file per run via [`crate::json`].
+//!
+//! Environment knobs:
+//! - `RUCX_BENCH_ITERS=N` — timed iterations per benchmark (default 30).
+//! - `RUCX_BENCH_WARMUP=N` — warmup iterations (default 3).
+
+use std::time::Instant;
+
+use crate::json::{JsonObject, ToJson};
+
+/// Summary statistics for one benchmark, nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    pub iters: u32,
+    pub min_ns: u64,
+    pub mean_ns: u64,
+    pub median_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+}
+
+impl ToJson for BenchResult {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new(out)
+            .field("name", &self.name)
+            .field("iters", &(self.iters as u64))
+            .field("min_ns", &self.min_ns)
+            .field("mean_ns", &self.mean_ns)
+            .field("median_ns", &self.median_ns)
+            .field("p99_ns", &self.p99_ns)
+            .field("max_ns", &self.max_ns)
+            .finish();
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Inclusive-rank percentile of a sorted sample (nearest-rank method).
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Collects benchmarks; prints a line per benchmark as it completes.
+pub struct Runner {
+    warmup: u32,
+    iters: u32,
+    results: Vec<BenchResult>,
+}
+
+impl Runner {
+    /// Construct with iteration counts from the environment (see module
+    /// docs for the knobs).
+    pub fn from_env() -> Self {
+        let get = |key: &str, default: u32| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        Runner {
+            warmup: get("RUCX_BENCH_WARMUP", 3),
+            iters: get("RUCX_BENCH_ITERS", 30).max(1),
+            results: Vec::new(),
+        }
+    }
+
+    /// Explicit iteration counts (tests; callers with known costs).
+    pub fn new(warmup: u32, iters: u32) -> Self {
+        Runner { warmup, iters: iters.max(1), results: Vec::new() }
+    }
+
+    /// Benchmark `f` called once per iteration.
+    pub fn bench(&mut self, name: &str, mut f: impl FnMut()) {
+        self.bench_with_setup(name, || (), |()| f());
+    }
+
+    /// Benchmark with unmeasured per-iteration setup (the `iter_batched`
+    /// shape): `setup` builds the input, only `run` is timed.
+    pub fn bench_with_setup<S>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut run: impl FnMut(S),
+    ) {
+        for _ in 0..self.warmup {
+            run(setup());
+        }
+        let mut samples = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            run(input);
+            samples.push(t0.elapsed().as_nanos() as u64);
+        }
+        samples.sort_unstable();
+        let result = BenchResult {
+            name: name.to_string(),
+            iters: self.iters,
+            min_ns: samples[0],
+            mean_ns: (samples.iter().sum::<u64>() / samples.len() as u64),
+            median_ns: percentile(&samples, 50.0),
+            p99_ns: percentile(&samples, 99.0),
+            max_ns: *samples.last().unwrap(),
+        };
+        println!(
+            "{:<40} median {:>12}  p99 {:>12}  (min {}, max {}, {} iters)",
+            result.name,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.p99_ns),
+            fmt_ns(result.min_ns),
+            fmt_ns(result.max_ns),
+            result.iters,
+        );
+        self.results.push(result);
+    }
+
+    /// All results so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Serialize every result as a JSON array.
+    pub fn to_json(&self) -> String {
+        self.results.to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_warmup_plus_iters() {
+        let calls = std::cell::Cell::new(0u32);
+        let mut r = Runner::new(2, 5);
+        r.bench("count_calls", || calls.set(calls.get() + 1));
+        assert_eq!(calls.get(), 7);
+        let res = &r.results()[0];
+        assert_eq!(res.iters, 5);
+        assert!(res.min_ns <= res.median_ns);
+        assert!(res.median_ns <= res.p99_ns);
+        assert!(res.p99_ns <= res.max_ns);
+    }
+
+    #[test]
+    fn setup_not_timed_shape_works() {
+        let mut r = Runner::new(0, 3);
+        r.bench_with_setup(
+            "sum_vec",
+            || vec![1u64; 1000],
+            |v| {
+                assert_eq!(v.iter().sum::<u64>(), 1000);
+            },
+        );
+        assert_eq!(r.results().len(), 1);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&s, 50.0), 50);
+        assert_eq!(percentile(&s, 99.0), 100);
+        assert_eq!(percentile(&[7], 50.0), 7);
+    }
+
+    #[test]
+    fn json_output_contains_fields() {
+        let mut r = Runner::new(0, 2);
+        r.bench("noop", || {});
+        let j = r.to_json();
+        assert!(j.contains("\"name\": \"noop\""), "{j}");
+        assert!(j.contains("\"median_ns\""), "{j}");
+    }
+}

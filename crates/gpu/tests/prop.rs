@@ -1,7 +1,10 @@
 //! Property-based tests of the memory pool: accounting, data integrity,
 //! and bounds checking under random allocate/free/write/copy sequences.
+//!
+//! Runs on the in-repo harness ([`rucx_compat::check`]); failing cases
+//! print a seed replayable with `RUCX_PROP_SEED=<seed>`.
 
-use proptest::prelude::*;
+use rucx_compat::check::{check_with, Gen};
 use rucx_gpu::{DeviceId, MemPool, MemRef};
 
 #[derive(Debug, Clone)]
@@ -13,26 +16,25 @@ enum Op {
     CopyBetween { a: u8, b: u8 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..4, 1u16..512).prop_map(|(dev, size)| Op::AllocDevice { dev, size }),
-        (any::<bool>(), 1u16..512).prop_map(|(pinned, size)| Op::AllocHost { pinned, size }),
-        (any::<u8>()).prop_map(|idx| Op::Free { idx }),
-        (any::<u8>(), any::<u8>()).prop_map(|(idx, seed)| Op::Write { idx, seed }),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::CopyBetween { a, b }),
-    ]
+fn gen_op(g: &mut Gen) -> Op {
+    match g.usize(0..5) {
+        0 => Op::AllocDevice { dev: g.u8(0..4), size: g.u16(1..512) },
+        1 => Op::AllocHost { pinned: g.bool(), size: g.u16(1..512) },
+        2 => Op::Free { idx: g.any_u8() },
+        3 => Op::Write { idx: g.any_u8(), seed: g.any_u8() },
+        _ => Op::CopyBetween { a: g.any_u8(), b: g.any_u8() },
+    }
 }
 
 fn pattern(len: u64, seed: u8) -> Vec<u8> {
     (0..len).map(|i| (i as u8).wrapping_mul(37).wrapping_add(seed)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// A shadow model of the pool stays in sync under random operations.
-    #[test]
-    fn pool_matches_shadow_model(ops in prop::collection::vec(op_strategy(), 1..80)) {
+/// A shadow model of the pool stays in sync under random operations.
+#[test]
+fn pool_matches_shadow_model() {
+    check_with("pool_matches_shadow_model", 128, |g| {
+        let ops = g.vec(1..80, gen_op);
         let mut pool = MemPool::new(4, 1 << 20, 1);
         // live: (ref, shadow contents)
         let mut live: Vec<(MemRef, Vec<u8>)> = Vec::new();
@@ -60,7 +62,7 @@ proptest! {
                     }
                     pool.free(r.id).unwrap();
                     // Double free must fail.
-                    prop_assert!(pool.free(r.id).is_err());
+                    assert!(pool.free(r.id).is_err());
                 }
                 Op::Write { idx, seed } => {
                     if live.is_empty() { continue; }
@@ -85,24 +87,25 @@ proptest! {
             }
             // Invariants after every op.
             for (r, shadow) in &live {
-                prop_assert_eq!(&pool.read(*r).unwrap(), shadow);
+                assert_eq!(&pool.read(*r).unwrap(), shadow);
             }
             for d in 0..4u32 {
-                prop_assert_eq!(pool.device_used(DeviceId(d)), device_used[d as usize]);
+                assert_eq!(pool.device_used(DeviceId(d)), device_used[d as usize]);
             }
-            prop_assert_eq!(pool.host_used(0), host_used);
-            prop_assert_eq!(pool.live_allocations(), live.len());
+            assert_eq!(pool.host_used(0), host_used);
+            assert_eq!(pool.live_allocations(), live.len());
         }
-    }
+    });
+}
 
-    /// Slices read back exactly the window they cover.
-    #[test]
-    fn slice_reads_window(
-        size in 1u64..1024,
-        off_frac in 0.0f64..1.0,
-        len_frac in 0.0f64..1.0,
-        seed in any::<u8>(),
-    ) {
+/// Slices read back exactly the window they cover.
+#[test]
+fn slice_reads_window() {
+    check_with("slice_reads_window", 128, |g| {
+        let size = g.u64(1..1024);
+        let off_frac = g.f64(0.0..1.0);
+        let len_frac = g.f64(0.0..1.0);
+        let seed = g.any_u8();
         let mut pool = MemPool::new(1, 1 << 20, 1);
         let r = pool.alloc_host(0, size, true, true);
         let data = pattern(size, seed);
@@ -110,11 +113,11 @@ proptest! {
         let off = (off_frac * size as f64) as u64 % size;
         let len = 1 + (len_frac * (size - off) as f64) as u64;
         let len = len.min(size - off);
-        if len == 0 { return Ok(()); }
+        if len == 0 { return; }
         let s = r.slice(off, len);
-        prop_assert_eq!(
+        assert_eq!(
             pool.read(s).unwrap(),
             data[off as usize..(off + len) as usize].to_vec()
         );
-    }
+    });
 }

@@ -39,7 +39,7 @@ struct JacobiChare {
     t0: Time,
     /// Root only: reduction results received so far.
     reports: Vec<f64>,
-    result: Arc<parking_lot::Mutex<JacobiResult>>,
+    result: Arc<rucx_compat::sync::Mutex<JacobiResult>>,
 }
 
 thread_local! {
@@ -192,7 +192,7 @@ pub fn run_charm(cfg: &JacobiConfig) -> JacobiResult {
     let bufs = Arc::new(alloc_mapped(&mut sim, cfg.domain, grid, |b| {
         (b / odf) as usize
     }));
-    let result = Arc::new(parking_lot::Mutex::new(JacobiResult {
+    let result = Arc::new(rucx_compat::sync::Mutex::new(JacobiResult {
         overall_ms: 0.0,
         comm_ms: 0.0,
     }));

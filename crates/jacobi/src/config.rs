@@ -1,8 +1,8 @@
 //! Jacobi3D run configuration and results.
 
+use rucx_compat::json::{JsonObject, ToJson};
 use rucx_gpu::KernelCost;
 use rucx_sim::time::us;
-use serde::Serialize;
 
 use crate::decomp::Block;
 
@@ -68,10 +68,19 @@ impl JacobiConfig {
 }
 
 /// Per-iteration timings, maxed over ranks (ms).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JacobiResult {
     pub overall_ms: f64,
     pub comm_ms: f64,
+}
+
+impl ToJson for JacobiResult {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new(out)
+            .field("overall_ms", &self.overall_ms)
+            .field("comm_ms", &self.comm_ms)
+            .finish();
+    }
 }
 
 /// Cost of the 7-point stencil kernel on one block: memory-bound, touching

@@ -21,7 +21,7 @@ pub fn run_mpi<F: RankFactory>(cfg: &JacobiConfig, factory: F) -> JacobiResult {
     let mut sim = build_sim(topo, cfg.machine.clone());
     let grid = decompose(cfg.domain, cfg.ranks() as u64);
     let bufs = Arc::new(alloc_all(&mut sim, cfg.domain, grid));
-    let result = Arc::new(parking_lot::Mutex::new(JacobiResult {
+    let result = Arc::new(rucx_compat::sync::Mutex::new(JacobiResult {
         overall_ms: 0.0,
         comm_ms: 0.0,
     }));

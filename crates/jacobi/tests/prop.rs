@@ -1,7 +1,10 @@
 //! Property-based tests of the Jacobi3D decomposition: optimality of the
 //! chosen block grid, neighbor symmetry, and conservation of cells/faces.
+//!
+//! Runs on the in-repo harness ([`rucx_compat::check`]); failing cases
+//! print a seed replayable with `RUCX_PROP_SEED=<seed>`.
 
-use proptest::prelude::*;
+use rucx_compat::check::check;
 use rucx_jacobi::decomp::{decompose, opposite, Block, BlockGrid, Domain};
 
 fn factor_triples(n: u64) -> Vec<(u64, u64, u64)> {
@@ -25,85 +28,90 @@ fn surface(d: Domain, (px, py, pz): (u64, u64, u64)) -> u64 {
     (px - 1) * d.ny * d.nz + (py - 1) * d.nx * d.nz + (pz - 1) * d.nx * d.ny
 }
 
-proptest! {
-    /// The chosen decomposition is surface-optimal among all factor triples.
-    #[test]
-    fn decompose_is_optimal(
-        nx_exp in 6u32..12,
-        ny_exp in 6u32..12,
-        nz_exp in 6u32..12,
-        blocks in 1u64..64,
-    ) {
-        let d = Domain { nx: 1 << nx_exp, ny: 1 << ny_exp, nz: 1 << nz_exp };
-        let g = decompose(d, blocks);
-        prop_assert_eq!(g.blocks(), blocks);
-        let got = surface(d, (g.px, g.py, g.pz));
+/// The chosen decomposition is surface-optimal among all factor triples.
+#[test]
+fn decompose_is_optimal() {
+    check("decompose_is_optimal", |g| {
+        let d = Domain {
+            nx: 1 << g.u32(6..12),
+            ny: 1 << g.u32(6..12),
+            nz: 1 << g.u32(6..12),
+        };
+        let blocks = g.u64(1..64);
+        let grid = decompose(d, blocks);
+        assert_eq!(grid.blocks(), blocks);
+        let got = surface(d, (grid.px, grid.py, grid.pz));
         for t in factor_triples(blocks) {
-            prop_assert!(got <= surface(d, t), "triple {t:?} beats chosen {g:?}");
+            assert!(got <= surface(d, t), "triple {t:?} beats chosen {grid:?}");
         }
-    }
+    });
+}
 
-    /// Neighbor relations are symmetric with matching face sizes, and the
-    /// blocks partition the domain exactly.
-    #[test]
-    fn blocks_partition_and_neighbors_symmetric(
-        scale in 1u64..5,
-        blocks in prop::sample::select(vec![6u64, 12, 24, 48, 96]),
-    ) {
+/// Neighbor relations are symmetric with matching face sizes, and the
+/// blocks partition the domain exactly.
+#[test]
+fn blocks_partition_and_neighbors_symmetric() {
+    check("blocks_partition_and_neighbors_symmetric", |g| {
+        let scale = g.u64(1..5);
+        let blocks = g.pick(&[6u64, 12, 24, 48, 96]);
         let d = Domain { nx: 768 * scale, ny: 768 * scale, nz: 768 * scale };
-        let g = decompose(d, blocks);
+        let grid = decompose(d, blocks);
         let mut total_cells = 0;
         for i in 0..blocks {
-            let b = Block::new(d, g, i);
+            let b = Block::new(d, grid, i);
             total_cells += b.cells();
             for (dir, nb) in b.neighbors.iter().enumerate() {
                 if let Some(j) = nb {
-                    prop_assert_ne!(*j, i, "self neighbor");
-                    let o = Block::new(d, g, *j);
-                    prop_assert_eq!(o.neighbors[opposite(dir)], Some(i));
-                    prop_assert_eq!(b.face_bytes(dir), o.face_bytes(opposite(dir)));
+                    assert_ne!(*j, i, "self neighbor");
+                    let o = Block::new(d, grid, *j);
+                    assert_eq!(o.neighbors[opposite(dir)], Some(i));
+                    assert_eq!(b.face_bytes(dir), o.face_bytes(opposite(dir)));
                 }
             }
         }
-        prop_assert_eq!(total_cells, d.cells());
-    }
+        assert_eq!(total_cells, d.cells());
+    });
+}
 
-    /// Total halo traffic (sum of all send faces) equals twice the cut
-    /// surface (each internal plane is exchanged in both directions).
-    #[test]
-    fn halo_traffic_equals_cut_surface(
-        blocks in prop::sample::select(vec![6u64, 12, 24, 48]),
-    ) {
+/// Total halo traffic (sum of all send faces) equals twice the cut
+/// surface (each internal plane is exchanged in both directions).
+#[test]
+fn halo_traffic_equals_cut_surface() {
+    check("halo_traffic_equals_cut_surface", |g| {
+        let blocks = g.pick(&[6u64, 12, 24, 48]);
         let d = Domain { nx: 1536, ny: 1536, nz: 1536 };
-        let g = decompose(d, blocks);
+        let grid = decompose(d, blocks);
         let mut traffic_cells = 0u64;
         for i in 0..blocks {
-            let b = Block::new(d, g, i);
+            let b = Block::new(d, grid, i);
             for dir in 0..6 {
                 if b.neighbors[dir].is_some() {
                     traffic_cells += b.face_bytes(dir) / 8;
                 }
             }
         }
-        prop_assert_eq!(traffic_cells, 2 * surface(d, (g.px, g.py, g.pz)));
-    }
+        assert_eq!(traffic_cells, 2 * surface(d, (grid.px, grid.py, grid.pz)));
+    });
+}
 
-    /// Weak scaling grows the domain by exactly the node factor, and block
-    /// index/coordinate mapping is a bijection.
-    #[test]
-    fn weak_scaling_and_indexing(k in 0u32..9) {
+/// Weak scaling grows the domain by exactly the node factor, and block
+/// index/coordinate mapping is a bijection.
+#[test]
+fn weak_scaling_and_indexing() {
+    check("weak_scaling_and_indexing", |g| {
+        let k = g.u32(0..9);
         let nodes = 1usize << k;
         let d = Domain::weak_scaled(1536, nodes);
-        prop_assert_eq!(d.cells(), 1536u64.pow(3) * nodes as u64);
-        let g = decompose(d, nodes as u64 * 6);
+        assert_eq!(d.cells(), 1536u64.pow(3) * nodes as u64);
+        let grid = decompose(d, nodes as u64 * 6);
         let mut seen = std::collections::HashSet::new();
-        for i in 0..g.blocks() {
-            let (x, y, z) = g.coords(i);
-            prop_assert!(x < g.px && y < g.py && z < g.pz);
-            prop_assert_eq!(g.index(x, y, z), i);
-            prop_assert!(seen.insert((x, y, z)));
+        for i in 0..grid.blocks() {
+            let (x, y, z) = grid.coords(i);
+            assert!(x < grid.px && y < grid.py && z < grid.pz);
+            assert_eq!(grid.index(x, y, z), i);
+            assert!(seen.insert((x, y, z)));
         }
-    }
+    });
 }
 
 #[test]

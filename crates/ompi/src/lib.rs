@@ -64,7 +64,7 @@ pub struct Status {
 /// A non-blocking request: the trigger plus, for receives, a status slot.
 pub struct Request {
     trigger: Option<Trigger>,
-    status: Option<std::sync::Arc<parking_lot::Mutex<Option<Status>>>>,
+    status: Option<std::sync::Arc<rucx_compat::sync::Mutex<Option<Status>>>>,
 }
 
 /// Cost model of the (thin) MPI layer above UCX.
@@ -156,7 +156,7 @@ impl OmpiRank {
         ctx.advance(self.params.recv_overhead + call);
         let me = self.rank;
         let (want, mask) = match_spec(USER_COMM, src, tag);
-        let slot = std::sync::Arc::new(parking_lot::Mutex::new(None::<Status>));
+        let slot = std::sync::Arc::new(rucx_compat::sync::Mutex::new(None::<Status>));
         let slot2 = slot.clone();
         let trigger = ctx.with_world(move |w, s| {
             let trig = s.new_trigger();
@@ -330,7 +330,7 @@ mod tests {
             .alloc_device(DeviceId(1), 8, true)
             .unwrap();
         sim.world_mut().gpu.pool.write(a, &[9u8; 8]).unwrap();
-        let out = Arc::new(parking_lot::Mutex::new(0u64));
+        let out = Arc::new(rucx_compat::sync::Mutex::new(0u64));
         let out2 = out.clone();
         launch(&mut sim, move |mpi, ctx| match mpi.rank() {
             0 => {
@@ -363,7 +363,7 @@ mod tests {
     #[test]
     fn barrier_all_ranks() {
         let mut sim = sim(2);
-        let times = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let times = Arc::new(rucx_compat::sync::Mutex::new(Vec::new()));
         let t2 = times.clone();
         launch(&mut sim, move |mpi, ctx| {
             ctx.advance(rucx_sim::time::us(7.0 * mpi.rank() as f64));

@@ -28,7 +28,7 @@ pub fn mpi_bw_point<F: RankFactory>(
         Arc::new(s.h.clone()),
         Arc::new(s.ack.clone()),
     );
-    let result = Arc::new(parking_lot::Mutex::new(0.0f64));
+    let result = Arc::new(rucx_compat::sync::Mutex::new(0.0f64));
     let result2 = result.clone();
     let (iters, warmup, window) = (cfg.bw_iters, cfg.bw_warmup, cfg.bw_window);
 

@@ -23,7 +23,7 @@ pub fn mpi_bibw_point<F: RankFactory>(
     let mut s = setup(&cfg.machine, size);
     let peer = place.peer();
     let d = Arc::new(s.d.clone());
-    let result = Arc::new(parking_lot::Mutex::new(0.0f64));
+    let result = Arc::new(rucx_compat::sync::Mutex::new(0.0f64));
     let result2 = result.clone();
     let (iters, warmup, window) = (cfg.bw_iters, cfg.bw_warmup, cfg.bw_window);
 
@@ -75,7 +75,7 @@ pub fn mpi_mbw_point<F: RankFactory>(
     let mut s = setup(&cfg.machine, size);
     let d = Arc::new(s.d.clone());
     let ack = Arc::new(s.ack.clone());
-    let result = Arc::new(parking_lot::Mutex::new(0.0f64));
+    let result = Arc::new(rucx_compat::sync::Mutex::new(0.0f64));
     let result2 = result.clone();
     let (iters, warmup, window) = (cfg.bw_iters, cfg.bw_warmup, cfg.bw_window);
 

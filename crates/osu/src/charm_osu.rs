@@ -25,7 +25,7 @@ struct LatChare {
     warmup: u32,
     count: u32,
     t0: Time,
-    result: Arc<parking_lot::Mutex<f64>>,
+    result: Arc<rucx_compat::sync::Mutex<f64>>,
 }
 
 impl LatChare {
@@ -80,7 +80,7 @@ pub fn latency_point(cfg: &OsuConfig, size: u64, place: Placement, mode: Mode) -
     let mut s = setup(&cfg.machine, size);
     let peer = place.peer() as u64;
     let (d, h) = (Arc::new(s.d.clone()), Arc::new(s.h.clone()));
-    let result = Arc::new(parking_lot::Mutex::new(0.0f64));
+    let result = Arc::new(rucx_compat::sync::Mutex::new(0.0f64));
     let result2 = result.clone();
     let (iters, warmup) = (cfg.lat_iters, cfg.lat_warmup);
 
@@ -157,7 +157,7 @@ struct BwChare {
     iter: u32,
     recvd: u32,
     t0: Time,
-    result: Arc<parking_lot::Mutex<f64>>,
+    result: Arc<rucx_compat::sync::Mutex<f64>>,
 }
 
 impl BwChare {
@@ -234,7 +234,7 @@ pub fn bandwidth_point(cfg: &OsuConfig, size: u64, place: Placement, mode: Mode)
     let mut s = setup(&cfg.machine, size);
     let peer = place.peer() as u64;
     let (d, h) = (Arc::new(s.d.clone()), Arc::new(s.h.clone()));
-    let result = Arc::new(parking_lot::Mutex::new(0.0f64));
+    let result = Arc::new(rucx_compat::sync::Mutex::new(0.0f64));
     let result2 = result.clone();
     let (iters, warmup, window) = (cfg.bw_iters, cfg.bw_warmup, cfg.bw_window);
 

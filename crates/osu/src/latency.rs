@@ -25,7 +25,7 @@ pub fn mpi_latency_point<F: RankFactory>(
     let mut s = setup(&cfg.machine, size);
     let peer = place.peer();
     let (d, h) = (Arc::new(s.d.clone()), Arc::new(s.h.clone()));
-    let result = Arc::new(parking_lot::Mutex::new(0.0f64));
+    let result = Arc::new(rucx_compat::sync::Mutex::new(0.0f64));
     let result2 = result.clone();
     let (iters, warmup) = (cfg.lat_iters, cfg.lat_warmup);
 

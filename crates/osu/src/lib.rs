@@ -16,8 +16,8 @@ pub mod py_osu;
 
 use rucx_fabric::Topology;
 use rucx_gpu::MemRef;
+use rucx_compat::json::{JsonObject, ToJson};
 use rucx_ucp::{build_sim, MachineConfig, MSim};
-use serde::Serialize;
 
 /// Which programming model to benchmark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,13 +127,23 @@ pub fn default_sizes() -> Vec<u64> {
 }
 
 /// One benchmark curve: `(message size, value)` points.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// e.g. "Charm++-D intra-node latency".
     pub label: String,
     /// "us" or "MB/s".
     pub unit: &'static str,
     pub points: Vec<(u64, f64)>,
+}
+
+impl ToJson for Series {
+    fn write_json(&self, out: &mut String) {
+        JsonObject::new(out)
+            .field("label", &self.label)
+            .field("unit", self.unit)
+            .field("points", &self.points)
+            .finish();
+    }
 }
 
 impl Series {

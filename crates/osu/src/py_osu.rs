@@ -14,7 +14,7 @@ pub fn latency_point(cfg: &OsuConfig, size: u64, place: Placement, mode: Mode) -
     let mut s = setup(&cfg.machine, size);
     let peer = place.peer();
     let (d, h) = (Arc::new(s.d.clone()), Arc::new(s.h.clone()));
-    let result = Arc::new(parking_lot::Mutex::new(0.0f64));
+    let result = Arc::new(rucx_compat::sync::Mutex::new(0.0f64));
     let result2 = result.clone();
     let (iters, warmup) = (cfg.lat_iters, cfg.lat_warmup);
 
@@ -77,7 +77,7 @@ pub fn bandwidth_point(cfg: &OsuConfig, size: u64, place: Placement, mode: Mode)
     let mut s = setup(&cfg.machine, size);
     let peer = place.peer();
     let (d, h) = (Arc::new(s.d.clone()), Arc::new(s.h.clone()));
-    let result = Arc::new(parking_lot::Mutex::new(0.0f64));
+    let result = Arc::new(rucx_compat::sync::Mutex::new(0.0f64));
     let result2 = result.clone();
     let (iters, warmup, window) = (cfg.bw_iters, cfg.bw_warmup, cfg.bw_window);
 

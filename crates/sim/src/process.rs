@@ -10,7 +10,7 @@
 
 #![allow(clippy::type_complexity)]
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use rucx_compat::channel::{unbounded, Receiver, Sender};
 
 use crate::sched::{Notify, ProcId, Scheduler, Trigger};
 use crate::time::{Duration, Time};
@@ -146,7 +146,7 @@ impl<W> ProcCtx<W> {
         R: Send + 'static,
         F: FnOnce(&mut W, &mut Scheduler<W>) -> R + Send + 'static,
     {
-        let slot = std::sync::Arc::new(parking_lot::Mutex::new(None::<R>));
+        let slot = std::sync::Arc::new(rucx_compat::sync::Mutex::new(None::<R>));
         let slot2 = slot.clone();
         self.send(ProcMsg::Call(Box::new(move |w, s| {
             *slot2.lock() = Some(f(w, s));
@@ -172,7 +172,7 @@ impl<W> ProcCtx<W> {
     where
         F: FnMut(&mut W, &mut Scheduler<W>) -> bool + Send + 'static,
     {
-        let pred = std::sync::Arc::new(parking_lot::Mutex::new(pred));
+        let pred = std::sync::Arc::new(rucx_compat::sync::Mutex::new(pred));
         loop {
             let p = pred.clone();
             let (done, seen) = self.with_world(move |w, s| ((p.lock())(w, s), s.notify_epoch(n)));

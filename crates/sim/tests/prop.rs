@@ -1,23 +1,23 @@
 //! Property-based tests of the simulation engine's core guarantees:
 //! deterministic replay, monotone time, and exact wakeup semantics.
+//!
+//! Runs on the in-repo harness ([`rucx_compat::check`]): each property
+//! executes ≥ 64 seeded cases; a failure prints the case seed, and
+//! `RUCX_PROP_SEED=<seed>` replays exactly that case.
 
-use proptest::prelude::*;
+use rucx_compat::check::{check, Gen};
 use rucx_sim::{RunOutcome, Simulation};
 
 /// A small random program: per process, a list of (advance, value) steps.
-fn program_strategy() -> impl Strategy<Value = Vec<Vec<(u64, u32)>>> {
-    prop::collection::vec(
-        prop::collection::vec((0u64..50, 0u32..1000), 0..12),
-        1..6,
-    )
+fn gen_program(g: &mut Gen) -> Vec<Vec<(u64, u32)>> {
+    g.vec(1..6, |g| g.vec(0..12, |g| (g.u64(0..50), g.u32(0..1000))))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The same program always produces the identical event trace.
-    #[test]
-    fn replay_is_deterministic(prog in program_strategy()) {
+/// The same program always produces the identical event trace.
+#[test]
+fn replay_is_deterministic() {
+    check("replay_is_deterministic", |g| {
+        let prog = gen_program(g);
         fn run(prog: &[Vec<(u64, u32)>]) -> (Vec<(u64, usize, u32)>, u64) {
             let mut sim = Simulation::new(Vec::<(u64, usize, u32)>::new());
             for (pi, steps) in prog.iter().enumerate() {
@@ -36,13 +36,16 @@ proptest! {
         }
         let a = run(&prog);
         let b = run(&prog);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// Virtual time as observed by any process is monotone, and every
-    /// `advance(dt)` lands exactly `dt` later.
-    #[test]
-    fn advance_is_exact(steps in prop::collection::vec(0u64..1000, 1..50)) {
+/// Virtual time as observed by any process is monotone, and every
+/// `advance(dt)` lands exactly `dt` later.
+#[test]
+fn advance_is_exact() {
+    check("advance_is_exact", |g| {
+        let steps = g.vec(1..50, |g| g.u64(0..1000));
         let mut sim = Simulation::new(());
         let expected: u64 = steps.iter().sum();
         sim.spawn("p", 0, move |ctx| {
@@ -53,34 +56,38 @@ proptest! {
                 assert_eq!(ctx.now(), t);
             }
         });
-        prop_assert_eq!(sim.run(), RunOutcome::Completed);
-        prop_assert_eq!(sim.scheduler().now(), expected);
-    }
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(sim.scheduler().now(), expected);
+    });
+}
 
-    /// Events fire in (time, insertion) order regardless of insertion order.
-    #[test]
-    fn event_order_is_stable_sort(times in prop::collection::vec(0u64..100, 1..60)) {
+/// Events fire in (time, insertion) order regardless of insertion order.
+#[test]
+fn event_order_is_stable_sort() {
+    check("event_order_is_stable_sort", |g| {
+        let times = g.vec(1..60, |g| g.u64(0..100));
         let mut sim = Simulation::new(Vec::<(u64, usize)>::new());
         for (i, &t) in times.iter().enumerate() {
             sim.scheduler().schedule_at(t, move |w, s| {
                 w.push((s.now(), i));
             });
         }
-        prop_assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(sim.run(), RunOutcome::Completed);
         let fired = sim.world().clone();
         // Stable sort of (time, insertion index).
         let mut expected: Vec<(u64, usize)> = times.iter().copied().zip(0..).collect();
         expected.sort_by_key(|&(t, i)| (t, i));
-        prop_assert_eq!(fired, expected);
-    }
+        assert_eq!(fired, expected);
+    });
+}
 
-    /// A trigger fired at time T wakes all waiters at exactly T, regardless
-    /// of when they started waiting.
-    #[test]
-    fn trigger_wakes_exactly_at_fire_time(
-        fire_at in 1u64..1000,
-        waiter_starts in prop::collection::vec(0u64..1000, 1..8),
-    ) {
+/// A trigger fired at time T wakes all waiters at exactly T, regardless
+/// of when they started waiting.
+#[test]
+fn trigger_wakes_exactly_at_fire_time() {
+    check("trigger_wakes_exactly_at_fire_time", |g| {
+        let fire_at = g.u64(1..1000);
+        let waiter_starts = g.vec(1..8, |g| g.u64(0..1000));
         let mut sim = Simulation::new(Vec::<(usize, u64)>::new());
         let t = sim.scheduler().new_trigger();
         for (i, &start) in waiter_starts.iter().enumerate() {
@@ -91,9 +98,9 @@ proptest! {
             });
         }
         sim.scheduler().schedule_at(fire_at, move |_, s| s.fire(t));
-        prop_assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(sim.run(), RunOutcome::Completed);
         for &(i, woke) in sim.world().iter() {
-            prop_assert_eq!(woke, fire_at.max(waiter_starts[i]));
+            assert_eq!(woke, fire_at.max(waiter_starts[i]));
         }
-    }
+    });
 }

@@ -52,7 +52,7 @@ pub mod blocking {
         tag: Tag,
         mask: TagMask,
     ) -> RecvInfo {
-        let info = std::sync::Arc::new(parking_lot::Mutex::new(None::<RecvInfo>));
+        let info = std::sync::Arc::new(rucx_compat::sync::Mutex::new(None::<RecvInfo>));
         let info2 = info.clone();
         let done = ctx.with_world(move |w, s| {
             let t = s.new_trigger();
@@ -114,7 +114,7 @@ mod tests {
     /// Run a 2-process send/recv of `size` bytes and return (elapsed_ns,
     /// received bytes).
     fn p2p_roundtrip(sim: &mut MSim, src_buf: MemRef, dst_buf: MemRef, a: usize, b: usize) -> u64 {
-        let done_at = std::sync::Arc::new(parking_lot::Mutex::new(0u64));
+        let done_at = std::sync::Arc::new(rucx_compat::sync::Mutex::new(0u64));
         let done2 = done_at.clone();
         sim.spawn("sender", 0, move |ctx| {
             blocking::send(ctx, a, b, SendBuf::Mem(src_buf), 42);
@@ -258,7 +258,7 @@ mod tests {
                 );
             });
         });
-        let got = std::sync::Arc::new(parking_lot::Mutex::new(None));
+        let got = std::sync::Arc::new(rucx_compat::sync::Mutex::new(None));
         let got2 = got.clone();
         sim.spawn("receiver", 0, move |ctx| {
             loop {
@@ -299,7 +299,7 @@ mod tests {
                 tag_send_nb(w, s, 0, 6, SendBuf::bytes(big2), 5, Completion::None);
             });
         });
-        let got = std::sync::Arc::new(parking_lot::Mutex::new(None));
+        let got = std::sync::Arc::new(rucx_compat::sync::Mutex::new(None));
         let got2 = got.clone();
         sim.spawn("receiver", 0, move |ctx| {
             let n = ctx.with_world(|w, _| w.ucp.worker(6).notify);
@@ -397,8 +397,8 @@ mod tests {
         let size = 1u64 << 20;
         let a = alloc_dev(&mut sim, 0, size);
         let b = alloc_dev(&mut sim, 1, size);
-        let send_done = std::sync::Arc::new(parking_lot::Mutex::new(0u64));
-        let recv_done = std::sync::Arc::new(parking_lot::Mutex::new(0u64));
+        let send_done = std::sync::Arc::new(rucx_compat::sync::Mutex::new(0u64));
+        let recv_done = std::sync::Arc::new(rucx_compat::sync::Mutex::new(0u64));
         let sd = send_done.clone();
         let rd = recv_done.clone();
         sim.spawn("sender", 0, move |ctx| {
@@ -446,7 +446,7 @@ mod tests {
         let a_r = alloc_host(&mut sim, 0, 8);
         let b_s = alloc_host(&mut sim, 0, 8);
         let b_r = alloc_host(&mut sim, 0, 8);
-        let rtt = std::sync::Arc::new(parking_lot::Mutex::new(0u64));
+        let rtt = std::sync::Arc::new(rucx_compat::sync::Mutex::new(0u64));
         let rtt2 = rtt.clone();
         sim.spawn("p0", 0, move |ctx| {
             let t0 = ctx.now();

@@ -2,8 +2,11 @@
 //! messages — arbitrary sizes (crossing every protocol threshold), memory
 //! kinds, endpoints, and posting orders — is delivered exactly once with
 //! byte-exact contents, and no rendezvous state leaks.
+//!
+//! Runs on the in-repo harness ([`rucx_compat::check`]); failing cases
+//! print a seed replayable with `RUCX_PROP_SEED=<seed>`.
 
-use proptest::prelude::*;
+use rucx_compat::check::{check, Gen};
 use rucx_fabric::Topology;
 use rucx_gpu::MemRef;
 use rucx_sim::time::us;
@@ -22,38 +25,35 @@ struct MsgSpec {
     seed: u8,
 }
 
-fn msg_strategy(procs: usize) -> impl Strategy<Value = MsgSpec> {
-    (
-        0..procs,
-        0..procs,
-        prop_oneof![Just(1u64), 8u64..64, 1000u64..5000, 20_000u64..80_000, Just(1 << 20)],
-        any::<bool>(),
-        any::<bool>(),
-        any::<u8>(),
-    )
-        .prop_filter_map("distinct endpoints", |(src, dst, size, device, recv_late, seed)| {
-            (src != dst).then_some(MsgSpec {
-                src,
-                dst,
-                size,
-                device,
-                recv_late,
-                seed,
-            })
-        })
+fn gen_msg(g: &mut Gen, procs: usize) -> MsgSpec {
+    let src = g.usize(0..procs);
+    // Uniform over the other endpoints, so src != dst by construction.
+    let dst = (src + g.usize(1..procs)) % procs;
+    let size = match g.usize(0..5) {
+        0 => 1u64,
+        1 => g.u64(8..64),
+        2 => g.u64(1000..5000),
+        3 => g.u64(20_000..80_000),
+        _ => 1 << 20,
+    };
+    MsgSpec {
+        src,
+        dst,
+        size,
+        device: g.bool(),
+        recv_late: g.bool(),
+        seed: g.any_u8(),
+    }
 }
 
 fn pattern(len: u64, seed: u8) -> Vec<u8> {
     (0..len).map(|i| (i as u8).wrapping_mul(31) ^ seed).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_message_matrix_delivers_exactly(
-        msgs in prop::collection::vec(msg_strategy(12), 1..10)
-    ) {
+#[test]
+fn random_message_matrix_delivers_exactly() {
+    check("random_message_matrix_delivers_exactly", |g| {
+        let msgs = g.vec(1..10, |g| gen_msg(g, 12));
         let topo = Topology::summit(2);
         let mut sim = build_sim(topo.clone(), MachineConfig::default());
 
@@ -131,17 +131,17 @@ proptest! {
                 }
             });
         }
-        prop_assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(sim.run(), RunOutcome::Completed);
         // Data integrity and no leaked rendezvous state.
         for (i, spec) in msgs.iter().enumerate() {
-            prop_assert_eq!(
+            assert_eq!(
                 sim.world().gpu.pool.read(dsts[i]).unwrap(),
                 pattern(spec.size, spec.seed),
                 "message {} corrupted", i
             );
         }
-        prop_assert_eq!(sim.world().ucp.inflight_rndv(), 0);
-    }
+        assert_eq!(sim.world().ucp.inflight_rndv(), 0);
+    });
 }
 
 // Deadlock note: blocking rendezvous sends complete only when the receiver

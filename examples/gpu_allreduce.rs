@@ -40,7 +40,7 @@ fn main() {
     }
     let bufs2 = Arc::new(bufs.clone());
     let scratch2 = Arc::new(scratch);
-    let done_at = Arc::new(parking_lot::Mutex::new(0u64));
+    let done_at = Arc::new(rucx_compat::sync::Mutex::new(0u64));
     let done2 = done_at.clone();
 
     rucx::ompi::launch(&mut sim, move |mpi, ctx| {

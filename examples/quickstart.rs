@@ -39,7 +39,7 @@ fn main() {
 
     // --- OpenMPI-style: CUDA-aware MPI directly over UCX ---------------
     let (mut sim, a, b) = fresh();
-    let rtt = Arc::new(parking_lot_mutex());
+    let rtt = Arc::new(shared_mutex());
     let rtt2 = rtt.clone();
     ompi::launch(&mut sim, move |mpi, ctx| match mpi.rank() {
         0 => {
@@ -60,7 +60,7 @@ fn main() {
 
     // --- AMPI: MPI on the Charm++ runtime -------------------------------
     let (mut sim, a, b) = fresh();
-    let rtt = Arc::new(parking_lot_mutex());
+    let rtt = Arc::new(shared_mutex());
     let rtt2 = rtt.clone();
     ampi::launch(&mut sim, move |mpi, ctx| match mpi.rank() {
         0 => {
@@ -80,7 +80,7 @@ fn main() {
 
     // --- Charm4py: channels ---------------------------------------------
     let (mut sim, a, b) = fresh();
-    let rtt = Arc::new(parking_lot_mutex());
+    let rtt = Arc::new(shared_mutex());
     let rtt2 = rtt.clone();
     charm4py::launch(&mut sim, move |py, ctx| match py.rank() {
         0 => {
@@ -123,6 +123,6 @@ fn main() {
     println!("{:>10}: one-way latency for 1 MiB GPU buffer = {:>8.1} us", "Charm++-H", s.at(SIZE).unwrap());
 }
 
-fn parking_lot_mutex() -> parking_lot::Mutex<u64> {
-    parking_lot::Mutex::new(0)
+fn shared_mutex() -> rucx_compat::sync::Mutex<u64> {
+    rucx_compat::sync::Mutex::new(0)
 }

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Tier-1 verification for a hermetic checkout: offline release build, the
+# full offline test suite, and a gate that fails if any Cargo.toml
+# reintroduces an external registry dependency.
+#
+# Usage: scripts/check.sh   (from anywhere; cd's to the repo root)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# ---------------------------------------------------------------------------
+# Gate: zero registry dependencies anywhere in the workspace.
+#
+# Policy (see README "Hermetic build"): every [dependencies] /
+# [dev-dependencies] / [build-dependencies] entry must be a path/workspace
+# dependency on an in-repo crate. A version-only requirement like
+# `foo = "1"` or `foo = { version = "1", ... }` means cargo would hit the
+# registry, which the target environment cannot reach.
+# ---------------------------------------------------------------------------
+echo "== registry-dependency gate =="
+fail=0
+while IFS= read -r manifest; do
+    # Lines inside dependency tables of the form `name = "semver"` or
+    # `name = { version = ... }`; workspace/path deps never match.
+    bad=$(awk '
+        /^\[.*dependencies[.\]]?/ { indeps = ($0 ~ /dependencies/) }
+        /^\[/ && $0 !~ /dependencies/ { indeps = 0 }
+        indeps && /^[A-Za-z0-9_-]+[[:space:]]*=[[:space:]]*"/ { print FILENAME ": " $0 }
+        indeps && /^[A-Za-z0-9_-]+[[:space:]]*=.*version/ { print FILENAME ": " $0 }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "registry dependency detected:"
+        echo "$bad"
+        fail=1
+    fi
+done < <(find . -name Cargo.toml -not -path "./target/*")
+if [ "$fail" -ne 0 ]; then
+    echo "FAIL: external registry dependencies are not allowed (use crates/compat)"
+    exit 1
+fi
+echo "ok: no registry dependencies"
+
+# ---------------------------------------------------------------------------
+# Build + test, fully offline (tier-1 verify plus the per-crate suites).
+# ---------------------------------------------------------------------------
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline (root package: tier-1) =="
+cargo test -q --offline
+
+echo "== cargo test -q --offline --workspace (all crates) =="
+cargo test -q --offline --workspace
+
+echo "ALL CHECKS PASSED"

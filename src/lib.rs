@@ -7,6 +7,7 @@
 //!
 //! | layer | crate |
 //! |---|---|
+//! | Hermetic std-only substrate (sync, channels, PRNG, test/bench harness) | [`compat`] |
 //! | Discrete-event engine (virtual time, simulated processes) | [`sim`] |
 //! | CUDA-like GPU substrate (memory, streams, copies, kernels) | [`gpu`] |
 //! | Cluster fabric (topology, EDR InfiniBand model) | [`fabric`] |
@@ -47,6 +48,7 @@
 
 pub use rucx_ampi as ampi;
 pub use rucx_charm as charm;
+pub use rucx_compat as compat;
 pub use rucx_charm4py as charm4py;
 pub use rucx_fabric as fabric;
 pub use rucx_gpu as gpu;

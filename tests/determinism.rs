@@ -41,6 +41,34 @@ fn overdecomposed_run_is_reproducible() {
     assert_eq!(once(), once());
 }
 
+/// The OSU latency microbenchmark, run twice under the same configuration
+/// (same seed by construction: the machine config pins every stochastic
+/// choice), produces byte-identical result structs — every point's f64 bit
+/// pattern, every label, every unit.
+#[test]
+fn osu_latency_is_byte_identical_across_runs() {
+    use rucx::osu::{latency, Mode, Model, OsuConfig, Placement};
+
+    let run_once = || {
+        let mut cfg = OsuConfig::quick();
+        cfg.sizes = vec![8, 1024, 1 << 20];
+        latency(&cfg, Model::Charm, Mode::Device, Placement::InterNode)
+    };
+    let a = run_once();
+    let b = run_once();
+    // Struct-level equality first (labels, units, sizes)...
+    assert_eq!(a, b, "OSU latency results must be identical across runs");
+    // ...then the stronger bit-pattern check on every floating point value
+    // (PartialEq would accept -0.0 == 0.0; bit equality does not).
+    let bits = |s: &rucx::osu::Series| -> Vec<(u64, u64)> {
+        s.points.iter().map(|(sz, v)| (*sz, v.to_bits())).collect()
+    };
+    assert_eq!(bits(&a), bits(&b), "f64 bit patterns must match exactly");
+    // And the serialized form (what benchmark figures persist) is stable.
+    use rucx_compat::json::ToJson;
+    assert_eq!(a.to_json(), b.to_json());
+}
+
 #[test]
 fn config_changes_actually_change_results() {
     // Guard against accidentally ignoring configuration: flipping GDRCopy
