@@ -48,19 +48,13 @@ impl MpiRank {
 
     /// `MPI_Allreduce` over `f64` elements with recursive doubling.
     /// `scratch` must be a same-size buffer on the same device.
-    pub fn allreduce(
-        &mut self,
-        ctx: &mut MCtx,
-        buf: MemRef,
-        scratch: MemRef,
-        op: MpiOp,
-    ) {
+    pub fn allreduce(&mut self, ctx: &mut MCtx, buf: MemRef, scratch: MemRef, op: MpiOp) {
         assert_eq!(buf.len, scratch.len);
         assert_eq!(buf.len % 8, 0, "f64 payload");
         let n = self.size();
         let me = self.rank();
-        let dev = ctx.with_world(move |w, _| w.topo.device_of(me));
-        let stream = ctx.with_world(move |w, _| w.gpu.default_stream(dev));
+        let dev = ctx.with_world_ref(|w, _| w.topo.device_of(me));
+        let stream = ctx.with_world_ref(|w, _| w.gpu.default_stream(dev));
         let p2 = n.next_power_of_two() / if n.is_power_of_two() { 1 } else { 2 };
         let extra = n - p2;
         if me >= p2 {
@@ -93,7 +87,7 @@ impl MpiRank {
 fn combine(ctx: &mut MCtx, mine: MemRef, other: MemRef, op: MpiOp, stream: rucx_gpu::StreamId) {
     // Launch + kernel + sync, like any small CUDA reduction.
     let (launch, sync) =
-        ctx.with_world(|w, _| (w.gpu.params.kernel_launch, w.gpu.params.sync_overhead));
+        ctx.with_world_ref(|w, _| (w.gpu.params.kernel_launch, w.gpu.params.sync_overhead));
     ctx.advance(launch);
     let done = ctx.with_world(move |w, s| {
         let t = s.new_trigger();

@@ -55,7 +55,7 @@ mod tests {
     use rucx_gpu::{DeviceId, MemRef};
     use rucx_sim::time::{as_us, us};
     use rucx_sim::RunOutcome;
-    use rucx_ucp::{build_sim, MachineConfig, MSim};
+    use rucx_ucp::{build_sim, MSim, MachineConfig};
     use std::sync::Arc;
 
     fn sim(nodes: usize) -> MSim {

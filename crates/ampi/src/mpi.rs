@@ -77,7 +77,11 @@ impl MpiRank {
                 st.barrier_epoch += 1;
             }),
         );
-        pe.insert_chare(col, pe_index as u64, Box::new(RankState::new(params.clone())));
+        pe.insert_chare(
+            col,
+            pe_index as u64,
+            Box::new(RankState::new(params.clone())),
+        );
         MpiRank {
             pe,
             rank: pe_index,
@@ -98,8 +102,13 @@ impl MpiRank {
 
     /// Model the GPU-pointer detection with its software cache.
     fn detect_device(&mut self, ctx: &mut MCtx, buf: MemRef) -> bool {
-        let is_dev = ctx
-            .with_world(move |w, _| w.gpu.pool.kind(buf.id).expect("send from bad handle").is_device());
+        let is_dev = ctx.with_world_ref(|w, _| {
+            w.gpu
+                .pool
+                .kind(buf.id)
+                .expect("send from bad handle")
+                .is_device()
+        });
         if is_dev && self.gpu_cache.contains(&buf.id.0) {
             ctx.advance(self.params.cache_hit);
         } else {
@@ -119,7 +128,7 @@ impl MpiRank {
         let (payload, trig) = if payload_inline {
             let copy = self.params.copy_cost(buf.len);
             ctx.advance(copy);
-            let bytes = ctx.with_world(move |w, _| {
+            let bytes = ctx.with_world_ref(|w, _| {
                 w.gpu
                     .pool
                     .is_materialized(buf.id)
@@ -226,7 +235,7 @@ impl MpiRank {
             Request::Send(None) => None,
             Request::Send(Some(t)) => {
                 self.pe
-                    .pump_until(ctx, move |_, ctx| ctx.with_world(move |_, s| s.fired(t)));
+                    .pump_until(ctx, move |_, ctx| ctx.with_world_ref(|_, s| s.fired(t)));
                 ctx.with_world(move |_, s| s.recycle_trigger(t));
                 None
             }
@@ -244,7 +253,7 @@ impl MpiRank {
                     SlotState::Done { status } => status,
                     SlotState::Matched { trigger, status } => {
                         self.pe.pump_until(ctx, move |_, ctx| {
-                            ctx.with_world(move |_, s| s.fired(trigger))
+                            ctx.with_world_ref(|_, s| s.fired(trigger))
                         });
                         ctx.with_world(move |_, s| s.recycle_trigger(trigger));
                         status

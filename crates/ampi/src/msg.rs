@@ -158,7 +158,10 @@ mod tests {
         let m = AmpiMsg {
             src_rank: 2,
             tag: 7,
-            payload: AmpiPayload::Inline { bytes: None, size: 0 },
+            payload: AmpiPayload::Inline {
+                bytes: None,
+                size: 0,
+            },
         };
         assert!(recv_matches(2, 7, &m));
         assert!(recv_matches(ANY_SOURCE, 7, &m));

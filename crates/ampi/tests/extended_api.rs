@@ -8,7 +8,7 @@ use rucx_fabric::Topology;
 use rucx_gpu::{DeviceId, MemRef};
 use rucx_sim::time::us;
 use rucx_sim::RunOutcome;
-use rucx_ucp::{build_sim, MachineConfig, MSim};
+use rucx_ucp::{build_sim, MSim, MachineConfig};
 
 fn sim(nodes: usize) -> MSim {
     build_sim(Topology::summit(nodes), MachineConfig::default())
@@ -138,8 +138,12 @@ fn allreduce_sum_and_min() {
     for op in [MpiOp::Sum, MpiOp::Min] {
         let mut sim = sim(2); // 12 ranks: non-power-of-two
         let elems = 16usize;
-        let bufs: Vec<MemRef> = (0..12).map(|d| dev(&mut sim, d, (elems * 8) as u64)).collect();
-        let scratch: Vec<MemRef> = (0..12).map(|d| dev(&mut sim, d, (elems * 8) as u64)).collect();
+        let bufs: Vec<MemRef> = (0..12)
+            .map(|d| dev(&mut sim, d, (elems * 8) as u64))
+            .collect();
+        let scratch: Vec<MemRef> = (0..12)
+            .map(|d| dev(&mut sim, d, (elems * 8) as u64))
+            .collect();
         for (r, b) in bufs.iter().enumerate() {
             let vals: Vec<f64> = (0..elems).map(|i| (r * 100 + i) as f64).collect();
             write_f64s(&mut sim, *b, &vals);

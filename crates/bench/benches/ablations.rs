@@ -44,50 +44,113 @@ fn active_message_ablation() {
         let size = 1u64 << size_exp;
         let run = |am: bool| -> u64 {
             let mut sim = build_sim(Topology::summit(1), MachineConfig::default());
-            let src = sim.world_mut().gpu.pool.alloc_device(DeviceId(0), size, false).unwrap();
-            let dst = sim.world_mut().gpu.pool.alloc_device(DeviceId(1), size, false).unwrap();
+            let src = sim
+                .world_mut()
+                .gpu
+                .pool
+                .alloc_device(DeviceId(0), size, false)
+                .unwrap();
+            let dst = sim
+                .world_mut()
+                .gpu
+                .pool
+                .alloc_device(DeviceId(1), size, false)
+                .unwrap();
             let done_at = Arc::new(AtomicU64::new(0));
             let done2 = done_at.clone();
             if am {
                 sim.scheduler().schedule_at(0, move |w, s| {
-                    am_register(w, s, 1, 1, Box::new(move |w, s, msg| match msg.payload {
-                        AmPayload::Rndv { rts_id, size } => {
-                            let d3 = done2.clone();
-                            rndv_fetch(w, s, 1, 1, rts_id, FetchDst::Mem(dst.slice(0, size)),
-                                RecvCompletion::Callback(Box::new(move |_, s, _| {
-                                    d3.store(s.now(), Ordering::SeqCst);
-                                })));
-                        }
-                        AmPayload::Eager { size, .. } => {
-                            done2.store(s.now() + w.ucp.config.gdrcopy_cost(size), Ordering::SeqCst);
-                        }
-                        AmPayload::None => unreachable!(),
-                    }));
-                    am_send_nb(w, s, 0, 1, 1, vec![0; 64], Some(SendBuf::Mem(src)), Completion::None);
+                    am_register(
+                        w,
+                        s,
+                        1,
+                        1,
+                        Box::new(move |w, s, msg| match msg.payload {
+                            AmPayload::Rndv { rts_id, size } => {
+                                let d3 = done2.clone();
+                                rndv_fetch(
+                                    w,
+                                    s,
+                                    1,
+                                    1,
+                                    rts_id,
+                                    FetchDst::Mem(dst.slice(0, size)),
+                                    RecvCompletion::Callback(Box::new(move |_, s, _| {
+                                        d3.store(s.now(), Ordering::SeqCst);
+                                    })),
+                                );
+                            }
+                            AmPayload::Eager { size, .. } => {
+                                done2.store(
+                                    s.now() + w.ucp.config.gdrcopy_cost(size),
+                                    Ordering::SeqCst,
+                                );
+                            }
+                            AmPayload::None => unreachable!(),
+                        }),
+                    );
+                    am_send_nb(
+                        w,
+                        s,
+                        0,
+                        1,
+                        1,
+                        vec![0; 64],
+                        Some(SendBuf::Mem(src)),
+                        Completion::None,
+                    );
                 });
             } else {
                 sim.scheduler().schedule_at(0, move |w, s| {
-                    rucx_ucp::tag_send_nb(w, s, 0, 1, SendBuf::Mem(src), 0x2000_0000_0000_0001, Completion::None);
-                    rucx_ucp::tag_send_nb(w, s, 0, 1, SendBuf::bytes(vec![0; 64]), 0x1000_0000_0000_0000, Completion::None);
+                    rucx_ucp::tag_send_nb(
+                        w,
+                        s,
+                        0,
+                        1,
+                        SendBuf::Mem(src),
+                        0x2000_0000_0000_0001,
+                        Completion::None,
+                    );
+                    rucx_ucp::tag_send_nb(
+                        w,
+                        s,
+                        0,
+                        1,
+                        SendBuf::bytes(vec![0; 64]),
+                        0x1000_0000_0000_0000,
+                        Completion::None,
+                    );
                 });
                 let d3 = done2.clone();
                 sim.spawn("pe1", 0, move |ctx| {
-                    let n = ctx.with_world(|w, _| w.ucp.worker(1).notify);
+                    let n = ctx.with_world_ref(|w, _| w.ucp.worker(1).notify);
                     loop {
                         let (popped, seen) = ctx.with_world(move |w, s| {
-                            (rucx_ucp::probe_pop(w, 1, 0x1000_0000_0000_0000, 0xF << 60).is_some(),
-                             s.notify_epoch(n))
+                            (
+                                rucx_ucp::probe_pop(w, 1, 0x1000_0000_0000_0000, 0xF << 60)
+                                    .is_some(),
+                                s.notify_epoch(n),
+                            )
                         });
-                        if popped { break; }
+                        if popped {
+                            break;
+                        }
                         ctx.wait_notify(n, seen);
                     }
                     ctx.advance(us(1.2));
                     let d4 = d3.clone();
                     ctx.with_world(move |w, s| {
-                        rucx_ucp::tag_recv_nb(w, s, 1, dst, 0x2000_0000_0000_0001, u64::MAX,
+                        rucx_ucp::tag_recv_nb(
+                            w,
+                            s,
+                            1,
+                            dst,
+                            0x2000_0000_0000_0001,
+                            u64::MAX,
                             RecvCompletion::Callback(Box::new(move |_, s, _| {
                                 d4.store(s.now(), Ordering::SeqCst);
-                            })));
+                            })),
+                        );
                     });
                 });
             }
@@ -120,7 +183,10 @@ fn overdecomposition_ablation() {
     use rucx_jacobi::{run, JacobiConfig, JacobiModel};
     let mut rows = Vec::new();
     for (label, make) in [
-        ("weak 4 nodes", JacobiConfig::weak as fn(usize, rucx_jacobi::Mode) -> JacobiConfig),
+        (
+            "weak 4 nodes",
+            JacobiConfig::weak as fn(usize, rucx_jacobi::Mode) -> JacobiConfig,
+        ),
         ("strong 32 nodes", JacobiConfig::strong),
     ] {
         let nodes = if label.starts_with("weak") { 4 } else { 32 };
@@ -140,7 +206,12 @@ fn overdecomposition_ablation() {
     }
     print_table(
         "Ablation: overdecomposition (Charm++ Jacobi3D, GPU-direct; ms/iter)",
-        &["config", "chares/PE", "overall", "comm (incl. overlapped wait)"],
+        &[
+            "config",
+            "chares/PE",
+            "overall",
+            "comm (incl. overlapped wait)",
+        ],
         &rows,
     );
     write_json("ablation_overdecomposition", &rows);

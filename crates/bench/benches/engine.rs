@@ -43,6 +43,68 @@ fn bench_process_switching(r: &mut Runner) {
     });
 }
 
+/// Per-hop cost of one resume round trip (`advance(1)` = register the
+/// wakeup, dispatch inline until it comes back). With the baton design the
+/// common case never leaves the thread — no context switch, no allocation.
+/// Samples are taken *inside* the process body around each hop, so the
+/// statistics are per round trip rather than per 10k-batch — this is the
+/// number the resume hot path is judged on (median/p99 in
+/// BENCH_engine.json).
+fn bench_resume_hop(r: &mut Runner) {
+    use std::sync::{Arc, Mutex};
+    use std::time::Instant;
+    // Scale hop count off the runner's iteration knob so smoke mode
+    // (RUCX_BENCH_ITERS=1) stays fast while default runs get a dense sample.
+    let hops = (r.iters() as usize) * 100;
+    let warmup = (r.warmup() as usize) * 100;
+    let out: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::with_capacity(hops)));
+    let sink = out.clone();
+    let mut sim = Simulation::new(());
+    sim.spawn("hopper", 0, move |ctx| {
+        for _ in 0..warmup {
+            ctx.advance(1);
+        }
+        let mut samples = Vec::with_capacity(hops);
+        for _ in 0..hops {
+            let t0 = Instant::now();
+            ctx.advance(1);
+            samples.push(t0.elapsed().as_nanos() as u64);
+        }
+        *sink.lock().unwrap() = samples;
+    });
+    sim.run();
+    let samples = std::mem::take(&mut *out.lock().unwrap());
+    r.record_samples("resume_hop", samples);
+}
+
+/// Per-call cost of the read path (`with_world_ref`): a direct call against
+/// the core the process thread already holds — no boxing, no messaging.
+fn bench_resume_world_read(r: &mut Runner) {
+    use std::sync::{Arc, Mutex};
+    use std::time::Instant;
+    let calls = (r.iters() as usize) * 100;
+    let warmup = (r.warmup() as usize) * 100;
+    let out: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::with_capacity(calls)));
+    let sink = out.clone();
+    let mut sim = Simulation::new(7u64);
+    sim.spawn("reader", 0, move |ctx| {
+        for _ in 0..warmup {
+            ctx.with_world_ref(|w, _| *w);
+        }
+        let mut samples = Vec::with_capacity(calls);
+        for _ in 0..calls {
+            let t0 = Instant::now();
+            let v = ctx.with_world_ref(|w, _| *w);
+            samples.push(t0.elapsed().as_nanos() as u64);
+            assert_eq!(v, 7);
+        }
+        *sink.lock().unwrap() = samples;
+    });
+    sim.run();
+    let samples = std::mem::take(&mut *out.lock().unwrap());
+    r.record_samples("resume_world_read", samples);
+}
+
 fn bench_ucp_message(r: &mut Runner) {
     r.bench("ucp_host_eager_roundtrip", || {
         let mut sim = build_sim(Topology::summit(1), MachineConfig::default());
@@ -93,7 +155,15 @@ fn main() {
     let mut r = Runner::from_env();
     bench_event_throughput(&mut r);
     bench_process_switching(&mut r);
+    bench_resume_hop(&mut r);
+    bench_resume_world_read(&mut r);
     bench_ucp_message(&mut r);
     bench_tag_matching_depth(&mut r);
     rucx_bench::write_json("engine_microbench", r.results());
+    // The perf-trajectory file tracked at the repo root: one JSON array of
+    // {name, iters, min/mean/median/p99/max ns} per engine benchmark.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(root, rucx_compat::json::ToJson::to_json(&r.results()))
+        .expect("write BENCH_engine.json");
+    println!("  [results written to BENCH_engine.json]");
 }

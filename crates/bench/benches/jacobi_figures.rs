@@ -55,7 +55,14 @@ fn print_sweep(name: &str, title: &str, rows: &[SweepRow]) {
         .collect();
     print_table(
         title,
-        &["nodes", "overall-H", "overall-D", "comm-H", "comm-D", "comm speedup"],
+        &[
+            "nodes",
+            "overall-H",
+            "overall-D",
+            "comm-H",
+            "comm-D",
+            "comm speedup",
+        ],
         &table,
     );
     let json: Vec<(usize, f64, f64, f64, f64)> = rows
@@ -75,23 +82,55 @@ fn main() {
 
     // Figure 14: Charm++.
     let w = sweep(JacobiModel::Charm, &weak, JacobiConfig::weak);
-    print_sweep("fig14_weak_charm", "Figure 14ab: Charm++ Jacobi3D weak scaling (ms/iter)", &w);
+    print_sweep(
+        "fig14_weak_charm",
+        "Figure 14ab: Charm++ Jacobi3D weak scaling (ms/iter)",
+        &w,
+    );
     let s = sweep(JacobiModel::Charm, &strong, JacobiConfig::strong);
-    print_sweep("fig14_strong_charm", "Figure 14cd: Charm++ Jacobi3D strong scaling (ms/iter)", &s);
+    print_sweep(
+        "fig14_strong_charm",
+        "Figure 14cd: Charm++ Jacobi3D strong scaling (ms/iter)",
+        &s,
+    );
 
     // Figure 15: AMPI with OpenMPI reference.
     let w = sweep(JacobiModel::Ampi, &weak, JacobiConfig::weak);
-    print_sweep("fig15_weak_ampi", "Figure 15ab: AMPI Jacobi3D weak scaling (ms/iter)", &w);
+    print_sweep(
+        "fig15_weak_ampi",
+        "Figure 15ab: AMPI Jacobi3D weak scaling (ms/iter)",
+        &w,
+    );
     let wr = sweep(JacobiModel::Ompi, &weak, JacobiConfig::weak);
-    print_sweep("fig15_weak_openmpi", "Figure 15ab (reference): OpenMPI weak scaling (ms/iter)", &wr);
+    print_sweep(
+        "fig15_weak_openmpi",
+        "Figure 15ab (reference): OpenMPI weak scaling (ms/iter)",
+        &wr,
+    );
     let s = sweep(JacobiModel::Ampi, &strong, JacobiConfig::strong);
-    print_sweep("fig15_strong_ampi", "Figure 15cd: AMPI Jacobi3D strong scaling (ms/iter)", &s);
+    print_sweep(
+        "fig15_strong_ampi",
+        "Figure 15cd: AMPI Jacobi3D strong scaling (ms/iter)",
+        &s,
+    );
     let sr = sweep(JacobiModel::Ompi, &strong, JacobiConfig::strong);
-    print_sweep("fig15_strong_openmpi", "Figure 15cd (reference): OpenMPI strong scaling (ms/iter)", &sr);
+    print_sweep(
+        "fig15_strong_openmpi",
+        "Figure 15cd (reference): OpenMPI strong scaling (ms/iter)",
+        &sr,
+    );
 
     // Figure 16: Charm4py.
     let w = sweep(JacobiModel::Charm4py, &weak, JacobiConfig::weak);
-    print_sweep("fig16_weak_charm4py", "Figure 16ab: Charm4py Jacobi3D weak scaling (ms/iter)", &w);
+    print_sweep(
+        "fig16_weak_charm4py",
+        "Figure 16ab: Charm4py Jacobi3D weak scaling (ms/iter)",
+        &w,
+    );
     let s = sweep(JacobiModel::Charm4py, &strong, JacobiConfig::strong);
-    print_sweep("fig16_strong_charm4py", "Figure 16cd: Charm4py Jacobi3D strong scaling (ms/iter)", &s);
+    print_sweep(
+        "fig16_strong_charm4py",
+        "Figure 16cd: Charm4py Jacobi3D strong scaling (ms/iter)",
+        &s,
+    );
 }

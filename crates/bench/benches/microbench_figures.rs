@@ -52,29 +52,48 @@ fn print_figure(name: &str, title: &str, data: &FigureData, unit: &str) {
         })
         .collect();
     print_table(&format!("{title} ({unit})"), &header_refs, &rows);
-    let json: Vec<&Series> = data
-        .panels
-        .iter()
-        .flat_map(|(_, h, d)| [h, d])
-        .collect();
+    let json: Vec<&Series> = data.panels.iter().flat_map(|(_, h, d)| [h, d]).collect();
     write_json(name, &json);
 }
 
 fn main() {
     let cfg = OsuConfig::default();
-    println!("rucx microbenchmark figures (sizes 1B-4MB, {} points)", cfg.sizes.len());
+    println!(
+        "rucx microbenchmark figures (sizes 1B-4MB, {} points)",
+        cfg.sizes.len()
+    );
 
     let fig10 = collect(&cfg, latency, Placement::IntraNode);
-    print_figure("fig10_latency_intra", "Figure 10: intra-node one-way latency", &fig10, "us");
+    print_figure(
+        "fig10_latency_intra",
+        "Figure 10: intra-node one-way latency",
+        &fig10,
+        "us",
+    );
 
     let fig11 = collect(&cfg, latency, Placement::InterNode);
-    print_figure("fig11_latency_inter", "Figure 11: inter-node one-way latency", &fig11, "us");
+    print_figure(
+        "fig11_latency_inter",
+        "Figure 11: inter-node one-way latency",
+        &fig11,
+        "us",
+    );
 
     let fig12 = collect(&cfg, bandwidth, Placement::IntraNode);
-    print_figure("fig12_bandwidth_intra", "Figure 12: intra-node bandwidth", &fig12, "MB/s");
+    print_figure(
+        "fig12_bandwidth_intra",
+        "Figure 12: intra-node bandwidth",
+        &fig12,
+        "MB/s",
+    );
 
     let fig13 = collect(&cfg, bandwidth, Placement::InterNode);
-    print_figure("fig13_bandwidth_inter", "Figure 13: inter-node bandwidth", &fig13, "MB/s");
+    print_figure(
+        "fig13_bandwidth_inter",
+        "Figure 13: inter-node bandwidth",
+        &fig13,
+        "MB/s",
+    );
 
     // ---- Table I ------------------------------------------------------
     // Latency improvement = H/D per size (min-max range), plus the eager

@@ -13,7 +13,10 @@ pub fn out_dir() -> PathBuf {
         .unwrap_or_else(|_| {
             // Anchor at the workspace target dir regardless of the bench
             // binary's working directory.
-            PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/rucx-results"))
+            PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../target/rucx-results"
+            ))
         });
     fs::create_dir_all(&dir).expect("create results dir");
     dir
@@ -79,7 +82,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(header.iter().map(|s| s.to_string()).collect()));
+    println!(
+        "{}",
+        fmt_row(header.iter().map(|s| s.to_string()).collect())
+    );
     for r in rows {
         println!("{}", fmt_row(r.clone()));
     }

@@ -127,14 +127,7 @@ mod tests {
             if pe.index == 0 {
                 let mut params = Vec::new();
                 marshal::put_u64(&mut params, 777);
-                pe.send(
-                    ctx,
-                    ChareRef { col, index: 3 },
-                    ep_host,
-                    params,
-                    0,
-                    vec![],
-                );
+                pe.send(ctx, ChareRef { col, index: 3 }, ep_host, params, 0, vec![]);
                 // Give the receiver time to process, then exit everyone.
                 ctx.advance(us(50.0));
                 pe.exit_all(ctx);
@@ -178,7 +171,14 @@ mod tests {
                 pe.chare_mut::<Counter>(col, 1).recv_buf = Some(dst);
             }
             if pe.index == 0 {
-                pe.send(ctx, ChareRef { col, index: 1 }, ep_dev, vec![], 0, vec![src]);
+                pe.send(
+                    ctx,
+                    ChareRef { col, index: 1 },
+                    ep_dev,
+                    vec![],
+                    0,
+                    vec![src],
+                );
                 ctx.advance(us(300.0));
                 pe.exit_all(ctx);
             }
@@ -406,8 +406,16 @@ mod tests {
             );
         }
         let (src1, src2, dst1, dst2) = (bufs[0], bufs[1], bufs[2], bufs[3]);
-        sim.world_mut().gpu.pool.write(src1, &vec![1u8; size as usize]).unwrap();
-        sim.world_mut().gpu.pool.write(src2, &vec![2u8; size as usize]).unwrap();
+        sim.world_mut()
+            .gpu
+            .pool
+            .write(src1, &vec![1u8; size as usize])
+            .unwrap();
+        sim.world_mut()
+            .gpu
+            .pool
+            .write(src2, &vec![2u8; size as usize])
+            .unwrap();
 
         let hits = Arc::new(AtomicU64::new(0));
         let hits2 = hits.clone();
@@ -442,7 +450,13 @@ mod tests {
         });
         assert_eq!(sim.run(), RunOutcome::Completed);
         assert_eq!(hits.load(Ordering::SeqCst), 1);
-        assert_eq!(sim.world().gpu.pool.read(dst1).unwrap(), vec![1u8; size as usize]);
-        assert_eq!(sim.world().gpu.pool.read(dst2).unwrap(), vec![2u8; size as usize]);
+        assert_eq!(
+            sim.world().gpu.pool.read(dst1).unwrap(),
+            vec![1u8; size as usize]
+        );
+        assert_eq!(
+            sim.world().gpu.pool.read(dst2).unwrap(),
+            vec![2u8; size as usize]
+        );
     }
 }

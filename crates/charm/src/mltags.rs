@@ -98,7 +98,8 @@ impl TagScheme {
     /// [`TagScheme::device_tag`], both sides can compute this without any
     /// exchange, so the receiver can pre-post.
     pub fn user_device_tag(&self, user_tag: u64) -> Tag {
-        ((MsgType::UserDevice as u64) << (64 - MSG_BITS)) | (user_tag & ((1u64 << (64 - MSG_BITS)) - 1))
+        ((MsgType::UserDevice as u64) << (64 - MSG_BITS))
+            | (user_tag & ((1u64 << (64 - MSG_BITS)) - 1))
     }
 
     /// Tag for host-side Converse messages from `src_pe`.

@@ -232,8 +232,9 @@ impl Pe {
             let parent = (p - 1) / 2;
             subtree[parent] += subtree[p];
         }
-        let local_indices: Vec<u64> =
-            (0..num_elements).filter(|&i| map(i) == self.index).collect();
+        let local_indices: Vec<u64> = (0..num_elements)
+            .filter(|&i| map(i) == self.index)
+            .collect();
         let id = Collection(self.collections.len() as u16);
         self.collections.push(CollectionData {
             map,
@@ -296,7 +297,10 @@ impl Pe {
     /// re-routed by the owner-of-record chain).
     pub fn route_pe(&self, col: Collection, index: u64) -> usize {
         let c = &self.collections[col.0 as usize];
-        c.location.get(&index).copied().unwrap_or_else(|| (c.map)(index))
+        c.location
+            .get(&index)
+            .copied()
+            .unwrap_or_else(|| (c.map)(index))
     }
 
     /// Typed access to a local chare (for driver-style code such as AMPI
@@ -460,10 +464,8 @@ impl Pe {
         let ndev = device_bufs.len();
         // CPU cost: runtime send path + payload packing + per-device
         // metadata handling + the UCP calls themselves.
-        let ucp_call = ctx.with_world(|w, _| w.ucp.config.cpu_call);
-        let pack = self
-            .params
-            .pack_cost(params.len() as u64 + phantom);
+        let ucp_call = ctx.with_world_ref(|w, _| w.ucp.config.cpu_call);
+        let pack = self.params.pack_cost(params.len() as u64 + phantom);
         let cost = self.params.send_overhead
             + pack
             + ndev as u64 * (self.params.device_meta_overhead + ucp_call)
@@ -486,10 +488,26 @@ impl Pe {
             let trig = ctx.with_world(move |w, s| {
                 if want_triggers {
                     let t = s.new_trigger();
-                    tag_send_nb(w, s, src_pe, dst_pe, SendBuf::Mem(buf), tag, Completion::Trigger(t));
+                    tag_send_nb(
+                        w,
+                        s,
+                        src_pe,
+                        dst_pe,
+                        SendBuf::Mem(buf),
+                        tag,
+                        Completion::Trigger(t),
+                    );
                     Some(t)
                 } else {
-                    tag_send_nb(w, s, src_pe, dst_pe, SendBuf::Mem(buf), tag, Completion::None);
+                    tag_send_nb(
+                        w,
+                        s,
+                        src_pe,
+                        dst_pe,
+                        SendBuf::Mem(buf),
+                        tag,
+                        Completion::None,
+                    );
                     None
                 }
             });
@@ -737,11 +755,7 @@ impl Pe {
             entry.acc = combine(op, entry.acc, value);
             entry.count += count;
             // Children of this PE in the binary tree that have elements.
-            let expected_children = expected_child_count(
-                self.index,
-                self.n_pes,
-                &c.subtree_elems,
-            );
+            let expected_children = expected_child_count(self.index, self.n_pes, &c.subtree_elems);
             let done = entry.local_got == n_local && entry.children_got == expected_children;
             (done, entry.acc, entry.count)
         };
@@ -837,15 +851,31 @@ impl Pe {
         let tag = self.scheme.device_tag(self.index, self.device_cnt);
         self.device_cnt += 1;
         let src_pe = self.index;
-        let ucp_call = ctx.with_world(|w, _| w.ucp.config.cpu_call);
+        let ucp_call = ctx.with_world_ref(|w, _| w.ucp.config.cpu_call);
         ctx.advance(self.params.device_meta_overhead + ucp_call);
         let trig = ctx.with_world(move |w, s| {
             if want_trigger {
                 let t = s.new_trigger();
-                tag_send_nb(w, s, src_pe, dst_pe, SendBuf::Mem(buf), tag, Completion::Trigger(t));
+                tag_send_nb(
+                    w,
+                    s,
+                    src_pe,
+                    dst_pe,
+                    SendBuf::Mem(buf),
+                    tag,
+                    Completion::Trigger(t),
+                );
                 Some(t)
             } else {
-                tag_send_nb(w, s, src_pe, dst_pe, SendBuf::Mem(buf), tag, Completion::None);
+                tag_send_nb(
+                    w,
+                    s,
+                    src_pe,
+                    dst_pe,
+                    SendBuf::Mem(buf),
+                    tag,
+                    Completion::None,
+                );
                 None
             }
         });
@@ -876,7 +906,7 @@ impl Pe {
     ) {
         let dst_pe = self.route_pe(to.col, to.index);
         let ndev = device_bufs.len();
-        let ucp_call = ctx.with_world(|w, _| w.ucp.config.cpu_call);
+        let ucp_call = ctx.with_world_ref(|w, _| w.ucp.config.cpu_call);
         let cost = self.params.send_overhead
             + self.params.pack_cost(params.len() as u64)
             + ndev as u64 * (self.params.device_meta_overhead + ucp_call)
@@ -892,7 +922,15 @@ impl Pe {
                 user_tagged: true,
             });
             ctx.with_world(move |w, s| {
-                tag_send_nb(w, s, src_pe, dst_pe, SendBuf::Mem(buf), tag, Completion::None);
+                tag_send_nb(
+                    w,
+                    s,
+                    src_pe,
+                    dst_pe,
+                    SendBuf::Mem(buf),
+                    tag,
+                    Completion::None,
+                );
             });
         }
         let env = Envelope {
@@ -911,7 +949,7 @@ impl Pe {
     /// returns a trigger fired when the data is in `dst`.
     pub fn ml_recv_device(&mut self, ctx: &mut MCtx, tag: u64, dst: MemRef) -> Trigger {
         let me = self.index;
-        let ucp_call = ctx.with_world(|w, _| w.ucp.config.cpu_call);
+        let ucp_call = ctx.with_world_ref(|w, _| w.ucp.config.cpu_call);
         ctx.advance(ucp_call);
         ctx.with_world(move |w, s| {
             let t = s.new_trigger();
@@ -987,15 +1025,13 @@ impl Pe {
         if self.pending_device.is_empty() {
             return None;
         }
-        let trigger_sets: Vec<Vec<Trigger>> = self
-            .pending_device
-            .iter()
-            .map(|p| p.triggers.clone())
-            .collect();
-        ctx.with_world(move |_, s| {
-            trigger_sets
+        // Read-only fast path: borrow the pending list directly instead of
+        // cloning every trigger set per scheduler pump.
+        let pending = &self.pending_device;
+        ctx.with_world_ref(|_, s| {
+            pending
                 .iter()
-                .position(|ts| ts.iter().all(|t| s.fired(*t)))
+                .position(|p| p.triggers.iter().all(|t| s.fired(*t)))
         })
     }
 
@@ -1007,7 +1043,7 @@ impl Pe {
     /// moves the epoch past `seen`.
     fn wait_for_work(&mut self, ctx: &mut MCtx) {
         let me = self.index;
-        let (n, seen) = ctx.with_world(move |w, s| {
+        let (n, seen) = ctx.with_world_ref(|w, s| {
             let n = w.ucp.worker(me).notify;
             (n, s.notify_epoch(n))
         });
@@ -1081,7 +1117,7 @@ impl Pe {
             "post entry method must supply one buffer per device parameter"
         );
         let me = self.index;
-        let ucp_call = ctx.with_world(|w, _| w.ucp.config.cpu_call);
+        let ucp_call = ctx.with_world_ref(|w, _| w.ucp.config.cpu_call);
         ctx.advance(ucp_call * env.device.len() as u64);
         let metas: Vec<DeviceMeta> = env.device.clone();
         let pairs: Vec<(DeviceMeta, MemRef)> = metas.into_iter().zip(bufs).collect();

@@ -96,7 +96,11 @@ impl Envelope {
             let tag = buf.get_u64();
             let size = buf.get_u64();
             let user_tagged = buf.get_u8() != 0;
-            device.push(DeviceMeta { tag, size, user_tagged });
+            device.push(DeviceMeta {
+                tag,
+                size,
+                user_tagged,
+            });
         }
         let plen = buf.get_u32() as usize;
         if buf.remaining() < plen {
@@ -191,8 +195,16 @@ mod tests {
             params: vec![1, 2, 3, 4, 5],
             phantom_payload: 1 << 20,
             device: vec![
-                DeviceMeta { tag: 0xDEAD, size: 4096, user_tagged: false },
-                DeviceMeta { tag: 0xBEEF, size: 8192, user_tagged: true },
+                DeviceMeta {
+                    tag: 0xDEAD,
+                    size: 4096,
+                    user_tagged: false,
+                },
+                DeviceMeta {
+                    tag: 0xBEEF,
+                    size: 8192,
+                    user_tagged: true,
+                },
             ],
         }
     }
@@ -230,10 +242,7 @@ mod tests {
     #[test]
     fn wire_size_accounts_for_all_parts() {
         let e = sample();
-        assert_eq!(
-            e.wire_size(),
-            ENVELOPE_HEADER + 5 + (1 << 20) + 2 * 17
-        );
+        assert_eq!(e.wire_size(), ENVELOPE_HEADER + 5 + (1 << 20) + 2 * 17);
     }
 
     #[test]

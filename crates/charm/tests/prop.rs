@@ -2,8 +2,8 @@
 //! the envelope wire format, on the in-repo harness
 //! ([`rucx_compat::check`]).
 
-use rucx_compat::check::{check, Gen};
 use rucx_charm::{marshal, DeviceMeta, Envelope, MsgType, TagScheme, MSG_BITS};
+use rucx_compat::check::{check, Gen};
 
 fn gen_scheme(g: &mut Gen) -> TagScheme {
     let pe_bits = g.u32(1..(64 - MSG_BITS));
@@ -17,8 +17,7 @@ fn tag_roundtrip_for_any_split() {
         let scheme = gen_scheme(g);
         let pe_frac = g.f64(0.0..1.0);
         let cnt = g.any_u64();
-        let pe = ((pe_frac * scheme.max_pe() as f64) as u64)
-            .min(scheme.max_pe()) as usize;
+        let pe = ((pe_frac * scheme.max_pe() as f64) as u64).min(scheme.max_pe()) as usize;
         let t = scheme.device_tag(pe, cnt);
         assert_eq!(scheme.msg_type(t), Some(MsgType::Device));
         assert_eq!(scheme.src_pe(t), pe);

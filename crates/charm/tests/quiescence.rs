@@ -67,7 +67,14 @@ fn quiescence_fires_after_all_bouncing_stops() {
         }
         if pe.index == 0 {
             // Kick the ring, then start detection.
-            pe.send(ctx, ChareRef { col, index: 1 }, ep_bounce, vec![], 0, vec![]);
+            pe.send(
+                ctx,
+                ChareRef { col, index: 1 },
+                ep_bounce,
+                vec![],
+                0,
+                vec![],
+            );
             pe.start_quiescence(ctx, ChareRef { col, index: 0 }, ep_quiet);
         }
         pe.run(ctx);

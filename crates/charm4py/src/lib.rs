@@ -420,7 +420,7 @@ impl PyProc {
                 ctx.advance(self.params.buffer_cost(size));
                 let trigger = self.pe.ml_recv_device(ctx, ml_tag, buf.slice(0, size));
                 self.pe.pump_until(ctx, move |_, ctx| {
-                    ctx.with_world(move |_, s| s.fired(trigger))
+                    ctx.with_world_ref(|_, s| s.fired(trigger))
                 });
                 ctx.with_world(move |_, s| s.recycle_trigger(trigger));
                 ctx.advance(self.params.py_wake);
@@ -495,7 +495,7 @@ impl PyProc {
 
     /// `charm.lib.CudaDtoH` / `CudaHtoD`: async copy issued from Python.
     pub fn cuda_copy(&mut self, ctx: &mut MCtx, src: MemRef, dst: MemRef, stream: StreamId) {
-        let launch = ctx.with_world(|w, _| w.gpu.params.copy_launch);
+        let launch = ctx.with_world_ref(|w, _| w.gpu.params.copy_launch);
         ctx.advance(self.params.py_cuda_call + launch);
         ctx.with_world(move |w, s| {
             copy_async(w, s, src, dst, stream, None);
@@ -504,7 +504,7 @@ impl PyProc {
 
     /// `charm.lib.CudaStreamSynchronize` from Python.
     pub fn cuda_stream_sync(&mut self, ctx: &mut MCtx, stream: StreamId) {
-        let sync_cost = ctx.with_world(|w, _| w.gpu.params.sync_overhead);
+        let sync_cost = ctx.with_world_ref(|w, _| w.gpu.params.sync_overhead);
         ctx.advance(self.params.py_cuda_call);
         let t = ctx.with_world(move |w, s| stream_sync_trigger(w, s, stream));
         ctx.wait(t);
@@ -688,14 +688,18 @@ mod tests {
             .alloc_device(DeviceId(0), size, true)
             .unwrap();
         let h = sim.world_mut().gpu.pool.alloc_host(0, size, true, true);
-        sim.world_mut().gpu.pool.write(d, &vec![0xAB; size as usize]).unwrap();
+        sim.world_mut()
+            .gpu
+            .pool
+            .write(d, &vec![0xAB; size as usize])
+            .unwrap();
         let elapsed = Arc::new(rucx_compat::sync::Mutex::new(0u64));
         let e2 = elapsed.clone();
         launch(&mut sim, move |py, ctx| {
             if py.rank() != 0 {
                 return;
             }
-            let stream = ctx.with_world(|w, _| w.gpu.default_stream(DeviceId(0)));
+            let stream = ctx.with_world_ref(|w, _| w.gpu.default_stream(DeviceId(0)));
             let t0 = ctx.now();
             py.cuda_copy(ctx, d, h, stream);
             py.cuda_stream_sync(ctx, stream);

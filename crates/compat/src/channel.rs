@@ -64,7 +64,9 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         avail: Condvar::new(),
     });
     (
-        Sender { shared: shared.clone() },
+        Sender {
+            shared: shared.clone(),
+        },
         Receiver { shared },
     )
 }
@@ -86,7 +88,9 @@ impl<T> Sender<T> {
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
         self.shared.queue.lock().senders += 1;
-        Sender { shared: self.shared.clone() }
+        Sender {
+            shared: self.shared.clone(),
+        }
     }
 }
 
@@ -104,6 +108,19 @@ impl<T> Drop for Sender<T> {
 }
 
 impl<T> Receiver<T> {
+    /// Create a new [`Sender`] for this channel.
+    ///
+    /// Lets a consumer that deliberately holds *no* sender while idle (so
+    /// that "every sender dropped" still means disconnection — the idiom
+    /// pooled worker threads rely on to shut down when their pool dies)
+    /// mint one on demand to hand back out.
+    pub fn sender(&self) -> Sender<T> {
+        self.shared.queue.lock().senders += 1;
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+
     /// Block until a value arrives or every sender is dropped.
     pub fn recv(&self) -> Result<T, RecvError> {
         let mut q = self.shared.queue.lock();

@@ -30,7 +30,10 @@ pub struct Gen {
 
 impl Gen {
     fn new(case_seed: u64) -> Self {
-        Gen { rng: Rng::new(case_seed), case_seed }
+        Gen {
+            rng: Rng::new(case_seed),
+            case_seed,
+        }
     }
 
     /// The underlying RNG, for draws the helpers below don't cover.
@@ -139,9 +142,9 @@ fn replay_seed() -> Option<u64> {
     };
     match parsed {
         Some(seed) => Some(seed),
-        None => panic!(
-            "RUCX_PROP_SEED={raw:?} is not a valid seed (expected 0x<hex>, hex, or decimal)"
-        ),
+        None => {
+            panic!("RUCX_PROP_SEED={raw:?} is not a valid seed (expected 0x<hex>, hex, or decimal)")
+        }
     }
 }
 

@@ -209,7 +209,10 @@ mod tests {
 
     #[test]
     fn nested_collections_and_tuples() {
-        let rows = vec![vec!["a".to_string()], vec!["b".to_string(), "c".to_string()]];
+        let rows = vec![
+            vec!["a".to_string()],
+            vec!["b".to_string(), "c".to_string()],
+        ];
         assert_eq!(rows.to_json(), r#"[["a"], ["b", "c"]]"#);
         let t = ("x", 1u64, 1.5f64, 2.0f64);
         assert_eq!(t.to_json(), r#"["x", 1, 1.5, 2.0]"#);

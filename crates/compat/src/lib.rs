@@ -11,7 +11,10 @@
 //!   [`sync::Condvar`] wrappers over `std::sync` with the `parking_lot` API
 //!   shape (no `.unwrap()` plumbing at call sites).
 //! - [`channel`] — unbounded MPSC channels with the `crossbeam::channel`
-//!   surface the simulation's process rendezvous protocol needs.
+//!   surface, used wherever messages can queue (pool job handoff, tests).
+//! - [`rendezvous`] — a one-slot, spin-then-park handoff cell for strictly
+//!   alternating handshakes; the allocation-free primitive under the
+//!   simulation's driver ⇄ process hot path.
 //! - [`rng`] — splitmix64-seeded xoshiro256++ PRNG with a
 //!   `gen_range`/`fill`-style surface; the single source of randomness for
 //!   workload synthesis and the property harness.
@@ -34,6 +37,7 @@ pub mod buf;
 pub mod channel;
 pub mod check;
 pub mod json;
+pub mod rendezvous;
 pub mod rng;
 pub mod sync;
 pub mod timer;

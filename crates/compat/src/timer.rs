@@ -85,7 +85,11 @@ impl Runner {
 
     /// Explicit iteration counts (tests; callers with known costs).
     pub fn new(warmup: u32, iters: u32) -> Self {
-        Runner { warmup, iters: iters.max(1), results: Vec::new() }
+        Runner {
+            warmup,
+            iters: iters.max(1),
+            results: Vec::new(),
+        }
     }
 
     /// Benchmark `f` called once per iteration.
@@ -111,10 +115,20 @@ impl Runner {
             run(input);
             samples.push(t0.elapsed().as_nanos() as u64);
         }
+        self.record_samples(name, samples);
+    }
+
+    /// Record externally collected per-operation samples (nanoseconds) as
+    /// one benchmark result. For measurements the runner cannot drive
+    /// itself — e.g. per-hop timings taken *inside* a simulated process
+    /// while the simulation runs — so they still get the same statistics,
+    /// printing, and JSON emission as runner-driven benchmarks.
+    pub fn record_samples(&mut self, name: &str, mut samples: Vec<u64>) {
+        assert!(!samples.is_empty(), "no samples for {name}");
         samples.sort_unstable();
         let result = BenchResult {
             name: name.to_string(),
-            iters: self.iters,
+            iters: samples.len() as u32,
             min_ns: samples[0],
             mean_ns: (samples.iter().sum::<u64>() / samples.len() as u64),
             median_ns: percentile(&samples, 50.0),
@@ -131,6 +145,17 @@ impl Runner {
             result.iters,
         );
         self.results.push(result);
+    }
+
+    /// Timed iteration count this runner is configured for (benchmarks that
+    /// collect their own samples scale their inner loops off this).
+    pub fn iters(&self) -> u32 {
+        self.iters
+    }
+
+    /// Warmup iteration count.
+    pub fn warmup(&self) -> u32 {
+        self.warmup
     }
 
     /// All results so far.

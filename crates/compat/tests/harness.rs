@@ -29,7 +29,10 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
 fn extract_seed(msg: &str) -> u64 {
     let tag = "RUCX_PROP_SEED=0x";
     let at = msg.find(tag).expect("failure message carries a seed") + tag.len();
-    let hex: String = msg[at..].chars().take_while(|c| c.is_ascii_hexdigit()).collect();
+    let hex: String = msg[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_hexdigit())
+        .collect();
     u64::from_str_radix(&hex, 16).unwrap()
 }
 

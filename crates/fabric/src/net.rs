@@ -61,7 +61,8 @@ impl NetParams {
             WireKind::Host => self.nic_gbps,
             WireKind::Gdr => self.gdr_gbps,
         };
-        self.injection + self.hop_latency as Duration * self.hops as Duration
+        self.injection
+            + self.hop_latency as Duration * self.hops as Duration
             + transfer_time(size, bw)
     }
 }
@@ -146,7 +147,7 @@ pub fn net_transfer<W, F>(
 ) -> Time
 where
     W: HasNet,
-    F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    F: FnOnce(&mut W, &mut Scheduler<W>) + Send + 'static,
 {
     assert_ne!(src_node, dst_node, "net_transfer is inter-node only");
     let now = s.now();
@@ -157,8 +158,7 @@ where
         WireKind::Gdr => p.gdr_gbps,
     };
     let serialize = transfer_time(size, bw);
-    let pipe_latency =
-        p.injection + p.hop_latency as Duration * p.hops as Duration;
+    let pipe_latency = p.injection + p.hop_latency as Duration * p.hops as Duration;
     // TX and RX ports are decoupled (switches buffer in between): the
     // sender serializes onto its link as soon as that link is free; the
     // receiver's port serializes deliveries independently. Uncontended,
@@ -219,10 +219,18 @@ mod tests {
         let mut sim = Simulation::new(sys(2));
         let expected = NetParams::default().wire_time(1 << 20, WireKind::Host);
         sim.scheduler().schedule_at(0, move |w, s| {
-            net_transfer(w, s, (0, 0), (1, 0), 1 << 20, WireKind::Host, move |w, s| {
-                assert_eq!(s.now(), expected);
-                w.net().counters.bump("arrived");
-            });
+            net_transfer(
+                w,
+                s,
+                (0, 0),
+                (1, 0),
+                1 << 20,
+                WireKind::Host,
+                move |w, s| {
+                    assert_eq!(s.now(), expected);
+                    w.net().counters.bump("arrived");
+                },
+            );
         });
         assert_eq!(sim.run(), RunOutcome::Completed);
         assert_eq!(sim.world().counters.get("arrived"), 1);
@@ -272,10 +280,9 @@ mod tests {
     #[should_panic(expected = "inter-node only")]
     fn loopback_rejected() {
         let mut sim = Simulation::new(sys(2));
-        sim.scheduler()
-            .schedule_at(0, |w, s| {
-                net_transfer(w, s, (1, 0), (1, 0), 8, WireKind::Host, |_, _| {});
-            });
+        sim.scheduler().schedule_at(0, |w, s| {
+            net_transfer(w, s, (1, 0), (1, 0), 8, WireKind::Host, |_, _| {});
+        });
         let _ = sim.run();
     }
 }

@@ -91,13 +91,17 @@ mod tests {
                 t
             });
             // Data must not be visible before completion.
-            let before = ctx.with_world(move |w, _| w.pool.read(b).unwrap());
+            let before = ctx.with_world_ref(|w, _| w.pool.read(b).unwrap());
             assert_eq!(before, vec![0u8; 1024]);
             ctx.wait(done);
-            let after = ctx.with_world(move |w, _| w.pool.read(b).unwrap());
+            let after = ctx.with_world_ref(|w, _| w.pool.read(b).unwrap());
             assert_eq!(after, vec![0x5A; 1024]);
             // NVLink 1 KiB: dma_setup + ~23ns wire.
-            assert!(ctx.now() >= us(1.1) && ctx.now() < us(2.0), "t={}", ctx.now());
+            assert!(
+                ctx.now() >= us(1.1) && ctx.now() < us(2.0),
+                "t={}",
+                ctx.now()
+            );
         });
         assert_eq!(sim.run(), RunOutcome::Completed);
         assert_eq!(sim.world().counters.get("gpu.copy.nvlink"), 1);
@@ -177,8 +181,7 @@ mod tests {
                 kernel_async(w, s, stream, cost, None)
             });
             assert_eq!(end, us(2.0));
-            let sync =
-                ctx.with_world(move |w, s| stream_sync_trigger(w, s, StreamId(3)));
+            let sync = ctx.with_world(move |w, s| stream_sync_trigger(w, s, StreamId(3)));
             ctx.wait(sync);
             assert_eq!(ctx.now(), us(2.0));
         });

@@ -85,7 +85,12 @@ pub enum MemError {
     /// The handle was never allocated or has been freed.
     BadHandle(MemId),
     /// Access outside the allocation bounds.
-    OutOfBounds { id: MemId, offset: u64, len: u64, size: u64 },
+    OutOfBounds {
+        id: MemId,
+        offset: u64,
+        len: u64,
+        size: u64,
+    },
 }
 
 impl std::fmt::Display for MemError {
@@ -95,7 +100,12 @@ impl std::fmt::Display for MemError {
                 write!(f, "device OOM: requested {requested} bytes, {free} free")
             }
             MemError::BadHandle(id) => write!(f, "bad or freed memory handle {id:?}"),
-            MemError::OutOfBounds { id, offset, len, size } => write!(
+            MemError::OutOfBounds {
+                id,
+                offset,
+                len,
+                size,
+            } => write!(
                 f,
                 "access [{offset}, +{len}) out of bounds of {id:?} (size {size})"
             ),
@@ -149,14 +159,23 @@ impl MemPool {
         let d = device.index();
         let free = self.device_capacity[d] - self.device_used[d];
         if size > free {
-            return Err(MemError::DeviceOom { requested: size, free });
+            return Err(MemError::DeviceOom {
+                requested: size,
+                free,
+            });
         }
         self.device_used[d] += size;
         Ok(self.insert(MemKind::Device(device), size, materialize))
     }
 
     /// Allocate host memory on `node`; `pinned` selects page-locked memory.
-    pub fn alloc_host(&mut self, node: usize, size: u64, pinned: bool, materialize: bool) -> MemRef {
+    pub fn alloc_host(
+        &mut self,
+        node: usize,
+        size: u64,
+        pinned: bool,
+        materialize: bool,
+    ) -> MemRef {
         self.host_used[node] += size;
         let kind = if pinned {
             MemKind::HostPinned { node }
@@ -171,21 +190,25 @@ impl MemPool {
         let a = self.allocs.remove(&id.0).ok_or(MemError::BadHandle(id))?;
         match a.kind {
             MemKind::Device(d) => self.device_used[d.index()] -= a.size,
-            MemKind::Host { node } | MemKind::HostPinned { node } => {
-                self.host_used[node] -= a.size
-            }
+            MemKind::Host { node } | MemKind::HostPinned { node } => self.host_used[node] -= a.size,
         }
         Ok(())
     }
 
     /// Memory kind of a live allocation.
     pub fn kind(&self, id: MemId) -> Result<MemKind, MemError> {
-        self.allocs.get(&id.0).map(|a| a.kind).ok_or(MemError::BadHandle(id))
+        self.allocs
+            .get(&id.0)
+            .map(|a| a.kind)
+            .ok_or(MemError::BadHandle(id))
     }
 
     /// Total size of a live allocation.
     pub fn size(&self, id: MemId) -> Result<u64, MemError> {
-        self.allocs.get(&id.0).map(|a| a.size).ok_or(MemError::BadHandle(id))
+        self.allocs
+            .get(&id.0)
+            .map(|a| a.size)
+            .ok_or(MemError::BadHandle(id))
     }
 
     /// Whether the allocation is backed by real bytes.
@@ -257,8 +280,7 @@ impl MemPool {
         if let Some(data) = &mut dst_alloc.data {
             match src_bytes {
                 Some(sb) => {
-                    data[dst.offset as usize..(dst.offset + dst.len) as usize]
-                        .copy_from_slice(&sb)
+                    data[dst.offset as usize..(dst.offset + dst.len) as usize].copy_from_slice(&sb)
                 }
                 None => data[dst.offset as usize..(dst.offset + dst.len) as usize].fill(0),
             }
@@ -370,14 +392,22 @@ mod tests {
     fn out_of_bounds_detected() {
         let mut p = pool();
         let a = p.alloc_host(0, 8, true, true);
-        let bad = MemRef { id: a.id, offset: 4, len: 8 };
+        let bad = MemRef {
+            id: a.id,
+            offset: 4,
+            len: 8,
+        };
         assert!(matches!(p.read(bad), Err(MemError::OutOfBounds { .. })));
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn slice_past_end_panics() {
-        let r = MemRef { id: MemId(1), offset: 0, len: 8 };
+        let r = MemRef {
+            id: MemId(1),
+            offset: 0,
+            len: 8,
+        };
         let _ = r.slice(4, 8);
     }
 

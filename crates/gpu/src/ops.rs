@@ -187,8 +187,7 @@ pub fn occupy_transfer<W: HasGpu>(
     gpu.set_port_busy(PortRef::Ingress(dst_dev), end);
     if cross {
         // Shared aggregate resource (see `copy_async`).
-        let occ = start
-            + rucx_sim::time::transfer_time(size, gpu.params.xbus_aggregate_gbps);
+        let occ = start + rucx_sim::time::transfer_time(size, gpu.params.xbus_aggregate_gbps);
         gpu.set_port_busy(PortRef::XBus(node), occ);
     }
     end
@@ -233,7 +232,11 @@ pub fn occupy_ingress<W: HasGpu>(
 /// Create a trigger that fires when every operation already enqueued on
 /// `stream` has completed (CUDA `cudaStreamSynchronize` semantics: later
 /// enqueues are not waited for).
-pub fn stream_sync_trigger<W: HasGpu>(w: &mut W, s: &mut Scheduler<W>, stream: StreamId) -> Trigger {
+pub fn stream_sync_trigger<W: HasGpu>(
+    w: &mut W,
+    s: &mut Scheduler<W>,
+    stream: StreamId,
+) -> Trigger {
     let t = s.new_trigger();
     let busy = w.gpu().stream_busy(stream);
     if busy <= s.now() {

@@ -18,16 +18,30 @@ enum Op {
 
 fn gen_op(g: &mut Gen) -> Op {
     match g.usize(0..5) {
-        0 => Op::AllocDevice { dev: g.u8(0..4), size: g.u16(1..512) },
-        1 => Op::AllocHost { pinned: g.bool(), size: g.u16(1..512) },
+        0 => Op::AllocDevice {
+            dev: g.u8(0..4),
+            size: g.u16(1..512),
+        },
+        1 => Op::AllocHost {
+            pinned: g.bool(),
+            size: g.u16(1..512),
+        },
         2 => Op::Free { idx: g.any_u8() },
-        3 => Op::Write { idx: g.any_u8(), seed: g.any_u8() },
-        _ => Op::CopyBetween { a: g.any_u8(), b: g.any_u8() },
+        3 => Op::Write {
+            idx: g.any_u8(),
+            seed: g.any_u8(),
+        },
+        _ => Op::CopyBetween {
+            a: g.any_u8(),
+            b: g.any_u8(),
+        },
     }
 }
 
 fn pattern(len: u64, seed: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(37).wrapping_add(seed)).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(37).wrapping_add(seed))
+        .collect()
 }
 
 /// A shadow model of the pool stays in sync under random operations.
@@ -44,7 +58,9 @@ fn pool_matches_shadow_model() {
         for op in ops {
             match op {
                 Op::AllocDevice { dev, size } => {
-                    let r = pool.alloc_device(DeviceId(dev as u32), size as u64, true).unwrap();
+                    let r = pool
+                        .alloc_device(DeviceId(dev as u32), size as u64, true)
+                        .unwrap();
                     device_used[dev as usize] += size as u64;
                     live.push((r, vec![0u8; size as usize]));
                 }
@@ -54,7 +70,9 @@ fn pool_matches_shadow_model() {
                     live.push((r, vec![0u8; size as usize]));
                 }
                 Op::Free { idx } => {
-                    if live.is_empty() { continue; }
+                    if live.is_empty() {
+                        continue;
+                    }
                     let (r, _) = live.remove(idx as usize % live.len());
                     match pool.kind(r.id).unwrap() {
                         rucx_gpu::MemKind::Device(d) => device_used[d.index()] -= r.len,
@@ -65,7 +83,9 @@ fn pool_matches_shadow_model() {
                     assert!(pool.free(r.id).is_err());
                 }
                 Op::Write { idx, seed } => {
-                    if live.is_empty() { continue; }
+                    if live.is_empty() {
+                        continue;
+                    }
                     let i = idx as usize % live.len();
                     let (r, shadow) = &mut live[i];
                     let data = pattern(r.len, seed);
@@ -73,10 +93,14 @@ fn pool_matches_shadow_model() {
                     *shadow = data;
                 }
                 Op::CopyBetween { a, b } => {
-                    if live.len() < 2 { continue; }
+                    if live.len() < 2 {
+                        continue;
+                    }
                     let ia = a as usize % live.len();
                     let ib = b as usize % live.len();
-                    if ia == ib { continue; }
+                    if ia == ib {
+                        continue;
+                    }
                     let (ra, sa) = (live[ia].0, live[ia].1.clone());
                     let (rb, _) = live[ib];
                     let n = ra.len.min(rb.len);
@@ -113,7 +137,9 @@ fn slice_reads_window() {
         let off = (off_frac * size as f64) as u64 % size;
         let len = 1 + (len_frac * (size - off) as f64) as u64;
         let len = len.min(size - off);
-        if len == 0 { return; }
+        if len == 0 {
+            return;
+        }
         let s = r.slice(off, len);
         assert_eq!(
             pool.read(s).unwrap(),

@@ -51,7 +51,7 @@ thread_local! {
 impl JacobiChare {
     fn stream_of(pe: &Pe, ctx: &mut MCtx) -> rucx_gpu::StreamId {
         let me = pe.index;
-        ctx.with_world(move |w, _| w.gpu.default_stream(w.topo.device_of(me)))
+        ctx.with_world_ref(|w, _| w.gpu.default_stream(w.topo.device_of(me)))
     }
 
     fn start_iter(&mut self, pe: &mut Pe, ctx: &mut MCtx) {
@@ -66,7 +66,14 @@ impl JacobiChare {
             let overall_ms = as_ms(ctx.now() - self.t0) / self.iters as f64;
             let root = ChareRef { col, index: 0 };
             let elem = self.block.index;
-            pe.contribute(ctx, col, elem, RedOp::Max, comm_ms, RedTarget::Chare(root, ep_comm));
+            pe.contribute(
+                ctx,
+                col,
+                elem,
+                RedOp::Max,
+                comm_ms,
+                RedTarget::Chare(root, ep_comm),
+            );
             pe.contribute(
                 ctx,
                 col,
@@ -89,7 +96,7 @@ impl JacobiChare {
         // computation-communication-overlap mechanism).
         let stream = Self::stream_of(pe, ctx);
         let cost = stencil_cost(&self.block);
-        let launch = ctx.with_world(|w, _| w.gpu.params.kernel_launch);
+        let launch = ctx.with_world_ref(|w, _| w.gpu.params.kernel_launch);
         ctx.advance(launch);
         let end = ctx.with_world(move |w, s| rucx_gpu::kernel_async(w, s, stream, cost, None));
         let me = self.block.index;
@@ -117,7 +124,12 @@ impl JacobiChare {
                     pe.send(ctx, to, ep_halo, params, 0, vec![self.dsend[dir].unwrap()]);
                 }
                 Mode::HostStaging => {
-                    cuda::copy_sync(ctx, self.dsend[dir].unwrap(), self.hsend[dir].unwrap(), stream);
+                    cuda::copy_sync(
+                        ctx,
+                        self.dsend[dir].unwrap(),
+                        self.hsend[dir].unwrap(),
+                        stream,
+                    );
                     pe.send(ctx, to, ep_halo, params, fb, vec![]);
                 }
             }
@@ -135,7 +147,12 @@ impl JacobiChare {
         let fb = self.block.face_bytes(od);
         let stream = Self::stream_of(pe, ctx);
         if self.mode == Mode::HostStaging {
-            cuda::copy_sync(ctx, self.hrecv[od].unwrap(), self.drecv[od].unwrap(), stream);
+            cuda::copy_sync(
+                ctx,
+                self.hrecv[od].unwrap(),
+                self.drecv[od].unwrap(),
+                stream,
+            );
         }
         cuda::kernel_sync(ctx, pack_cost(fb), stream);
         if msg_iter == self.iter {
@@ -285,7 +302,11 @@ pub fn run_charm(cfg: &JacobiConfig) -> JacobiResult {
         }
         pe.run(ctx);
     });
-    assert_eq!(sim.run(), RunOutcome::Completed, "jacobi (charm) did not drain");
+    assert_eq!(
+        sim.run(),
+        RunOutcome::Completed,
+        "jacobi (charm) did not drain"
+    );
     let r = *result.lock();
     r
 }

@@ -126,7 +126,11 @@ mod tests {
 
     #[test]
     fn stencil_cost_scales_with_block() {
-        let d = crate::decomp::Domain { nx: 1536, ny: 1536, nz: 1536 };
+        let d = crate::decomp::Domain {
+            nx: 1536,
+            ny: 1536,
+            nz: 1536,
+        };
         let g = decompose(d, 6);
         let b = Block::new(d, g, 0);
         let c = stencil_cost(&b);

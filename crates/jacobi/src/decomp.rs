@@ -175,30 +175,64 @@ mod tests {
     #[test]
     fn weak_scaling_doubles_in_xyz_order() {
         let b = 1536;
-        assert_eq!(Domain::weak_scaled(b, 1), Domain { nx: b, ny: b, nz: b });
+        assert_eq!(
+            Domain::weak_scaled(b, 1),
+            Domain {
+                nx: b,
+                ny: b,
+                nz: b
+            }
+        );
         assert_eq!(
             Domain::weak_scaled(b, 2),
-            Domain { nx: 2 * b, ny: b, nz: b }
+            Domain {
+                nx: 2 * b,
+                ny: b,
+                nz: b
+            }
         );
         assert_eq!(
             Domain::weak_scaled(b, 4),
-            Domain { nx: 2 * b, ny: 2 * b, nz: b }
+            Domain {
+                nx: 2 * b,
+                ny: 2 * b,
+                nz: b
+            }
         );
         assert_eq!(
             Domain::weak_scaled(b, 8),
-            Domain { nx: 2 * b, ny: 2 * b, nz: 2 * b }
+            Domain {
+                nx: 2 * b,
+                ny: 2 * b,
+                nz: 2 * b
+            }
         );
         assert_eq!(
             Domain::weak_scaled(b, 256),
-            Domain { nx: 8 * b, ny: 8 * b, nz: 4 * b }
+            Domain {
+                nx: 8 * b,
+                ny: 8 * b,
+                nz: 4 * b
+            }
         );
     }
 
     #[test]
     fn decompose_minimizes_surface_for_cube() {
         // A cube into 8 blocks: 2x2x2 beats 8x1x1.
-        let d = Domain { nx: 512, ny: 512, nz: 512 };
-        assert_eq!(decompose(d, 8), BlockGrid { px: 2, py: 2, pz: 2 });
+        let d = Domain {
+            nx: 512,
+            ny: 512,
+            nz: 512,
+        };
+        assert_eq!(
+            decompose(d, 8),
+            BlockGrid {
+                px: 2,
+                py: 2,
+                pz: 2
+            }
+        );
         // 6 blocks of a cube: 3x2x1 (or permutation with equal surface).
         let g = decompose(d, 6);
         let mut dims = [g.px, g.py, g.pz];
@@ -208,7 +242,11 @@ mod tests {
 
     #[test]
     fn block_geometry_and_neighbors() {
-        let d = Domain { nx: 1536, ny: 1536, nz: 1536 };
+        let d = Domain {
+            nx: 1536,
+            ny: 1536,
+            nz: 1536,
+        };
         let g = decompose(d, 6);
         let n = g.blocks();
         assert_eq!(n, 6);
@@ -235,7 +273,11 @@ mod tests {
 
     #[test]
     fn coords_index_roundtrip() {
-        let g = BlockGrid { px: 3, py: 4, pz: 5 };
+        let g = BlockGrid {
+            px: 3,
+            py: 4,
+            pz: 5,
+        };
         for i in 0..g.blocks() {
             let (x, y, z) = g.coords(i);
             assert_eq!(g.index(x, y, z), i);

@@ -130,7 +130,10 @@ mod tests {
         let d1 = run(JacobiModel::Charm, &quick(1, Mode::Device));
         // Both scales have real communication, in the same regime (the
         // 1-node point pays X-Bus sharing; the 2-node point pays the NIC).
-        assert!(d.comm_ms > 0.4 && d1.comm_ms > 0.4, "2 nodes {d:?} vs 1 node {d1:?}");
+        assert!(
+            d.comm_ms > 0.4 && d1.comm_ms > 0.4,
+            "2 nodes {d:?} vs 1 node {d1:?}"
+        );
         assert!(d.comm_ms < 4.0 * d1.comm_ms && d1.comm_ms < 4.0 * d.comm_ms);
         // Compute per GPU is constant under weak scaling.
         assert!((d.overall_ms - d.comm_ms) - (d1.overall_ms - d1.comm_ms) < 3.0);

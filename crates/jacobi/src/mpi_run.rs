@@ -32,8 +32,8 @@ pub fn run_mpi<F: RankFactory>(cfg: &JacobiConfig, factory: F) -> JacobiResult {
     factory.launch(&mut sim, move |mpi, ctx| {
         let me = mpi.rank();
         let b = &bufs[me];
-        let dev = ctx.with_world(move |w, _| w.topo.device_of(me));
-        let stream = ctx.with_world(move |w, _| w.gpu.default_stream(dev));
+        let dev = ctx.with_world_ref(|w, _| w.topo.device_of(me));
+        let stream = ctx.with_world_ref(|w, _| w.gpu.default_stream(dev));
         let stencil = stencil_cost(&b.block);
 
         mpi.barrier(ctx);
@@ -69,7 +69,12 @@ pub fn run_mpi<F: RankFactory>(cfg: &JacobiConfig, factory: F) -> JacobiResult {
                     let sbuf = match mode {
                         Mode::Device => b.dsend[dir].unwrap(),
                         Mode::HostStaging => {
-                            cuda::copy_sync(ctx, b.dsend[dir].unwrap(), b.hsend[dir].unwrap(), stream);
+                            cuda::copy_sync(
+                                ctx,
+                                b.dsend[dir].unwrap(),
+                                b.hsend[dir].unwrap(),
+                                stream,
+                            );
                             b.hsend[dir].unwrap()
                         }
                     };
@@ -103,7 +108,7 @@ pub fn run_mpi<F: RankFactory>(cfg: &JacobiConfig, factory: F) -> JacobiResult {
             let (mut max_comm, mut max_overall) = (comm_ns, overall_ns);
             for _ in 1..ranks {
                 mpi.recv_any(ctx, res, 1000);
-                let bytes = ctx.with_world(move |w, _| w.gpu.pool.read(res).unwrap());
+                let bytes = ctx.with_world_ref(|w, _| w.gpu.pool.read(res).unwrap());
                 let c = u64::from_be_bytes(bytes[0..8].try_into().unwrap());
                 let o = u64::from_be_bytes(bytes[8..16].try_into().unwrap());
                 max_comm = max_comm.max(c);
@@ -117,7 +122,11 @@ pub fn run_mpi<F: RankFactory>(cfg: &JacobiConfig, factory: F) -> JacobiResult {
             mpi.send(ctx, res, 0, 1000);
         }
     });
-    assert_eq!(sim.run(), RunOutcome::Completed, "jacobi (mpi) did not drain");
+    assert_eq!(
+        sim.run(),
+        RunOutcome::Completed,
+        "jacobi (mpi) did not drain"
+    );
     let r = *result.lock();
     r
 }

@@ -31,16 +31,14 @@ pub fn run_charm4py(cfg: &JacobiConfig) -> JacobiResult {
     launch_with(&mut sim, PyParams::default(), move |py, ctx| {
         let me = py.rank();
         let b = &bufs[me];
-        let dev = ctx.with_world(move |w, _| w.topo.device_of(me));
-        let stream = ctx.with_world(move |w, _| w.gpu.default_stream(dev));
+        let dev = ctx.with_world_ref(|w, _| w.topo.device_of(me));
+        let stream = ctx.with_world_ref(|w, _| w.gpu.default_stream(dev));
         let stencil = stencil_cost(&b.block);
         let py_cuda = py.params.py_cuda_call;
 
         // One channel per neighbor.
         let channels: Vec<(usize, rucx_charm4py::Channel)> = (0..6)
-            .filter_map(|dir| {
-                b.block.neighbors[dir].map(|nbr| (dir, py.channel(nbr as usize)))
-            })
+            .filter_map(|dir| b.block.neighbors[dir].map(|nbr| (dir, py.channel(nbr as usize))))
             .collect();
 
         py.barrier(ctx);
@@ -117,7 +115,11 @@ pub fn run_charm4py(cfg: &JacobiConfig) -> JacobiResult {
             py.send_host(ctx, ch, payload);
         }
     });
-    assert_eq!(sim.run(), RunOutcome::Completed, "jacobi (charm4py) did not drain");
+    assert_eq!(
+        sim.run(),
+        RunOutcome::Completed,
+        "jacobi (charm4py) did not drain"
+    );
     let r = *result.lock();
     r
 }

@@ -11,7 +11,7 @@ use rucx_fabric::Topology;
 use rucx_gpu::MemRef;
 use rucx_jacobi::decomp::{decompose, opposite, Block, Domain};
 use rucx_sim::RunOutcome;
-use rucx_ucp::{build_sim, MachineConfig, MSim};
+use rucx_ucp::{build_sim, MSim, MachineConfig};
 
 /// The pattern a block writes into its face toward `dir`.
 fn face_pattern(block: u64, dir: usize, len: usize) -> Vec<u8> {
@@ -68,7 +68,9 @@ fn setup(domain: Domain) -> (MSim, Vec<Block>, Arc<Vec<FaceBufs>>) {
 fn verify(sim: &MSim, blocks: &[Block], bufs: &[FaceBufs]) {
     for (r, b) in blocks.iter().enumerate() {
         for dir in 0..6 {
-            let Some(nbr) = b.neighbors[dir] else { continue };
+            let Some(nbr) = b.neighbors[dir] else {
+                continue;
+            };
             // My `dir` ghost face came from the neighbor's opposite face.
             let got = sim
                 .world()
@@ -84,7 +86,11 @@ fn verify(sim: &MSim, blocks: &[Block], bufs: &[FaceBufs]) {
 
 #[test]
 fn openmpi_halo_exchange_moves_correct_bytes() {
-    let domain = Domain { nx: 48, ny: 32, nz: 16 };
+    let domain = Domain {
+        nx: 48,
+        ny: 32,
+        nz: 16,
+    };
     let (mut sim, blocks, bufs) = setup(domain);
     let blocks2 = blocks.clone();
     let bufs2 = bufs.clone();
@@ -118,7 +124,11 @@ fn charm_halo_exchange_moves_correct_bytes() {
     use rucx_charm::{launch, marshal, ChareRef, Msg};
     use std::sync::atomic::{AtomicU64, Ordering};
 
-    let domain = Domain { nx: 48, ny: 32, nz: 16 };
+    let domain = Domain {
+        nx: 48,
+        ny: 32,
+        nz: 16,
+    };
     let (mut sim, blocks, bufs) = setup(domain);
     let blocks2 = blocks.clone();
     let bufs2 = bufs.clone();

@@ -54,7 +54,11 @@ fn blocks_partition_and_neighbors_symmetric() {
     check("blocks_partition_and_neighbors_symmetric", |g| {
         let scale = g.u64(1..5);
         let blocks = g.pick(&[6u64, 12, 24, 48, 96]);
-        let d = Domain { nx: 768 * scale, ny: 768 * scale, nz: 768 * scale };
+        let d = Domain {
+            nx: 768 * scale,
+            ny: 768 * scale,
+            nz: 768 * scale,
+        };
         let grid = decompose(d, blocks);
         let mut total_cells = 0;
         for i in 0..blocks {
@@ -79,7 +83,11 @@ fn blocks_partition_and_neighbors_symmetric() {
 fn halo_traffic_equals_cut_surface() {
     check("halo_traffic_equals_cut_surface", |g| {
         let blocks = g.pick(&[6u64, 12, 24, 48]);
-        let d = Domain { nx: 1536, ny: 1536, nz: 1536 };
+        let d = Domain {
+            nx: 1536,
+            ny: 1536,
+            nz: 1536,
+        };
         let grid = decompose(d, blocks);
         let mut traffic_cells = 0u64;
         for i in 0..blocks {
@@ -119,5 +127,9 @@ fn block_grid_rejects_nothing_valid() {
     // Smoke: factor_triples covers the full factorization lattice.
     assert_eq!(factor_triples(6).len(), 9);
     assert!(factor_triples(1) == vec![(1, 1, 1)]);
-    let _ = BlockGrid { px: 1, py: 1, pz: 1 };
+    let _ = BlockGrid {
+        px: 1,
+        py: 1,
+        pz: 1,
+    };
 }

@@ -121,7 +121,7 @@ impl OmpiRank {
 
     fn ucp_call(&mut self, ctx: &mut MCtx) -> Duration {
         if self.ucp_call == 0 {
-            self.ucp_call = ctx.with_world(|w, _| w.ucp.config.cpu_call);
+            self.ucp_call = ctx.with_world_ref(|w, _| w.ucp.config.cpu_call);
         }
         self.ucp_call
     }
@@ -134,7 +134,15 @@ impl OmpiRank {
         let t = encode_tag(USER_COMM, me, tag);
         let trigger = ctx.with_world(move |w, s| {
             let trig = s.new_trigger();
-            tag_send_nb(w, s, me, dst, SendBuf::Mem(buf), t, Completion::Trigger(trig));
+            tag_send_nb(
+                w,
+                s,
+                me,
+                dst,
+                SendBuf::Mem(buf),
+                t,
+                Completion::Trigger(trig),
+            );
             trig
         });
         Request {

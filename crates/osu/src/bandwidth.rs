@@ -38,8 +38,8 @@ pub fn mpi_bw_point<F: RankFactory>(
             return;
         }
         let other = if me == 0 { peer } else { 0 };
-        let dev = ctx.with_world(move |w, _| w.topo.device_of(me));
-        let stream = ctx.with_world(move |w, _| w.gpu.default_stream(dev));
+        let dev = ctx.with_world_ref(|w, _| w.topo.device_of(me));
+        let stream = ctx.with_world_ref(|w, _| w.gpu.default_stream(dev));
         let my_d = d[me].slice(0, size);
         let my_h = h[me].slice(0, size);
         let my_ack = ack[me].slice(0, 4);

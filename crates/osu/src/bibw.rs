@@ -65,12 +65,7 @@ pub fn mpi_bibw_point<F: RankFactory>(
 /// Multi-pair bandwidth: `pairs` disjoint sender/receiver pairs drive the
 /// fabric simultaneously (senders on node 0, receivers on node 1 for the
 /// inter-node variant — exercising both NIC rails). Aggregate MB/s.
-pub fn mpi_mbw_point<F: RankFactory>(
-    cfg: &OsuConfig,
-    size: u64,
-    pairs: usize,
-    factory: F,
-) -> f64 {
+pub fn mpi_mbw_point<F: RankFactory>(cfg: &OsuConfig, size: u64, pairs: usize, factory: F) -> f64 {
     assert!(pairs <= 6, "one pair per GPU pair");
     let mut s = setup(&cfg.machine, size);
     let d = Arc::new(s.d.clone());

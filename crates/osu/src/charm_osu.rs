@@ -40,9 +40,13 @@ impl LatChare {
             }
             Mode::HostStaging => {
                 let dev = pe.index;
-                let stream =
-                    ctx.with_world(move |w, _| w.gpu.default_stream(w.topo.device_of(dev)));
-                cuda::copy_sync(ctx, self.d.slice(0, self.size), self.h.slice(0, self.size), stream);
+                let stream = ctx.with_world_ref(|w, _| w.gpu.default_stream(w.topo.device_of(dev)));
+                cuda::copy_sync(
+                    ctx,
+                    self.d.slice(0, self.size),
+                    self.h.slice(0, self.size),
+                    stream,
+                );
                 // The staged host data is packed into the message (phantom
                 // payload models its wire size and packing cost).
                 pe.send(ctx, to, ep, vec![], self.size, vec![]);
@@ -54,8 +58,13 @@ impl LatChare {
         if self.mode == Mode::HostStaging {
             // Unpack: stage received host data to the device.
             let dev = pe.index;
-            let stream = ctx.with_world(move |w, _| w.gpu.default_stream(w.topo.device_of(dev)));
-            cuda::copy_sync(ctx, self.h.slice(0, self.size), self.d.slice(0, self.size), stream);
+            let stream = ctx.with_world_ref(|w, _| w.gpu.default_stream(w.topo.device_of(dev)));
+            cuda::copy_sync(
+                ctx,
+                self.h.slice(0, self.size),
+                self.d.slice(0, self.size),
+                stream,
+            );
         }
         if self.me == 0 {
             self.count += 1;
@@ -181,12 +190,19 @@ impl BwChare {
         for _ in 0..self.window {
             match self.mode {
                 Mode::Device => {
-                    pe.send(ctx, to, ep_data, vec![], 0, vec![self.d.slice(0, self.size)]);
+                    pe.send(
+                        ctx,
+                        to,
+                        ep_data,
+                        vec![],
+                        0,
+                        vec![self.d.slice(0, self.size)],
+                    );
                 }
                 Mode::HostStaging => {
                     let dev = pe.index;
                     let stream =
-                        ctx.with_world(move |w, _| w.gpu.default_stream(w.topo.device_of(dev)));
+                        ctx.with_world_ref(|w, _| w.gpu.default_stream(w.topo.device_of(dev)));
                     cuda::copy_sync(
                         ctx,
                         self.d.slice(0, self.size),
@@ -203,8 +219,13 @@ impl BwChare {
         let (col, _, ep_ack) = BW_IDS.with(|c| c.get()).unwrap();
         if self.mode == Mode::HostStaging {
             let dev = pe.index;
-            let stream = ctx.with_world(move |w, _| w.gpu.default_stream(w.topo.device_of(dev)));
-            cuda::copy_sync(ctx, self.h.slice(0, self.size), self.d.slice(0, self.size), stream);
+            let stream = ctx.with_world_ref(|w, _| w.gpu.default_stream(w.topo.device_of(dev)));
+            cuda::copy_sync(
+                ctx,
+                self.h.slice(0, self.size),
+                self.d.slice(0, self.size),
+                stream,
+            );
         }
         self.recvd += 1;
         if self.recvd == self.window {

@@ -59,7 +59,13 @@ pub enum CollOp {
 /// Combine `other` into `mine` (both `f64` arrays of equal byte length):
 /// models the GPU reduction kernel and performs the real element-wise
 /// operation on the backing bytes so results stay verifiable.
-fn combine_into(ctx: &mut MCtx, mine: MemRef, other: MemRef, op: CollOp, stream: rucx_gpu::StreamId) {
+fn combine_into(
+    ctx: &mut MCtx,
+    mine: MemRef,
+    other: MemRef,
+    op: CollOp,
+    stream: rucx_gpu::StreamId,
+) {
     // Memory-bound kernel: read both inputs, write one output.
     cuda::kernel_sync(
         ctx,
@@ -111,7 +117,7 @@ pub fn allreduce<M: P2p>(
     assert_eq!(buf.len, scratch.len, "scratch must match buffer size");
     assert_eq!(buf.len % 8, 0, "f64 payload");
     let me = mpi.rank();
-    let stream = ctx.with_world(move |w, _| w.gpu.default_stream(device));
+    let stream = ctx.with_world_ref(|w, _| w.gpu.default_stream(device));
     let p2 = nranks.next_power_of_two() / if nranks.is_power_of_two() { 1 } else { 2 };
     let extra = nranks - p2;
 
@@ -151,7 +157,7 @@ mod tests {
     use crate::mpi_like::RankFactory;
     use rucx_fabric::Topology;
     use rucx_sim::RunOutcome;
-    use rucx_ucp::{build_sim, MachineConfig, MSim};
+    use rucx_ucp::{build_sim, MSim, MachineConfig};
     use std::sync::Arc;
 
     fn setup(nodes: usize, size: u64) -> (MSim, Vec<MemRef>, Vec<MemRef>) {
@@ -161,8 +167,18 @@ mod tests {
         let mut scratch = vec![];
         for p in 0..topo.procs() {
             let m = sim.world_mut();
-            bufs.push(m.gpu.pool.alloc_device(topo.device_of(p), size, true).unwrap());
-            scratch.push(m.gpu.pool.alloc_device(topo.device_of(p), size, true).unwrap());
+            bufs.push(
+                m.gpu
+                    .pool
+                    .alloc_device(topo.device_of(p), size, true)
+                    .unwrap(),
+            );
+            scratch.push(
+                m.gpu
+                    .pool
+                    .alloc_device(topo.device_of(p), size, true)
+                    .unwrap(),
+            );
         }
         (sim, bufs, scratch)
     }
@@ -220,7 +236,7 @@ mod tests {
         let scratch2 = Arc::new(scratch);
         factory.launch(&mut sim, move |mpi, ctx| {
             let me = mpi.rank();
-            let dev = ctx.with_world(move |w, _| w.topo.device_of(me));
+            let dev = ctx.with_world_ref(|w, _| w.topo.device_of(me));
             allreduce(mpi, ctx, bufs2[me], scratch2[me], op, n, dev);
         });
         assert_eq!(sim.run(), RunOutcome::Completed);

@@ -8,7 +8,8 @@ use rucx_ucp::MCtx;
 /// Issue an async copy and wait for it (memcpy + stream synchronize),
 /// charging the CPU-side launch and sync costs.
 pub fn copy_sync(ctx: &mut MCtx, src: MemRef, dst: MemRef, stream: StreamId) {
-    let (launch, sync) = ctx.with_world(|w, _| (w.gpu.params.copy_launch, w.gpu.params.sync_overhead));
+    let (launch, sync) =
+        ctx.with_world(|w, _| (w.gpu.params.copy_launch, w.gpu.params.sync_overhead));
     ctx.advance(launch);
     let t = ctx.with_world(move |w, s| {
         copy_async(w, s, src, dst, stream, None);
@@ -22,7 +23,7 @@ pub fn copy_sync(ctx: &mut MCtx, src: MemRef, dst: MemRef, stream: StreamId) {
 /// Issue an async copy without waiting (returns immediately after the
 /// launch cost).
 pub fn copy_nosync(ctx: &mut MCtx, src: MemRef, dst: MemRef, stream: StreamId) {
-    let launch = ctx.with_world(|w, _| w.gpu.params.copy_launch);
+    let launch = ctx.with_world_ref(|w, _| w.gpu.params.copy_launch);
     ctx.advance(launch);
     ctx.with_world(move |w, s| {
         copy_async(w, s, src, dst, stream, None);
@@ -46,7 +47,7 @@ pub fn kernel_sync(ctx: &mut MCtx, cost: rucx_gpu::KernelCost, stream: StreamId)
 
 /// Launch a kernel without waiting.
 pub fn kernel_nosync(ctx: &mut MCtx, cost: rucx_gpu::KernelCost, stream: StreamId) {
-    let launch = ctx.with_world(|w, _| w.gpu.params.kernel_launch);
+    let launch = ctx.with_world_ref(|w, _| w.gpu.params.kernel_launch);
     ctx.advance(launch);
     ctx.with_world(move |w, s| {
         rucx_gpu::kernel_async(w, s, stream, cost, None);
@@ -55,7 +56,7 @@ pub fn kernel_nosync(ctx: &mut MCtx, cost: rucx_gpu::KernelCost, stream: StreamI
 
 /// Wait for everything enqueued on `stream`.
 pub fn stream_sync(ctx: &mut MCtx, stream: StreamId) {
-    let sync = ctx.with_world(|w, _| w.gpu.params.sync_overhead);
+    let sync = ctx.with_world_ref(|w, _| w.gpu.params.sync_overhead);
     let t = ctx.with_world(move |w, s| stream_sync_trigger(w, s, stream));
     ctx.wait(t);
     ctx.with_world(move |_, s| s.recycle_trigger(t));

@@ -35,8 +35,8 @@ pub fn mpi_latency_point<F: RankFactory>(
             return;
         }
         let other = if me == 0 { peer } else { 0 };
-        let dev = ctx.with_world(move |w, _| w.topo.device_of(me));
-        let stream = ctx.with_world(move |w, _| w.gpu.default_stream(dev));
+        let dev = ctx.with_world_ref(|w, _| w.topo.device_of(me));
+        let stream = ctx.with_world_ref(|w, _| w.gpu.default_stream(dev));
         let my_d = d[me].slice(0, size);
         let my_h = h[me].slice(0, size);
         let mut t0 = 0;
@@ -72,7 +72,11 @@ pub fn mpi_latency_point<F: RankFactory>(
             *result2.lock() = as_us(elapsed) / (2.0 * iters as f64);
         }
     });
-    assert_eq!(s.sim.run(), RunOutcome::Completed, "latency bench deadlocked");
+    assert_eq!(
+        s.sim.run(),
+        RunOutcome::Completed,
+        "latency bench deadlocked"
+    );
     let r = *result.lock();
     r
 }

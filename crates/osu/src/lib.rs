@@ -14,10 +14,10 @@ pub mod latency;
 pub mod mpi_like;
 pub mod py_osu;
 
+use rucx_compat::json::{JsonObject, ToJson};
 use rucx_fabric::Topology;
 use rucx_gpu::MemRef;
-use rucx_compat::json::{JsonObject, ToJson};
-use rucx_ucp::{build_sim, MachineConfig, MSim};
+use rucx_ucp::{build_sim, MSim, MachineConfig};
 
 /// Which programming model to benchmark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -149,7 +149,10 @@ impl ToJson for Series {
 impl Series {
     /// Value at a given size (exact match).
     pub fn at(&self, size: u64) -> Option<f64> {
-        self.points.iter().find(|(s, _)| *s == size).map(|(_, v)| *v)
+        self.points
+            .iter()
+            .find(|(s, _)| *s == size)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -199,7 +202,11 @@ pub fn setup(machine: &MachineConfig, size: u64) -> BenchSetup {
                     .alloc_device(topo.device_of(p), size.max(1), false)
                     .expect("device alloc"),
             );
-            h.push(m.gpu.pool.alloc_host(topo.node_of(p), size.max(1), true, false));
+            h.push(
+                m.gpu
+                    .pool
+                    .alloc_host(topo.node_of(p), size.max(1), true, false),
+            );
             ack.push(m.gpu.pool.alloc_host(topo.node_of(p), 8, true, false));
         }
     }
@@ -213,8 +220,12 @@ pub fn latency(cfg: &OsuConfig, model: Model, mode: Mode, place: Placement) -> S
         .iter()
         .map(|&size| {
             let us = match model {
-                Model::Ampi => latency::mpi_latency_point(cfg, size, place, mode, mpi_like::AmpiFactory),
-                Model::Ompi => latency::mpi_latency_point(cfg, size, place, mode, mpi_like::OmpiFactory),
+                Model::Ampi => {
+                    latency::mpi_latency_point(cfg, size, place, mode, mpi_like::AmpiFactory)
+                }
+                Model::Ompi => {
+                    latency::mpi_latency_point(cfg, size, place, mode, mpi_like::OmpiFactory)
+                }
                 Model::Charm => charm_osu::latency_point(cfg, size, place, mode),
                 Model::Charm4py => py_osu::latency_point(cfg, size, place, mode),
             };
@@ -222,7 +233,12 @@ pub fn latency(cfg: &OsuConfig, model: Model, mode: Mode, place: Placement) -> S
         })
         .collect();
     Series {
-        label: format!("{}-{} {} latency", model.label(), mode.suffix(), place.label()),
+        label: format!(
+            "{}-{} {} latency",
+            model.label(),
+            mode.suffix(),
+            place.label()
+        ),
         unit: "us",
         points,
     }

@@ -3,8 +3,8 @@
 //! MPI implementations).
 
 use rucx_ampi::{AmpiParams, MpiRank};
-use rucx_ompi::{OmpiParams, OmpiRank};
 use rucx_gpu::MemRef;
+use rucx_ompi::{OmpiParams, OmpiRank};
 use rucx_ucp::{MCtx, MSim};
 
 /// Minimal MPI-ish p2p surface used by the benchmarks.

@@ -27,8 +27,8 @@ pub fn latency_point(cfg: &OsuConfig, size: u64, place: Placement, mode: Mode) -
         let ch = py.channel(other);
         let my_d = d[me].slice(0, size);
         let my_h = h[me].slice(0, size);
-        let dev = ctx.with_world(move |w, _| w.topo.device_of(me));
-        let stream = ctx.with_world(move |w, _| w.gpu.default_stream(dev));
+        let dev = ctx.with_world_ref(|w, _| w.topo.device_of(me));
+        let stream = ctx.with_world_ref(|w, _| w.gpu.default_stream(dev));
         let mut t0 = 0;
         for i in 0..(warmup + iters) {
             if i == warmup {
@@ -90,8 +90,8 @@ pub fn bandwidth_point(cfg: &OsuConfig, size: u64, place: Placement, mode: Mode)
         let ch = py.channel(other);
         let my_d = d[me].slice(0, size);
         let my_h = h[me].slice(0, size);
-        let dev = ctx.with_world(move |w, _| w.topo.device_of(me));
-        let stream = ctx.with_world(move |w, _| w.gpu.default_stream(dev));
+        let dev = ctx.with_world_ref(|w, _| w.topo.device_of(me));
+        let stream = ctx.with_world_ref(|w, _| w.gpu.default_stream(dev));
         let mut t0 = 0;
         for i in 0..(warmup + iters) {
             if i == warmup {

@@ -1,0 +1,192 @@
+//! Pooled OS threads backing simulated processes.
+//!
+//! A `Simulation` at production scale hosts hundreds to thousands of
+//! simulated PEs, each backed by an OS thread that is parked almost all the
+//! time (execution is strictly serial: one baton, one running thread). Benchmarks
+//! like `jacobi_figures` construct hundreds of `Simulation`s back to back —
+//! at 256 simulated nodes that used to mean 1536 `std::thread::spawn`s per
+//! construction. This module amortizes that: [`Simulation::spawn`] leases a
+//! worker from a [`ProcessPool`] (by default the workspace-global one), and
+//! the worker returns itself to the pool when its process finishes, when
+//! the process panics, or when the `Simulation` is dropped with the process
+//! still parked.
+//!
+//! Workers are keyed by stack size, since that is fixed at OS-thread
+//! creation; simulations configured with different
+//! [`crate::SimConfig::stack_size`] values simply populate different shards.
+//! Pool identity has no effect on simulation semantics — a lease carries no
+//! state from its previous process — so determinism is untouched.
+//!
+//! [`Simulation::spawn`]: crate::Simulation::spawn
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+
+use rucx_compat::channel::{unbounded, Receiver, Sender};
+use rucx_compat::sync::Mutex;
+
+/// A unit of work handed to a pooled worker: the entire lifetime of one
+/// simulated process (first resume through completion, panic, or teardown).
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A pool of reusable OS threads for simulated processes.
+///
+/// Obtain the shared one with [`ProcessPool::global`] (the default in
+/// [`crate::SimConfig`]), or create a private instance with
+/// [`ProcessPool::new`] when a test needs exact thread accounting.
+pub struct ProcessPool {
+    /// Idle workers, sharded by stack size. Each entry is the job-submission
+    /// sender of one parked worker thread.
+    idle: Mutex<HashMap<usize, Vec<Sender<Job>>>>,
+    threads_created: AtomicU64,
+    leases: AtomicU64,
+}
+
+impl ProcessPool {
+    /// Create a private pool (tests, specialised drivers).
+    pub fn new() -> Arc<Self> {
+        Arc::new(ProcessPool {
+            idle: Mutex::new(HashMap::new()),
+            threads_created: AtomicU64::new(0),
+            leases: AtomicU64::new(0),
+        })
+    }
+
+    /// The workspace-global pool every `Simulation` uses by default.
+    pub fn global() -> Arc<Self> {
+        static GLOBAL: OnceLock<Arc<ProcessPool>> = OnceLock::new();
+        GLOBAL.get_or_init(ProcessPool::new).clone()
+    }
+
+    /// Lease a worker with the given stack size, reusing an idle one when
+    /// possible. The returned sender must be given exactly one job; the
+    /// worker runs it and then re-registers itself as idle.
+    pub(crate) fn lease(self: &Arc<Self>, stack_size: usize) -> Sender<Job> {
+        self.leases.fetch_add(1, Ordering::Relaxed);
+        if let Some(tx) = self
+            .idle
+            .lock()
+            .get_mut(&stack_size)
+            .and_then(|shard| shard.pop())
+        {
+            return tx;
+        }
+        let n = self.threads_created.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = unbounded::<Job>();
+        let pool = Arc::downgrade(self);
+        std::thread::Builder::new()
+            .name(format!("sim-pool-{n}"))
+            .stack_size(stack_size)
+            .spawn(move || worker_main(pool, stack_size, rx))
+            .expect("failed to spawn pooled process thread");
+        tx
+    }
+
+    fn release(&self, stack_size: usize, tx: Sender<Job>) {
+        self.idle.lock().entry(stack_size).or_default().push(tx);
+    }
+
+    /// Number of OS threads this pool has ever created.
+    pub fn threads_created(&self) -> u64 {
+        self.threads_created.load(Ordering::Relaxed)
+    }
+
+    /// Number of workers leased out so far (reuses included).
+    pub fn leases(&self) -> u64 {
+        self.leases.load(Ordering::Relaxed)
+    }
+
+    /// Number of workers currently parked in the pool.
+    pub fn idle_workers(&self) -> usize {
+        self.idle.lock().values().map(Vec::len).sum()
+    }
+
+    /// Wait until at least `n` workers are idle, polling up to `timeout`.
+    ///
+    /// Workers return to the pool asynchronously (a finished process sends
+    /// its final message to the driver *before* its worker re-registers, and
+    /// teardown unwinds parked processes from `Simulation::drop` without
+    /// joining them), so tests that assert on reuse need a settling point.
+    /// Returns whether the target was reached.
+    pub fn wait_idle(&self, n: usize, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while self.idle_workers() < n {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        true
+    }
+}
+
+impl std::fmt::Debug for ProcessPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessPool")
+            .field("threads_created", &self.threads_created())
+            .field("leases", &self.leases())
+            .field("idle_workers", &self.idle_workers())
+            .finish()
+    }
+}
+
+/// Worker thread body: run one job at a time, re-registering with the pool
+/// between jobs. The worker deliberately holds no `Sender` for its own job
+/// channel while idle — the only one lives in the pool's idle shard — so
+/// dropping the pool disconnects the channel and the worker exits.
+fn worker_main(pool: Weak<ProcessPool>, stack_size: usize, rx: Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        // Jobs contain their own panic handling; this catch is a backstop
+        // so a worker can never die with the pool still referencing it.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        match pool.upgrade() {
+            Some(pool) => pool.release(stack_size, rx.sender()),
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn run_job(pool: &Arc<ProcessPool>, stack: usize, job: impl FnOnce() + Send + 'static) {
+        pool.lease(stack)
+            .send(Box::new(job))
+            .expect("worker vanished");
+    }
+
+    #[test]
+    fn leases_reuse_idle_workers() {
+        let pool = ProcessPool::new();
+        let stack = 64 * 1024;
+        for _ in 0..8 {
+            run_job(&pool, stack, || {});
+            assert!(pool.wait_idle(1, Duration::from_secs(2)));
+        }
+        assert_eq!(pool.threads_created(), 1, "sequential jobs share a thread");
+        assert_eq!(pool.leases(), 8);
+    }
+
+    #[test]
+    fn distinct_stack_sizes_get_distinct_workers() {
+        let pool = ProcessPool::new();
+        run_job(&pool, 64 * 1024, || {});
+        run_job(&pool, 128 * 1024, || {});
+        assert!(pool.wait_idle(2, Duration::from_secs(2)));
+        assert_eq!(pool.threads_created(), 2);
+    }
+
+    #[test]
+    fn panicking_job_returns_worker_to_pool() {
+        let pool = ProcessPool::new();
+        let stack = 64 * 1024;
+        run_job(&pool, stack, || panic!("job blew up"));
+        assert!(pool.wait_idle(1, Duration::from_secs(2)));
+        run_job(&pool, stack, || {});
+        assert!(pool.wait_idle(1, Duration::from_secs(2)));
+        assert_eq!(pool.threads_created(), 1);
+    }
+}

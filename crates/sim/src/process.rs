@@ -1,29 +1,42 @@
-//! Thread-backed simulated processes.
+//! Thread-backed simulated processes and the execution baton.
 //!
-//! Each simulated process (one per PE in the runtime layers above) is an OS
-//! thread that runs **strictly one at a time** under a rendezvous protocol
-//! with the simulation driver. This gives process code natural *blocking*
-//! semantics — `MPI_Recv` can simply not return until virtual time has
-//! advanced to the message arrival — while keeping the whole simulation
-//! deterministic and data-race free: the world is only ever touched from the
-//! driver thread, via [`ProcCtx::with_world`].
+//! Each simulated process (one per PE in the runtime layers above) runs on
+//! an OS thread **leased from a [`crate::ProcessPool`]**, and processes
+//! execute strictly one at a time: a single *baton* — the boxed
+//! [`Core`](crate::sim::Core) holding the world, the scheduler, and the
+//! process table — is owned by exactly one thread at any moment, and only
+//! the thread holding it may run. This gives process code natural
+//! *blocking* semantics (`MPI_Recv` can simply not return until virtual
+//! time has advanced to the message arrival) while keeping the whole
+//! simulation deterministic and data-race free.
+//!
+//! The baton is also what makes the resume hot path fast: a thread that
+//! holds it dispatches events **inline**. When a process calls
+//! [`ProcCtx::advance`] and the next relevant event is its own wakeup (the
+//! overwhelmingly common case), control never leaves the thread — no
+//! context switch, no allocation, no syscall. Only when a *different*
+//! process must run is the baton handed over, through a one-slot
+//! [`rucx_compat::rendezvous`] cell (no queue, no per-message allocation).
+//! World access is direct for the same reason: [`ProcCtx::with_world`]
+//! (mutating) and [`ProcCtx::with_world_ref`] (read-only) call the closure
+//! against the core this thread already holds.
 
 #![allow(clippy::type_complexity)]
 
-use rucx_compat::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
 
+use rucx_compat::channel::Sender;
+use rucx_compat::rendezvous::{rendezvous, RendezvousReceiver, RendezvousSender};
+
+use crate::pool::{Job, ProcessPool};
 use crate::sched::{Notify, ProcId, Scheduler, Trigger};
+use crate::sim::{dispatch, Core, Dispatch, Verdict, VerdictKind};
 use crate::time::{Duration, Time};
 
-/// Message from the driver to a process thread.
-pub(crate) enum ResumeMsg {
-    /// Continue running; virtual time is `now`.
-    Resume { now: Time },
-    /// A world call submitted by this process has completed.
-    CallDone,
-}
+/// A process body as stored until its first wakeup.
+pub(crate) type Body<W> = Box<dyn FnOnce(&mut ProcCtx<W>) + Send + 'static>;
 
-/// How a process yielded back to the driver.
+/// How a process yields the baton back to the dispatch loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum YieldKind {
     /// Wake me at this absolute virtual time.
@@ -36,20 +49,9 @@ pub(crate) enum YieldKind {
     YieldNow,
 }
 
-/// Message from a process thread to the driver.
-pub(crate) enum ProcMsg<W> {
-    /// Execute this closure on the world, then reply `CallDone`.
-    Call(Box<dyn FnOnce(&mut W, &mut Scheduler<W>) + Send>),
-    /// The process yields; driver decides when to resume it.
-    Yield(YieldKind),
-    /// The process body returned normally.
-    Done,
-    /// The process body panicked; message for diagnostics.
-    Panicked(String),
-}
-
 /// Internal marker unwound through process bodies when the simulation is
-/// dropped while the process is still parked; the wrapper swallows it.
+/// dropped while the process is still parked; the wrapper swallows it and
+/// the pooled worker returns to its pool.
 pub(crate) struct SimShutdown;
 
 /// Handle a process body uses to interact with the simulation.
@@ -63,11 +65,15 @@ pub struct ProcCtx<W> {
     pub(crate) id: ProcId,
     pub(crate) name: String,
     pub(crate) now: Time,
-    pub(crate) resume_rx: Receiver<ResumeMsg>,
-    pub(crate) cmd_tx: Sender<ProcMsg<W>>,
+    /// Wakeup channel: the baton arrives here when this process is resumed.
+    pub(crate) resume_rx: RendezvousReceiver<Box<Core<W>>>,
+    /// Verdict channel back to the driver (run completion, panics).
+    pub(crate) done_tx: Sender<Verdict<W>>,
+    /// The baton. `Some` exactly while this process is the running one.
+    pub(crate) core: Option<Box<Core<W>>>,
 }
 
-impl<W> ProcCtx<W> {
+impl<W: Send + 'static> ProcCtx<W> {
     /// This process's id.
     pub fn id(&self) -> ProcId {
         self.id
@@ -84,26 +90,67 @@ impl<W> ProcCtx<W> {
         self.now
     }
 
-    fn send(&self, msg: ProcMsg<W>) {
-        if self.cmd_tx.send(msg).is_err() {
-            // Driver is gone (simulation dropped): unwind quietly.
-            std::panic::panic_any(SimShutdown);
-        }
-    }
-
-    fn recv(&self) -> ResumeMsg {
+    /// Park until the baton comes back; unwinds with [`SimShutdown`] if the
+    /// simulation is dropped instead.
+    fn recv_core(&self) -> Box<Core<W>> {
         match self.resume_rx.recv() {
-            Ok(m) => m,
+            Ok(core) => core,
             Err(_) => std::panic::panic_any(SimShutdown),
         }
     }
 
+    /// Register the wakeup condition for `kind`, then dispatch inline until
+    /// this process is woken again (possibly without ever handing the baton
+    /// to another thread).
     fn yield_and_wait(&mut self, kind: YieldKind) {
-        self.send(ProcMsg::Yield(kind));
-        match self.recv() {
-            ResumeMsg::Resume { now } => self.now = now,
-            ResumeMsg::CallDone => unreachable!("CallDone while yielded"),
+        let mut core = self.core.take().expect("yield while parked");
+        let id = self.id;
+        match kind {
+            YieldKind::AdvanceTo(t) => {
+                core.procs[id.index()].state = blocked_sleep(t);
+                core.sched.schedule_wake(t, id);
+            }
+            YieldKind::YieldNow => {
+                core.procs[id.index()].state = ProcState::Active;
+                core.sched.runnable.push_back(id);
+            }
+            YieldKind::WaitTrigger(t) => {
+                if core.sched.add_trigger_waiter(t, id) {
+                    core.procs[id.index()].state = blocked_trigger(t.0);
+                } else {
+                    core.sched.runnable.push_back(id);
+                }
+            }
+            YieldKind::WaitNotify(n, seen) => {
+                if core.sched.add_notify_waiter(n, seen, id) {
+                    core.procs[id.index()].state = blocked_notify(n.0);
+                } else {
+                    core.sched.runnable.push_back(id);
+                }
+            }
         }
+        let core = loop {
+            match dispatch(core, Some(id)) {
+                // Our own wakeup was the next thing to run: zero-switch
+                // resume, we still hold the baton.
+                Dispatch::Resumed(core) => break core,
+                // The baton went to another process; park until our wakeup
+                // is dispatched and the baton is handed back to us.
+                Dispatch::HandedOff => break self.recv_core(),
+                // The run ended while we were parked (deadlock, stop, time
+                // limit): return the baton to the driver and park. A later
+                // `run` call may still resume us.
+                Dispatch::Ended(kind, core) => {
+                    let _ = self.done_tx.send(Verdict {
+                        kind,
+                        core: Some(core),
+                    });
+                    break self.recv_core();
+                }
+            }
+        };
+        self.now = core.sched.now();
+        self.core = Some(core);
     }
 
     /// Let `dt` of virtual time pass (models local computation of known
@@ -138,25 +185,29 @@ impl<W> ProcCtx<W> {
         self.yield_and_wait(YieldKind::WaitNotify(n, seen));
     }
 
-    /// Run `f` against the world and scheduler on the driver thread, at the
-    /// current virtual time, and return its result. Virtual time does not
-    /// advance.
-    pub fn with_world<R, F>(&mut self, f: F) -> R
-    where
-        R: Send + 'static,
-        F: FnOnce(&mut W, &mut Scheduler<W>) -> R + Send + 'static,
-    {
-        let slot = std::sync::Arc::new(rucx_compat::sync::Mutex::new(None::<R>));
-        let slot2 = slot.clone();
-        self.send(ProcMsg::Call(Box::new(move |w, s| {
-            *slot2.lock() = Some(f(w, s));
-        })));
-        match self.recv() {
-            ResumeMsg::CallDone => {}
-            ResumeMsg::Resume { .. } => unreachable!("Resume while awaiting call"),
-        }
-        let r = slot.lock().take().expect("world call did not produce a result");
+    /// Run `f` against the world and scheduler at the current virtual time
+    /// and return its result. Virtual time does not advance.
+    ///
+    /// This is the *mutating* world call: the closure may change model
+    /// state, schedule events, fire triggers, or spawn processes. It runs
+    /// directly against the core this thread holds — no boxing, no
+    /// cross-thread handoff, no `Send`/`'static` bounds. Read-only lookups
+    /// should prefer [`ProcCtx::with_world_ref`], which documents (and
+    /// type-enforces) that nothing is mutated.
+    pub fn with_world<R>(&mut self, f: impl FnOnce(&mut W, &mut Scheduler<W>) -> R) -> R {
+        let core = self.core.as_mut().expect("world call while parked");
+        let r = f(&mut core.world, &mut core.sched);
+        core.drain_pending_spawns();
         r
+    }
+
+    /// Run a **read-only** access against the world and scheduler and
+    /// return its result — the fast path for clock/config/state queries on
+    /// the hot resume path. The shared borrow makes "cannot mutate, cannot
+    /// spawn" part of the signature, so no spawn-drain bookkeeping runs.
+    pub fn with_world_ref<R>(&mut self, f: impl FnOnce(&W, &Scheduler<W>) -> R) -> R {
+        let core = self.core.as_ref().expect("world call while parked");
+        f(&core.world, &core.sched)
     }
 
     /// Convenience: create a trigger via a world call.
@@ -165,17 +216,14 @@ impl<W> ProcCtx<W> {
     }
 
     /// Convenience: wait until `pred` holds, re-checking whenever `n` is
-    /// notified. `pred` runs on the driver thread; the predicate check and
-    /// the epoch snapshot happen in one world call, so no notification can
-    /// be lost between them.
-    pub fn wait_until<F>(&mut self, n: Notify, pred: F)
+    /// notified. The predicate check and the epoch snapshot happen in one
+    /// world call, so no notification can be lost between them.
+    pub fn wait_until<F>(&mut self, n: Notify, mut pred: F)
     where
-        F: FnMut(&mut W, &mut Scheduler<W>) -> bool + Send + 'static,
+        F: FnMut(&mut W, &mut Scheduler<W>) -> bool,
     {
-        let pred = std::sync::Arc::new(rucx_compat::sync::Mutex::new(pred));
         loop {
-            let p = pred.clone();
-            let (done, seen) = self.with_world(move |w, s| ((p.lock())(w, s), s.notify_epoch(n)));
+            let (done, seen) = self.with_world(|w, s| (pred(w, s), s.notify_epoch(n)));
             if done {
                 return;
             }
@@ -187,9 +235,10 @@ impl<W> ProcCtx<W> {
 /// Driver-side record of one process.
 pub(crate) struct ProcSlot<W> {
     pub name: String,
-    pub resume_tx: Sender<ResumeMsg>,
-    pub cmd_rx: Receiver<ProcMsg<W>>,
-    pub join: Option<std::thread::JoinHandle<()>>,
+    /// Shared handle to the process's wakeup cell. `Arc` so the dispatch
+    /// loop can clone a sender and then move the core *through* it (the
+    /// original lives inside the core being sent).
+    pub resume_tx: Arc<RendezvousSender<Box<Core<W>>>>,
     pub state: ProcState,
 }
 
@@ -202,57 +251,110 @@ pub(crate) enum ProcState {
     Finished,
 }
 
-/// Spawn the OS thread backing a simulated process.
-pub(crate) fn spawn_thread<W: 'static>(
+pub(crate) fn blocked_sleep(t: Time) -> ProcState {
+    ProcState::Blocked(format!("sleep until t={t}"))
+}
+pub(crate) fn blocked_trigger(id: u32) -> ProcState {
+    ProcState::Blocked(format!("trigger #{id}"))
+}
+pub(crate) fn blocked_notify(id: u32) -> ProcState {
+    ProcState::Blocked(format!("notify #{id}"))
+}
+
+/// Lease a pooled worker thread to back a simulated process.
+///
+/// The job spans the process's entire lifetime: it parks until the first
+/// resume delivers the baton, runs the body under `catch_unwind`, and ends
+/// by either dispatching onward (normal completion) or reporting a verdict
+/// to the driver (panic) — after which the worker re-registers with the
+/// pool. A simulation dropped mid-run disconnects the rendezvous cell,
+/// which unwinds the body with [`SimShutdown`] — also returning the worker
+/// to the pool.
+pub(crate) fn lease_process<W: Send + 'static>(
+    pool: &Arc<ProcessPool>,
     id: ProcId,
     name: String,
     stack_size: usize,
-    body: Box<dyn FnOnce(&mut ProcCtx<W>) + Send + 'static>,
+    done_tx: Sender<Verdict<W>>,
+    body: Body<W>,
 ) -> ProcSlot<W> {
-    let (resume_tx, resume_rx) = unbounded::<ResumeMsg>();
-    let (cmd_tx, cmd_rx) = unbounded::<ProcMsg<W>>();
-    let thread_name = format!("sim:{name}");
-    let cmd_tx2 = cmd_tx.clone();
+    let (resume_tx, resume_rx) = rendezvous::<Box<Core<W>>>();
     let pname = name.clone();
-    let join = std::thread::Builder::new()
-        .name(thread_name)
-        .stack_size(stack_size)
-        .spawn(move || {
-            // Wait for the first resume before running the body.
-            let now = match resume_rx.recv() {
-                Ok(ResumeMsg::Resume { now }) => now,
-                _ => return,
-            };
-            let mut ctx = ProcCtx {
-                id,
-                name: pname,
-                now,
-                resume_rx,
-                cmd_tx: cmd_tx2,
-            };
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                body(&mut ctx);
-            }));
-            match result {
-                Ok(()) => {
-                    let _ = ctx.cmd_tx.send(ProcMsg::Done);
-                }
-                Err(payload) => {
-                    if payload.downcast_ref::<SimShutdown>().is_some() {
-                        // Simulation dropped while we were parked: exit quietly.
-                        return;
+    let job: Job = Box::new(move || {
+        // Wait for the first resume before running the body. A simulation
+        // torn down before this process ever ran lands in the `Err` arm.
+        let core = match resume_rx.recv() {
+            Ok(core) => core,
+            Err(_) => return,
+        };
+        let mut ctx = ProcCtx {
+            id,
+            name: pname,
+            now: core.sched.now(),
+            resume_rx,
+            done_tx,
+            core: Some(core),
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)));
+        match result {
+            Ok(()) => {
+                // Body finished while holding the baton: mark ourselves
+                // done and keep dispatching inline until the baton moves on
+                // or the run ends.
+                let mut core = ctx.core.take().expect("process finished while parked");
+                core.procs[id.index()].state = ProcState::Finished;
+                match dispatch(core, None) {
+                    Dispatch::HandedOff => {}
+                    Dispatch::Ended(kind, core) => {
+                        let _ = ctx.done_tx.send(Verdict {
+                            kind,
+                            core: Some(core),
+                        });
                     }
-                    let msg = panic_message(payload.as_ref());
-                    let _ = ctx.cmd_tx.send(ProcMsg::Panicked(msg));
+                    Dispatch::Resumed(_) => unreachable!("resumed a finished process"),
                 }
             }
-        })
-        .expect("failed to spawn simulated process thread");
+            Err(payload) => {
+                if payload.downcast_ref::<SimShutdown>().is_some() {
+                    // Simulation dropped while we were parked: finish the
+                    // job quietly; the worker returns to the pool.
+                    return;
+                }
+                let msg = panic_message(payload.as_ref());
+                match ctx.core.take() {
+                    // The body itself panicked (it held the baton): fail
+                    // the run with process name, virtual time, and payload.
+                    Some(mut core) => {
+                        core.procs[id.index()].state = ProcState::Finished;
+                        let at = core.sched.now();
+                        let _ = ctx.done_tx.send(Verdict {
+                            kind: VerdictKind::ProcPanicked {
+                                name: ctx.name.clone(),
+                                at,
+                                msg,
+                            },
+                            core: Some(core),
+                        });
+                    }
+                    // The panic came from inside the dispatch loop (an
+                    // event closure blew up) and took the core with it;
+                    // report what we know so the driver can re-panic.
+                    None => {
+                        let _ = ctx.done_tx.send(Verdict {
+                            kind: VerdictKind::EventPanicked { msg },
+                            core: None,
+                        });
+                    }
+                }
+            }
+        }
+    });
+    pool.lease(stack_size)
+        .send(job)
+        .unwrap_or_else(|_| panic!("pooled worker for process '{name}' vanished"));
     ProcSlot {
         name,
-        resume_tx,
-        cmd_rx,
-        join: Some(join),
+        resume_tx: Arc::new(resume_tx),
         state: ProcState::Active,
     }
 }

@@ -21,7 +21,9 @@ impl SimRng {
     /// Create a generator from a seed. Any seed (including 0) is valid; the
     /// state is expanded with splitmix64 so no all-zero state can occur.
     pub fn new(seed: u64) -> Self {
-        SimRng { inner: Rng::new(seed) }
+        SimRng {
+            inner: Rng::new(seed),
+        }
     }
 
     /// Next 64 uniformly random bits.

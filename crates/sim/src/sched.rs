@@ -59,7 +59,7 @@ impl Notify {
 
 /// A scheduled event: either a model closure or a process wakeup.
 pub(crate) enum EventPayload<W> {
-    Closure(Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>),
+    Closure(Box<dyn FnOnce(&mut W, &mut Scheduler<W>) + Send>),
     WakeProc(ProcId),
 }
 
@@ -121,7 +121,7 @@ pub struct Scheduler<W> {
     pub(crate) pending_spawns: Vec<PendingSpawn<W>>,
     stopped: bool,
     /// Optional trace sink for debugging model behaviour.
-    trace: Option<Box<dyn FnMut(Time, &str)>>,
+    trace: Option<Box<dyn FnMut(Time, &str) + Send>>,
 }
 
 impl<W> Default for Scheduler<W> {
@@ -172,7 +172,7 @@ impl<W> Scheduler<W> {
     }
 
     /// Install a trace sink receiving `(time, message)` lines.
-    pub fn set_trace(&mut self, f: impl FnMut(Time, &str) + 'static) {
+    pub fn set_trace(&mut self, f: impl FnMut(Time, &str) + Send + 'static) {
         self.trace = Some(Box::new(f));
     }
 
@@ -192,7 +192,11 @@ impl<W> Scheduler<W> {
 
     /// Schedule `f` to run on the world at absolute time `t` (clamped to the
     /// present: scheduling in the past runs at the current time).
-    pub fn schedule_at(&mut self, t: Time, f: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static) {
+    pub fn schedule_at(
+        &mut self,
+        t: Time,
+        f: impl FnOnce(&mut W, &mut Scheduler<W>) + Send + 'static,
+    ) {
         let t = t.max(self.now);
         let seq = self.seq;
         self.seq += 1;
@@ -204,7 +208,11 @@ impl<W> Scheduler<W> {
     }
 
     /// Schedule `f` to run `dt` after the current time.
-    pub fn schedule_in(&mut self, dt: Duration, f: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static) {
+    pub fn schedule_in(
+        &mut self,
+        dt: Duration,
+        f: impl FnOnce(&mut W, &mut Scheduler<W>) + Send + 'static,
+    ) {
         self.schedule_at(self.now.saturating_add(dt), f);
     }
 

@@ -1,7 +1,18 @@
-//! The simulation driver: owns the world, the scheduler, and the process
-//! table, and runs the main event loop.
+//! The simulation driver and the execution core.
+//!
+//! All mutable run state — the world, the scheduler, and the process table
+//! — lives in one heap-allocated [`Core`] that travels between execution
+//! contexts as a baton (see [`crate::process`] for the full model). The
+//! [`Simulation`] handle owns the core between runs; during a run the core
+//! moves to whichever thread is executing, and the driver parks on a single
+//! MPSC *verdict* channel until the run ends and the core comes home.
 
-use crate::process::{spawn_thread, ProcCtx, ProcMsg, ProcSlot, ProcState, ResumeMsg, YieldKind};
+use std::sync::Arc;
+
+use rucx_compat::channel::{unbounded, Receiver, Sender};
+
+use crate::pool::ProcessPool;
+use crate::process::{lease_process, Body, ProcCtx, ProcSlot, ProcState};
 use crate::sched::{EventPayload, ProcId, Scheduler};
 use crate::time::Time;
 
@@ -25,13 +36,174 @@ pub struct SimConfig {
     /// Stack size for process threads. Simulated PEs are shallow; the
     /// default keeps 1000+ PE simulations cheap.
     pub stack_size: usize,
+    /// Thread pool that backs simulated processes. Defaults to the
+    /// workspace-global [`ProcessPool`], so constructing many `Simulation`s
+    /// in a row (scaling sweeps build hundreds) reuses the same OS threads
+    /// instead of spawning ~1536 fresh ones each time. Point this at a
+    /// private pool for exact thread accounting in tests.
+    pub pool: Arc<ProcessPool>,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
             stack_size: 512 * 1024,
+            pool: ProcessPool::global(),
         }
+    }
+}
+
+/// The execution core: everything a running simulation mutates, boxed so it
+/// can move between threads as a single baton. Exactly one context (the
+/// driver or one process thread) owns it at any moment, which is what makes
+/// world access direct and data-race free without any locking.
+pub(crate) struct Core<W> {
+    pub world: W,
+    pub sched: Scheduler<W>,
+    pub procs: Vec<ProcSlot<W>>,
+    pub config: SimConfig,
+    /// Time limit of the run in progress (set by [`Simulation::run_until`]).
+    pub limit: Time,
+    /// Verdict channel for leasing new processes mid-run.
+    pub done_tx: Sender<Verdict<W>>,
+}
+
+/// End-of-run report sent back to the driver, carrying the core home.
+pub(crate) struct Verdict<W> {
+    pub kind: VerdictKind,
+    /// `None` only if the core was lost to a panic inside an event closure.
+    pub core: Option<Box<Core<W>>>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum VerdictKind {
+    Completed,
+    TimeLimit,
+    Stopped,
+    /// Queue drained with unfinished processes; the driver rebuilds the
+    /// blocked report from the returned core.
+    Deadlock,
+    /// A process body panicked.
+    ProcPanicked {
+        name: String,
+        at: Time,
+        msg: String,
+    },
+    /// An event closure panicked while a process thread was dispatching.
+    EventPanicked {
+        msg: String,
+    },
+}
+
+/// What [`dispatch`] did with the baton.
+pub(crate) enum Dispatch<W> {
+    /// `me` was the next runnable process: the caller keeps the baton and
+    /// resumes immediately (zero context switches).
+    Resumed(Box<Core<W>>),
+    /// The baton was handed to another process's wakeup cell.
+    HandedOff,
+    /// The run ended while the caller held the baton.
+    Ended(VerdictKind, Box<Core<W>>),
+}
+
+/// The dispatch loop, identical regardless of which thread runs it: drain
+/// runnable processes first (they may create same-instant work), then pop
+/// timed events in `(time, seq)` order. Dispatch *order* — and therefore
+/// determinism — does not depend on which OS thread happens to be turning
+/// the crank.
+///
+/// `me` is `Some(id)` when a mid-yield process is dispatching and should
+/// take the baton back the moment its own wakeup reaches the front;
+/// `None` when the driver or a finished process is dispatching.
+pub(crate) fn dispatch<W: Send + 'static>(
+    mut core: Box<Core<W>>,
+    me: Option<ProcId>,
+) -> Dispatch<W> {
+    loop {
+        if core.sched.is_stopped() {
+            return Dispatch::Ended(VerdictKind::Stopped, core);
+        }
+        if let Some(q) = core.sched.runnable.pop_front() {
+            if Some(q) == me {
+                return Dispatch::Resumed(core);
+            }
+            if core.procs[q.index()].state == ProcState::Finished {
+                continue;
+            }
+            core.procs[q.index()].state = ProcState::Active;
+            // Clone the Arc'd sender so the core (which contains the
+            // original) can move through the cell.
+            let tx = core.procs[q.index()].resume_tx.clone();
+            if tx.send(core).is_err() {
+                panic!("simulated process thread vanished");
+            }
+            return Dispatch::HandedOff;
+        }
+        match core.sched.peek_time() {
+            None => {
+                let kind = if core.all_finished() {
+                    VerdictKind::Completed
+                } else {
+                    VerdictKind::Deadlock
+                };
+                return Dispatch::Ended(kind, core);
+            }
+            Some(t) if t > core.limit => return Dispatch::Ended(VerdictKind::TimeLimit, core),
+            Some(t) => {
+                core.sched.set_now(t);
+                let ev = core.sched.pop_event().expect("peeked event vanished");
+                match ev.payload {
+                    EventPayload::Closure(f) => {
+                        f(&mut core.world, &mut core.sched);
+                        core.drain_pending_spawns();
+                    }
+                    EventPayload::WakeProc(p) => {
+                        // A sleeping process may have been woken earlier
+                        // by a trigger only if it yielded again since;
+                        // sleeps are exact, so just run it.
+                        core.sched.runnable.push_back(p);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<W: Send + 'static> Core<W> {
+    pub(crate) fn add_process(&mut self, name: String, start: Time, body: Body<W>) -> ProcId {
+        let id = ProcId(self.procs.len() as u32);
+        let slot = lease_process(
+            &self.config.pool,
+            id,
+            name,
+            self.config.stack_size,
+            self.done_tx.clone(),
+            body,
+        );
+        self.procs.push(slot);
+        self.sched.schedule_wake(start, id);
+        id
+    }
+
+    pub(crate) fn drain_pending_spawns(&mut self) {
+        while let Some(p) = self.sched.pending_spawns.pop() {
+            self.add_process(p.name, p.start, p.body);
+        }
+    }
+
+    pub(crate) fn all_finished(&self) -> bool {
+        self.procs.iter().all(|p| p.state == ProcState::Finished)
+    }
+
+    fn blocked_report(&self) -> Vec<(String, String)> {
+        self.procs
+            .iter()
+            .filter_map(|p| match &p.state {
+                ProcState::Blocked(what) => Some((p.name.clone(), what.clone())),
+                ProcState::Active => Some((p.name.clone(), "runnable?".to_string())),
+                ProcState::Finished => None,
+            })
+            .collect()
     }
 }
 
@@ -52,13 +224,13 @@ impl Default for SimConfig {
 /// assert_eq!(sim.scheduler().now(), 100);
 /// ```
 pub struct Simulation<W> {
-    world: W,
-    sched: Scheduler<W>,
-    procs: Vec<ProcSlot<W>>,
-    config: SimConfig,
+    /// `Some` whenever the driver holds the baton (always, between runs —
+    /// unless an event-closure panic destroyed the core).
+    core: Option<Box<Core<W>>>,
+    done_rx: Receiver<Verdict<W>>,
 }
 
-impl<W: 'static> Simulation<W> {
+impl<W: Send + 'static> Simulation<W> {
     /// Create a simulation around an initial world.
     pub fn new(world: W) -> Self {
         Self::with_config(world, SimConfig::default())
@@ -66,175 +238,88 @@ impl<W: 'static> Simulation<W> {
 
     /// Create a simulation with an explicit driver configuration.
     pub fn with_config(world: W, config: SimConfig) -> Self {
+        let (done_tx, done_rx) = unbounded();
         Simulation {
-            world,
-            sched: Scheduler::new(),
-            procs: Vec::new(),
-            config,
+            core: Some(Box::new(Core {
+                world,
+                sched: Scheduler::new(),
+                procs: Vec::new(),
+                config,
+                limit: Time::MAX,
+                done_tx,
+            })),
+            done_rx,
         }
+    }
+
+    fn core(&self) -> &Core<W> {
+        self.core.as_ref().expect("simulation core lost to a panic")
+    }
+
+    fn core_mut(&mut self) -> &mut Core<W> {
+        self.core.as_mut().expect("simulation core lost to a panic")
     }
 
     /// Immutable access to the world (between runs).
     pub fn world(&self) -> &W {
-        &self.world
+        &self.core().world
     }
 
     /// Mutable access to the world (between runs).
     pub fn world_mut(&mut self) -> &mut W {
-        &mut self.world
+        &mut self.core_mut().world
     }
 
     /// Access the scheduler (to create triggers, schedule setup events…).
     pub fn scheduler(&mut self) -> &mut Scheduler<W> {
-        &mut self.sched
+        &mut self.core_mut().sched
     }
 
     /// Spawn a simulated process whose body starts at virtual time `start`.
+    ///
+    /// The backing OS thread is leased from the configured [`ProcessPool`]
+    /// (reusing an idle worker when one is available) and returns to the
+    /// pool when the process finishes, panics, or the simulation is
+    /// dropped.
     pub fn spawn(
         &mut self,
         name: impl Into<String>,
         start: Time,
         body: impl FnOnce(&mut ProcCtx<W>) + Send + 'static,
     ) -> ProcId {
-        let id = ProcId(self.procs.len() as u32);
-        let slot = spawn_thread(id, name.into(), self.config.stack_size, Box::new(body));
-        self.procs.push(slot);
-        self.sched.schedule_wake(start, id);
-        id
-    }
-
-    fn drain_pending_spawns(&mut self) {
-        while let Some(p) = self.sched.pending_spawns.pop() {
-            let id = ProcId(self.procs.len() as u32);
-            let slot = spawn_thread(id, p.name, self.config.stack_size, p.body);
-            self.procs.push(slot);
-            self.sched.schedule_wake(p.start, id);
-        }
-    }
-
-    /// Resume process `p` and service its world calls until it yields,
-    /// finishes, or panics.
-    fn run_proc(&mut self, p: ProcId) {
-        let now = self.sched.now();
-        {
-            let slot = &mut self.procs[p.index()];
-            if slot.state == ProcState::Finished {
-                return;
-            }
-            slot.state = ProcState::Active;
-            slot.resume_tx
-                .send(ResumeMsg::Resume { now })
-                .expect("process thread vanished");
-        }
-        loop {
-            let msg = match self.procs[p.index()].cmd_rx.recv() {
-                Ok(m) => m,
-                Err(_) => {
-                    // Channel closed without Done/Panicked: the thread was
-                    // torn down abnormally.
-                    let name = self.procs[p.index()].name.clone();
-                    panic!("simulated process '{name}' terminated abnormally");
-                }
-            };
-            match msg {
-                ProcMsg::Call(f) => {
-                    f(&mut self.world, &mut self.sched);
-                    self.drain_pending_spawns();
-                    self.procs[p.index()]
-                        .resume_tx
-                        .send(ResumeMsg::CallDone)
-                        .expect("process thread vanished");
-                }
-                ProcMsg::Yield(kind) => {
-                    let slot = &mut self.procs[p.index()];
-                    match kind {
-                        YieldKind::AdvanceTo(t) => {
-                            slot.state = Blocked::sleep(t);
-                            self.sched.schedule_wake(t, p);
-                        }
-                        YieldKind::YieldNow => {
-                            slot.state = ProcState::Active;
-                            self.sched.runnable.push_back(p);
-                        }
-                        YieldKind::WaitTrigger(t) => {
-                            if self.sched.add_trigger_waiter(t, p) {
-                                self.procs[p.index()].state = Blocked::trigger(t.0);
-                            } else {
-                                self.sched.runnable.push_back(p);
-                            }
-                        }
-                        YieldKind::WaitNotify(n, seen) => {
-                            if self.sched.add_notify_waiter(n, seen, p) {
-                                self.procs[p.index()].state = Blocked::notify(n.0);
-                            } else {
-                                self.sched.runnable.push_back(p);
-                            }
-                        }
-                    }
-                    return;
-                }
-                ProcMsg::Done => {
-                    let slot = &mut self.procs[p.index()];
-                    slot.state = ProcState::Finished;
-                    if let Some(j) = slot.join.take() {
-                        let _ = j.join();
-                    }
-                    return;
-                }
-                ProcMsg::Panicked(msg) => {
-                    let name = self.procs[p.index()].name.clone();
-                    if let Some(j) = self.procs[p.index()].join.take() {
-                        let _ = j.join();
-                    }
-                    panic!("simulated process '{name}' panicked: {msg}");
-                }
-            }
-        }
+        self.core_mut()
+            .add_process(name.into(), start, Box::new(body))
     }
 
     /// Run until the event queue drains, a deadlock is detected, `stop()` is
     /// called, or virtual time would exceed `limit`.
     pub fn run_until(&mut self, limit: Time) -> RunOutcome {
-        self.sched.clear_stopped();
-        loop {
-            // Drain all processes runnable at the current time first; they
-            // may create events or wake more processes at the same instant.
-            while let Some(p) = self.sched.runnable.pop_front() {
-                self.run_proc(p);
-                self.drain_pending_spawns();
-                if self.sched.is_stopped() {
-                    return RunOutcome::Stopped;
-                }
+        let mut core = self.core.take().expect("simulation core lost to a panic");
+        core.sched.clear_stopped();
+        core.limit = limit;
+        let verdict = match dispatch(core, None) {
+            Dispatch::Ended(kind, core) => Verdict {
+                kind,
+                core: Some(core),
+            },
+            // The baton is out among the process threads; park until the
+            // run ends and the verdict brings it home.
+            Dispatch::HandedOff => self
+                .done_rx
+                .recv()
+                .expect("all simulation threads died without a verdict"),
+            Dispatch::Resumed(_) => unreachable!("driver resumed as a process"),
+        };
+        self.core = verdict.core;
+        match verdict.kind {
+            VerdictKind::Completed => RunOutcome::Completed,
+            VerdictKind::TimeLimit => RunOutcome::TimeLimit,
+            VerdictKind::Stopped => RunOutcome::Stopped,
+            VerdictKind::Deadlock => RunOutcome::Deadlock(self.core().blocked_report()),
+            VerdictKind::ProcPanicked { name, at, msg } => {
+                panic!("simulated process '{name}' panicked at t={at}: {msg}")
             }
-            match self.sched.peek_time() {
-                None => {
-                    return if self.all_finished() {
-                        RunOutcome::Completed
-                    } else {
-                        RunOutcome::Deadlock(self.blocked_report())
-                    };
-                }
-                Some(t) if t > limit => return RunOutcome::TimeLimit,
-                Some(t) => {
-                    self.sched.set_now(t);
-                    let ev = self.sched.pop_event().expect("peeked event vanished");
-                    match ev.payload {
-                        EventPayload::Closure(f) => {
-                            f(&mut self.world, &mut self.sched);
-                            self.drain_pending_spawns();
-                        }
-                        EventPayload::WakeProc(p) => {
-                            // A sleeping process may have been woken earlier
-                            // by a trigger only if it yielded again since;
-                            // sleeps are exact, so just run it.
-                            self.sched.runnable.push_back(p);
-                        }
-                    }
-                    if self.sched.is_stopped() {
-                        return RunOutcome::Stopped;
-                    }
-                }
-            }
+            VerdictKind::EventPanicked { msg } => panic!("{msg}"),
         }
     }
 
@@ -243,38 +328,19 @@ impl<W: 'static> Simulation<W> {
         self.run_until(Time::MAX)
     }
 
-    fn all_finished(&self) -> bool {
-        self.procs.iter().all(|p| p.state == ProcState::Finished)
-    }
-
-    fn blocked_report(&self) -> Vec<(String, String)> {
-        self.procs
-            .iter()
-            .filter_map(|p| match &p.state {
-                ProcState::Blocked(what) => Some((p.name.clone(), what.clone())),
-                ProcState::Active => Some((p.name.clone(), "runnable?".to_string())),
-                ProcState::Finished => None,
-            })
-            .collect()
+    /// Run `f` with simultaneous access to the world and the scheduler
+    /// (between runs). Virtual time does not advance; spawns queued by the
+    /// closure are leased immediately.
+    pub fn with_parts<R>(&mut self, f: impl FnOnce(&mut W, &mut Scheduler<W>) -> R) -> R {
+        let core = self.core_mut();
+        let r = f(&mut core.world, &mut core.sched);
+        core.drain_pending_spawns();
+        r
     }
 
     /// Number of processes ever spawned.
     pub fn process_count(&self) -> usize {
-        self.procs.len()
-    }
-}
-
-/// Helpers producing `ProcState::Blocked` descriptions.
-struct Blocked;
-impl Blocked {
-    fn sleep(t: Time) -> ProcState {
-        ProcState::Blocked(format!("sleep until t={t}"))
-    }
-    fn trigger(id: u32) -> ProcState {
-        ProcState::Blocked(format!("trigger #{id}"))
-    }
-    fn notify(id: u32) -> ProcState {
-        ProcState::Blocked(format!("notify #{id}"))
+        self.core().procs.len()
     }
 }
 
@@ -378,19 +444,96 @@ mod tests {
     }
 
     #[test]
+    fn time_limit_resumes_parked_process() {
+        // A process parked mid-advance across a TimeLimit verdict must be
+        // resumable by a later run (the baton finds its way back to it).
+        let mut sim = Simulation::new(0u32);
+        sim.spawn("sleeper", 0, |ctx| {
+            ctx.advance(1_000);
+            ctx.with_world(|w, _| *w += 1);
+        });
+        assert_eq!(sim.run_until(500), RunOutcome::TimeLimit);
+        assert_eq!(*sim.world(), 0);
+        assert_eq!(sim.run_until(2_000), RunOutcome::Completed);
+        assert_eq!(*sim.world(), 1);
+        assert_eq!(sim.scheduler().now(), 1_000);
+    }
+
+    #[test]
     fn stop_from_event() {
         let mut sim = Simulation::new(());
         sim.scheduler().schedule_at(10, |_, s| s.stop());
-        sim.scheduler().schedule_at(20, |_, _| panic!("must not run"));
+        sim.scheduler()
+            .schedule_at(20, |_, _| panic!("must not run"));
         assert_eq!(sim.run(), RunOutcome::Stopped);
     }
 
     #[test]
-    #[should_panic(expected = "panicked: boom")]
+    #[should_panic(expected = "panicked at t=0: boom")]
     fn process_panic_propagates() {
         let mut sim = Simulation::new(());
         sim.spawn("bad", 0, |_| panic!("boom"));
         let _ = sim.run();
+    }
+
+    #[test]
+    fn process_panic_reports_name_time_and_payload() {
+        // A panicking process must fail the simulation with the process
+        // name, the virtual time of the panic, and the panic payload — and
+        // its pooled worker must come back for reuse.
+        let pool = crate::ProcessPool::new();
+        let mut config = SimConfig::default();
+        config.pool = pool.clone();
+        let mut sim = Simulation::with_config((), config);
+        sim.spawn("victim", 0, |ctx| {
+            ctx.advance(1234);
+            panic!("deliberate failure x={}", 42);
+        });
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run()))
+            .expect_err("simulation must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("driver panic carries a String");
+        assert!(msg.contains("'victim'"), "missing process name: {msg}");
+        assert!(msg.contains("t=1234"), "missing virtual time: {msg}");
+        assert!(
+            msg.contains("deliberate failure x=42"),
+            "missing panic payload: {msg}"
+        );
+        drop(sim);
+        // The worker that hosted the panicking process is returned cleanly.
+        assert!(
+            pool.wait_idle(1, std::time::Duration::from_secs(5)),
+            "pooled worker not returned after process panic: {pool:?}"
+        );
+        assert_eq!(pool.threads_created(), 1);
+        // And it is reusable: a fresh simulation on the same pool works.
+        let mut config = SimConfig::default();
+        config.pool = pool.clone();
+        let mut sim = Simulation::with_config(0u32, config);
+        sim.spawn("healthy", 0, |ctx| ctx.with_world(|w, _| *w = 7));
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(*sim.world(), 7);
+        assert_eq!(
+            pool.threads_created(),
+            1,
+            "second process reuses the worker"
+        );
+    }
+
+    #[test]
+    fn with_world_ref_reads_without_blocking_semantics_change() {
+        let mut sim = Simulation::new(41u64);
+        sim.spawn("reader", 3, |ctx| {
+            // Borrowed (non-'static) captures are fine on the fast path.
+            let local = [1u64, 2, 3];
+            let sum: u64 = ctx.with_world_ref(|w, s| *w + s.now() + local.iter().sum::<u64>());
+            assert_eq!(sum, 41 + 3 + 6);
+            ctx.advance(7);
+            let now = ctx.with_world_ref(|_, s| s.now());
+            assert_eq!(now, 10);
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
     }
 
     #[test]
@@ -399,7 +542,7 @@ mod tests {
         let n = sim.scheduler().new_notify();
         for i in 0..3u32 {
             sim.spawn(format!("w{i}"), 0, move |ctx| {
-                let seen = ctx.with_world(move |_, s| s.notify_epoch(n));
+                let seen = ctx.with_world_ref(|_, s| s.notify_epoch(n));
                 ctx.wait_notify(n, seen);
                 ctx.with_world(move |w, _| w.push(i));
             });

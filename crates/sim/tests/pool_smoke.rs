@@ -1,0 +1,78 @@
+//! Pool-scale smoke test: the jacobi_figures workload shape — many
+//! `Simulation` lifetimes, ~1536 processes each — must lease, tear down,
+//! and *reuse* pooled workers instead of spawning fresh OS threads per
+//! simulation. Uses a private pool for exact thread accounting.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rucx_sim::{ProcessPool, RunOutcome, SimConfig, Simulation};
+
+const PROCS: usize = 1536;
+
+fn config(pool: &Arc<ProcessPool>) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    // Keep 1536 concurrent stacks cheap: these bodies are shallow.
+    cfg.stack_size = 128 * 1024;
+    cfg.pool = pool.clone();
+    cfg
+}
+
+fn run_lifetime(pool: &Arc<ProcessPool>) {
+    let mut sim = Simulation::with_config(0u64, config(pool));
+    for i in 0..PROCS {
+        sim.spawn(format!("p{i}"), (i % 7) as u64, |ctx| {
+            ctx.advance(3);
+            ctx.with_world(|w, _| *w += 1);
+        });
+    }
+    // One process the run never resumes: its worker must still return to
+    // the pool when the simulation is dropped (teardown unwinds it).
+    let t = sim.scheduler().new_trigger();
+    sim.spawn("never-resumed", 0, move |ctx| ctx.wait(t));
+    match sim.run_until(100) {
+        RunOutcome::TimeLimit | RunOutcome::Completed | RunOutcome::Deadlock(_) => {}
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    assert_eq!(*sim.world(), PROCS as u64);
+    drop(sim);
+}
+
+#[test]
+fn pool_reuses_workers_across_simulation_lifetimes() {
+    let start = Instant::now();
+    let pool = ProcessPool::new();
+
+    run_lifetime(&pool);
+    // All leased workers come back once the first simulation is gone.
+    assert!(
+        pool.wait_idle(PROCS + 1, Duration::from_secs(5)),
+        "workers not returned after first lifetime: {pool:?}"
+    );
+    let created_after_first = pool.threads_created();
+    assert!(
+        created_after_first >= (PROCS + 1) as u64,
+        "expected at least {} threads, created {created_after_first}",
+        PROCS + 1
+    );
+
+    // A second lifetime on the same pool must not grow the thread count:
+    // every process leases an idle worker from the first round.
+    run_lifetime(&pool);
+    assert!(
+        pool.wait_idle(PROCS + 1, Duration::from_secs(5)),
+        "workers not returned after second lifetime: {pool:?}"
+    );
+    assert_eq!(
+        pool.threads_created(),
+        created_after_first,
+        "second simulation lifetime must reuse pooled workers"
+    );
+    assert_eq!(pool.leases(), 2 * (PROCS + 1) as u64);
+
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "pool smoke took {:?}, budget is 5s",
+        start.elapsed()
+    );
+}

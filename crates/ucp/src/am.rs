@@ -42,8 +42,8 @@ pub struct AmMsg {
     pub payload: AmPayload,
 }
 
-/// Handler invoked on the driver thread when an active message arrives.
-pub type AmHandler = Box<dyn Fn(&mut Machine, &mut MSched, AmMsg)>;
+/// Handler invoked under the execution core when an active message arrives.
+pub type AmHandler = Box<dyn Fn(&mut Machine, &mut MSched, AmMsg) + Send>;
 
 /// Per-worker active-message state.
 #[derive(Default)]
@@ -61,13 +61,7 @@ impl AmState {
 
 /// Register the handler for `id` on process `proc`'s worker; any arrivals
 /// that raced ahead of registration are delivered immediately.
-pub fn am_register(
-    w: &mut Machine,
-    s: &mut MSched,
-    proc: usize,
-    id: AmId,
-    handler: AmHandler,
-) {
+pub fn am_register(w: &mut Machine, s: &mut MSched, proc: usize, id: AmId, handler: AmHandler) {
     let st = &mut w.ucp.worker_mut(proc).am;
     let backlog = st.pending.remove(&id).unwrap_or_default();
     st.handlers.insert(id, handler);

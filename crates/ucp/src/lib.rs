@@ -20,7 +20,9 @@ pub mod worker;
 pub use am::{am_register, am_send_nb, AmHandler, AmId, AmMsg, AmPayload};
 pub use config::UcpConfig;
 pub use machine::{build_sim, build_sim_with, MCtx, MSim, Machine, MachineConfig, UcpSubsystem};
-pub use proto::{inject_local, probe_pop, rndv_fetch, tag_recv_nb, tag_send_nb, FetchDst, PoppedMsg, SendBuf};
+pub use proto::{
+    inject_local, probe_pop, rndv_fetch, tag_recv_nb, tag_send_nb, FetchDst, PoppedMsg, SendBuf,
+};
 pub use tag::{tag_matches, Tag, TagMask, MASK_FULL, MASK_NONE};
 pub use worker::{Completion, MSched, RecvCompletion, RecvInfo, Worker};
 
@@ -45,13 +47,7 @@ pub mod blocking {
     }
 
     /// Post a receive and wait for the data. Returns `(src, tag, size)`.
-    pub fn recv(
-        ctx: &mut MCtx,
-        proc: usize,
-        buf: MemRef,
-        tag: Tag,
-        mask: TagMask,
-    ) -> RecvInfo {
+    pub fn recv(ctx: &mut MCtx, proc: usize, buf: MemRef, tag: Tag, mask: TagMask) -> RecvInfo {
         let info = std::sync::Arc::new(rucx_compat::sync::Mutex::new(None::<RecvInfo>));
         let info2 = info.clone();
         let done = ctx.with_world(move |w, s| {
@@ -79,7 +75,7 @@ pub mod blocking {
     }
 
     fn cpu_call_cost(ctx: &mut MCtx) -> rucx_sim::Duration {
-        ctx.with_world(|w, _| w.ucp.config.cpu_call)
+        ctx.with_world_ref(|w, _| w.ucp.config.cpu_call)
     }
 }
 
@@ -108,7 +104,9 @@ mod tests {
     }
 
     fn pattern(n: usize, seed: u8) -> Vec<u8> {
-        (0..n).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+        (0..n)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
     }
 
     /// Run a 2-process send/recv of `size` bytes and return (elapsed_ns,
@@ -233,7 +231,7 @@ mod tests {
         });
         // Receiver posts long after arrival.
         sim.spawn("receiver", us(50.0), move |ctx| {
-            let (exp, unexp) = ctx.with_world(|w, _| w.ucp.worker(1).depths());
+            let (exp, unexp) = ctx.with_world_ref(|w, _| w.ucp.worker(1).depths());
             assert_eq!((exp, unexp), (0, 1), "message should be unexpected");
             let info = blocking::recv(ctx, 1, b, 9, MASK_FULL);
             assert_eq!(info.size, 64);
@@ -260,25 +258,28 @@ mod tests {
         });
         let got = std::sync::Arc::new(rucx_compat::sync::Mutex::new(None));
         let got2 = got.clone();
-        sim.spawn("receiver", 0, move |ctx| {
-            loop {
-                let popped = ctx.with_world(|w, s| {
-                    let r = probe_pop(w, 1, 0, MASK_NONE);
-                    let seen = s.notify_epoch(w.ucp.worker(1).notify);
-                    (r.map(|m| match m {
-                        PoppedMsg::Eager { bytes, tag, src, .. } => (bytes, tag, src),
+        sim.spawn("receiver", 0, move |ctx| loop {
+            let popped = ctx.with_world(|w, s| {
+                let r = probe_pop(w, 1, 0, MASK_NONE);
+                let seen = s.notify_epoch(w.ucp.worker(1).notify);
+                (
+                    r.map(|m| match m {
+                        PoppedMsg::Eager {
+                            bytes, tag, src, ..
+                        } => (bytes, tag, src),
                         _ => panic!("expected eager"),
-                    }), seen)
-                });
-                match popped {
-                    (Some(m), _) => {
-                        *got2.lock() = Some(m);
-                        break;
-                    }
-                    (None, seen) => {
-                        let n = ctx.with_world(|w, _| w.ucp.worker(1).notify);
-                        ctx.wait_notify(n, seen);
-                    }
+                    }),
+                    seen,
+                )
+            });
+            match popped {
+                (Some(m), _) => {
+                    *got2.lock() = Some(m);
+                    break;
+                }
+                (None, seen) => {
+                    let n = ctx.with_world_ref(|w, _| w.ucp.worker(1).notify);
+                    ctx.wait_notify(n, seen);
                 }
             }
         });
@@ -302,13 +303,21 @@ mod tests {
         let got = std::sync::Arc::new(rucx_compat::sync::Mutex::new(None));
         let got2 = got.clone();
         sim.spawn("receiver", 0, move |ctx| {
-            let n = ctx.with_world(|w, _| w.ucp.worker(6).notify);
+            let n = ctx.with_world_ref(|w, _| w.ucp.worker(6).notify);
             loop {
                 let (popped, seen) = ctx.with_world(|w, s| {
-                    (probe_pop(w, 6, 5, MASK_FULL), s.notify_epoch(w.ucp.worker(6).notify))
+                    (
+                        probe_pop(w, 6, 5, MASK_FULL),
+                        s.notify_epoch(w.ucp.worker(6).notify),
+                    )
                 });
                 match popped {
-                    Some(PoppedMsg::Rndv { rts_id, size, src, tag }) => {
+                    Some(PoppedMsg::Rndv {
+                        rts_id,
+                        size,
+                        src,
+                        tag,
+                    }) => {
                         assert_eq!(size, 100_000);
                         assert_eq!(src, 0);
                         let done = ctx.with_world(move |w, s| {
@@ -411,7 +420,10 @@ mod tests {
         });
         assert_eq!(sim.run(), RunOutcome::Completed);
         let (s_t, r_t) = (*send_done.lock(), *recv_done.lock());
-        assert!(s_t > r_t, "sender {s_t} completes after receiver {r_t} (ATS)");
+        assert!(
+            s_t > r_t,
+            "sender {s_t} completes after receiver {r_t} (ATS)"
+        );
     }
 
     #[test]

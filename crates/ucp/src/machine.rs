@@ -175,21 +175,14 @@ pub fn build_sim_with(topo: Topology, cfg: MachineConfig, sim_cfg: SimConfig) ->
 
 /// Convenience: run `f` with both the scheduler and world halves of a
 /// simulation-side borrow (used by setup code, not model code).
-pub fn with_parts<R: 'static>(
+///
+/// The driver owns the execution core between runs, so this is a direct
+/// call — no event scheduling, no boxing, no `'static` bound.
+pub fn with_parts<R>(
     sim: &mut MSim,
-    f: impl FnOnce(&mut Machine, &mut Scheduler<Machine>) -> R + 'static,
+    f: impl FnOnce(&mut Machine, &mut Scheduler<Machine>) -> R,
 ) -> R {
-    // Schedule-and-run would disturb time; instead split borrows via the
-    // driver loop: we piggyback on an immediate event.
-    let out = std::rc::Rc::new(std::cell::RefCell::new(None));
-    let out2 = out.clone();
-    let now = sim.scheduler().now();
-    sim.scheduler().schedule_at(now, move |w, s| {
-        *out2.borrow_mut() = Some(f(w, s));
-    });
-    sim.run_until(now);
-    let r = out.borrow_mut().take();
-    r.expect("with_parts event did not run")
+    sim.with_parts(f)
 }
 
 #[cfg(test)]
@@ -208,10 +201,7 @@ mod tests {
         assert_eq!(m.net.nodes(), 2);
         // UCX streams belong to the right devices.
         for p in 0..12 {
-            assert_eq!(
-                m.gpu.stream_device(m.ucp.ucx_streams[p]),
-                topo.device_of(p)
-            );
+            assert_eq!(m.gpu.stream_device(m.ucp.ucx_streams[p]), topo.device_of(p));
         }
     }
 

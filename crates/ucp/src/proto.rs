@@ -12,8 +12,8 @@
 //! | device   | ≤ eager_thresh_device, GDRCopy on | eager via GDRCopy bounce |
 //! | device   | larger or GDRCopy off | rendezvous: CUDA IPC (intra), pipelined host-staging (inter) |
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use rucx_fabric::{net_transfer, WireKind};
 use rucx_gpu::{CopyPath, MemKind, MemRef};
@@ -21,7 +21,9 @@ use rucx_sim::time::Duration;
 
 use crate::machine::{Machine, RtsState, SendPayload};
 use crate::tag::{Tag, TagMask};
-use crate::worker::{ArrivedBody, ArrivedMsg, Completion, ExpectedRecv, MSched, RecvCompletion, RecvInfo};
+use crate::worker::{
+    ArrivedBody, ArrivedMsg, Completion, ExpectedRecv, MSched, RecvCompletion, RecvInfo,
+};
 
 /// What a send supplies.
 pub enum SendBuf {
@@ -147,9 +149,15 @@ fn send_wire(
         let src_port = (w.topo.node_of(src), rail(w, src));
         let dst_port = (w.topo.node_of(dst), rail(w, dst));
         s.schedule_at(now + local_delay, move |w, s| {
-            net_transfer(w, s, src_port, dst_port, wire_size, WireKind::Host, move |w, s| {
-                deliver(w, s, dst, msg)
-            });
+            net_transfer(
+                w,
+                s,
+                src_port,
+                dst_port,
+                wire_size,
+                WireKind::Host,
+                move |w, s| deliver(w, s, dst, msg),
+            );
         });
     }
 }
@@ -159,7 +167,13 @@ fn send_wire(
 /// The channel is a serial resource (a CPU-driven copy), so back-to-back
 /// transfers between a pair queue behind each other — this bounds windowed
 /// intra-node throughput to the CMA bandwidth and preserves ordering.
-fn shm_occupy(w: &mut Machine, src: usize, dst: usize, ready: rucx_sim::time::Time, size: u64) -> rucx_sim::time::Time {
+fn shm_occupy(
+    w: &mut Machine,
+    src: usize,
+    dst: usize,
+    ready: rucx_sim::time::Time,
+    size: u64,
+) -> rucx_sim::time::Time {
     let lat = w.ucp.config.shm_latency;
     let gbps = w.ucp.config.shm_gbps;
     let key = (src as u32, dst as u32);
@@ -203,18 +217,28 @@ pub(crate) fn deliver_am_wire(
         let src_port = (w.topo.node_of(src), rail(w, src));
         let dst_port = (w.topo.node_of(dst), rail(w, dst));
         s.schedule_at(now + local_delay, move |w, s| {
-            net_transfer(w, s, src_port, dst_port, wire_size, WireKind::Host, deliver_it);
+            net_transfer(
+                w,
+                s,
+                src_port,
+                dst_port,
+                wire_size,
+                WireKind::Host,
+                deliver_it,
+            );
         });
     }
     if !matches!(sender_done, Completion::None) {
-        s.schedule_at(now + local_delay, move |w, s| complete(w, s, src, sender_done));
+        s.schedule_at(now + local_delay, move |w, s| {
+            complete(w, s, src, sender_done)
+        });
     }
 }
 
 /// Schedule a non-matched control message (ATS) and run `f` at arrival.
 fn send_control<F>(w: &mut Machine, s: &mut MSched, src: usize, dst: usize, size: u64, f: F)
 where
-    F: FnOnce(&mut Machine, &mut MSched) + 'static,
+    F: FnOnce(&mut Machine, &mut MSched) + Send + 'static,
 {
     let now = s.now();
     if w.topo.same_node(src, dst) {
@@ -335,7 +359,13 @@ fn deliver(w: &mut Machine, s: &mut MSched, dst: usize, msg: ArrivedMsg) {
 }
 
 /// A receive met its message: run the data path.
-fn process_match(w: &mut Machine, s: &mut MSched, dst_proc: usize, exp: ExpectedRecv, msg: ArrivedMsg) {
+fn process_match(
+    w: &mut Machine,
+    s: &mut MSched,
+    dst_proc: usize,
+    exp: ExpectedRecv,
+    msg: ArrivedMsg,
+) {
     match msg.body {
         ArrivedBody::Eager { bytes, wire_size } => {
             let dst_kind = w.gpu.pool.kind(exp.buf.id).expect("recv into bad handle");
@@ -364,7 +394,15 @@ fn process_match(w: &mut Machine, s: &mut MSched, dst_proc: usize, exp: Expected
             });
         }
         ArrivedBody::Rts { rts_id, .. } => {
-            start_fetch(w, s, dst_proc, msg.tag, rts_id, FetchDst::Mem(exp.buf), exp.done);
+            start_fetch(
+                w,
+                s,
+                dst_proc,
+                msg.tag,
+                rts_id,
+                FetchDst::Mem(exp.buf),
+                exp.done,
+            );
         }
     }
 }
@@ -510,9 +548,13 @@ fn start_fetch(
     };
 
     if intra {
-        fetch_intra(w, s, src_kind, dst_kind, size, recv_proc, src_proc, finalize);
+        fetch_intra(
+            w, s, src_kind, dst_kind, size, recv_proc, src_proc, finalize,
+        );
     } else {
-        fetch_inter(w, s, src_kind, dst_kind, size, recv_proc, src_proc, finalize);
+        fetch_inter(
+            w, s, src_kind, dst_kind, size, recv_proc, src_proc, finalize,
+        );
     }
 }
 
@@ -561,7 +603,7 @@ fn fetch_intra<F>(
     src_proc: usize,
     finalize: F,
 ) where
-    F: FnOnce(&mut Machine, &mut MSched) + 'static,
+    F: FnOnce(&mut Machine, &mut MSched) + Send + 'static,
 {
     match (src_kind, dst_kind) {
         (MemKind::Device(sd), MemKind::Device(dd)) => {
@@ -608,7 +650,7 @@ fn fetch_inter<F>(
     src_proc: usize,
     finalize: F,
 ) where
-    F: FnOnce(&mut Machine, &mut MSched) + 'static,
+    F: FnOnce(&mut Machine, &mut MSched) + Send + 'static,
 {
     let src_port = (w.topo.node_of(src_proc), rail(w, src_proc));
     let dst_port = (w.topo.node_of(recv_proc), rail(w, recv_proc));
@@ -633,10 +675,18 @@ fn fetch_inter<F>(
             // RDMA, then H2D on the receiver.
             w.ucp.counters.bump("ucp.rndv.staged_inter");
             let leg = w.gpu.params.wire_time(CopyPath::HostPinnedLink, size);
-            net_transfer(w, s, src_port, dst_port, size, WireKind::Host, move |w, s| {
-                let _ = w;
-                s.schedule_in(leg, finalize);
-            });
+            net_transfer(
+                w,
+                s,
+                src_port,
+                dst_port,
+                size,
+                WireKind::Host,
+                move |w, s| {
+                    let _ = w;
+                    s.schedule_in(leg, finalize);
+                },
+            );
         }
         (false, false) => {
             // Zero-copy RDMA get.
@@ -657,7 +707,7 @@ fn pipeline_fetch<F>(
     size: u64,
     finalize: F,
 ) where
-    F: FnOnce(&mut Machine, &mut MSched) + 'static,
+    F: FnOnce(&mut Machine, &mut MSched) + Send + 'static,
 {
     let chunk = w.ucp.config.pipeline_chunk.max(1);
     let nchunks = size.div_ceil(chunk);
@@ -670,8 +720,10 @@ fn pipeline_fetch<F>(
     let src_stream = w.ucp.ucx_streams[src_proc];
     let dst_stream = w.ucp.ucx_streams[recv_proc];
 
-    let remaining = Rc::new(Cell::new(nchunks));
-    let finalize = Rc::new(Cell::new(Some(finalize)));
+    // Shared across chunk completions, which may run on whichever thread
+    // holds the execution core at the time — hence Arc, not Rc.
+    let remaining = Arc::new(AtomicU64::new(nchunks));
+    let finalize = Arc::new(Mutex::new(Some(finalize)));
 
     for i in 0..nchunks {
         let len = chunk.min(size - i * chunk);
@@ -682,18 +734,28 @@ fn pipeline_fetch<F>(
         let remaining = remaining.clone();
         let finalize = finalize.clone();
         s.schedule_at(d2h_end, move |w, s| {
-            net_transfer(w, s, src_port, dst_port, len, WireKind::Host, move |w, s| {
-                let h2d_dur = w.gpu.params.wire_time(CopyPath::HostPinnedLink, len);
-                let h2d_end =
-                    rucx_gpu::ops::occupy_ingress(w, s, dst_dev, dst_stream, h2d_dur);
-                s.schedule_at(h2d_end, move |w, s| {
-                    remaining.set(remaining.get() - 1);
-                    if remaining.get() == 0 {
-                        let f = finalize.take().expect("pipeline finalized twice");
-                        f(w, s);
-                    }
-                });
-            });
+            net_transfer(
+                w,
+                s,
+                src_port,
+                dst_port,
+                len,
+                WireKind::Host,
+                move |w, s| {
+                    let h2d_dur = w.gpu.params.wire_time(CopyPath::HostPinnedLink, len);
+                    let h2d_end = rucx_gpu::ops::occupy_ingress(w, s, dst_dev, dst_stream, h2d_dur);
+                    s.schedule_at(h2d_end, move |w, s| {
+                        if remaining.fetch_sub(1, Ordering::Relaxed) == 1 {
+                            let f = finalize
+                                .lock()
+                                .unwrap()
+                                .take()
+                                .expect("pipeline finalized twice");
+                            f(w, s);
+                        }
+                    });
+                },
+            );
         });
     }
 }

@@ -38,7 +38,15 @@ mod tests {
     fn partial_mask_matches_prefix() {
         // Match on the top 4 bits only.
         let mask = 0xF000_0000_0000_0000;
-        assert!(tag_matches(0x3000_0000_0000_0000, mask, 0x3FFF_0000_1234_5678));
-        assert!(!tag_matches(0x3000_0000_0000_0000, mask, 0x4000_0000_0000_0000));
+        assert!(tag_matches(
+            0x3000_0000_0000_0000,
+            mask,
+            0x3FFF_0000_1234_5678
+        ));
+        assert!(!tag_matches(
+            0x3000_0000_0000_0000,
+            mask,
+            0x4000_0000_0000_0000
+        ));
     }
 }

@@ -20,8 +20,8 @@ pub enum Completion {
     None,
     /// Fire a trigger (blocking callers wait on it).
     Trigger(Trigger),
-    /// Run a callback on the driver thread.
-    Callback(Box<dyn FnOnce(&mut Machine, &mut MSched)>),
+    /// Run a callback against the world when the operation completes.
+    Callback(Box<dyn FnOnce(&mut Machine, &mut MSched) + Send>),
 }
 
 /// Information handed to receive completions.
@@ -38,11 +38,11 @@ pub struct RecvInfo {
 /// Completion action for receives.
 pub enum RecvCompletion {
     Trigger(Trigger),
-    Callback(Box<dyn FnOnce(&mut Machine, &mut MSched, RecvInfo)>),
+    Callback(Box<dyn FnOnce(&mut Machine, &mut MSched, RecvInfo) + Send>),
     /// Receives the message bytes (present when the sender's payload was
     /// materialized) — used for runtime-internal host messages that do not
     /// live in the simulated memory pool.
-    Bytes(Box<dyn FnOnce(&mut Machine, &mut MSched, Option<Vec<u8>>, RecvInfo)>),
+    Bytes(Box<dyn FnOnce(&mut Machine, &mut MSched, Option<Vec<u8>>, RecvInfo) + Send>),
 }
 
 /// A receive posted with `ucp_tag_recv_nb`.

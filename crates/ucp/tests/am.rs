@@ -10,8 +10,8 @@ use rucx_gpu::DeviceId;
 use rucx_sim::time::us;
 use rucx_sim::RunOutcome;
 use rucx_ucp::{
-    am_register, am_send_nb, build_sim, rndv_fetch, AmPayload, Completion, FetchDst,
-    MachineConfig, RecvCompletion, SendBuf,
+    am_register, am_send_nb, build_sim, rndv_fetch, AmPayload, Completion, FetchDst, MachineConfig,
+    RecvCompletion, SendBuf,
 };
 
 #[test]
@@ -189,7 +189,16 @@ fn am_flow_beats_two_message_flow() {
                         );
                     }),
                 );
-                am_send_nb(w, s, 0, 1, 1, vec![0; 64], Some(SendBuf::Mem(src)), Completion::None);
+                am_send_nb(
+                    w,
+                    s,
+                    0,
+                    1,
+                    1,
+                    vec![0; 64],
+                    Some(SendBuf::Mem(src)),
+                    Completion::None,
+                );
             });
         } else {
             // Two-message tagged flow, as the Charm++ machine layer does it
@@ -219,7 +228,7 @@ fn am_flow_beats_two_message_flow() {
             // device receive (plus a scheduling delay like the real PE).
             let done3 = done2.clone();
             sim.spawn("pe1", 0, move |ctx| {
-                let n = ctx.with_world(|w, _| w.ucp.worker(1).notify);
+                let n = ctx.with_world_ref(|w, _| w.ucp.worker(1).notify);
                 loop {
                     let (popped, seen) = ctx.with_world(move |w, s| {
                         (

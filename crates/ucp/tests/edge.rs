@@ -4,14 +4,17 @@
 use rucx_fabric::Topology;
 use rucx_gpu::{DeviceId, MemRef};
 use rucx_sim::RunOutcome;
-use rucx_ucp::{blocking, build_sim, MachineConfig, MSim, SendBuf, MASK_FULL};
+use rucx_ucp::{blocking, build_sim, MSim, MachineConfig, SendBuf, MASK_FULL};
 
 fn sim1() -> MSim {
     build_sim(Topology::summit(1), MachineConfig::default())
 }
 
 fn host(sim: &mut MSim, size: u64) -> MemRef {
-    sim.world_mut().gpu.pool.alloc_host(0, size.max(1), true, true)
+    sim.world_mut()
+        .gpu
+        .pool
+        .alloc_host(0, size.max(1), true, true)
 }
 
 #[test]
@@ -48,15 +51,7 @@ fn self_send_works() {
                 MASK_FULL,
                 rucx_ucp::RecvCompletion::Trigger(t),
             );
-            rucx_ucp::tag_send_nb(
-                w,
-                s,
-                0,
-                0,
-                SendBuf::Mem(a),
-                9,
-                rucx_ucp::Completion::None,
-            );
+            rucx_ucp::tag_send_nb(w, s, 0, 0, SendBuf::Mem(a), 9, rucx_ucp::Completion::None);
             t
         });
         ctx.wait(done);
@@ -171,7 +166,7 @@ fn wildcard_recv_takes_oldest_arrival() {
         // first arrival.
         let info = blocking::recv(ctx, 1, dst, 0, rucx_ucp::MASK_NONE);
         assert_eq!(info.tag, 100);
-        let got = ctx.with_world(move |w, _| w.gpu.pool.read(dst).unwrap());
+        let got = ctx.with_world_ref(|w, _| w.gpu.pool.read(dst).unwrap());
         assert_eq!(got, vec![1u8; 8]);
     });
     assert_eq!(sim.run(), RunOutcome::Completed);

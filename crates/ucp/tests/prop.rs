@@ -47,7 +47,9 @@ fn gen_msg(g: &mut Gen, procs: usize) -> MsgSpec {
 }
 
 fn pattern(len: u64, seed: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(31) ^ seed).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31) ^ seed)
+        .collect()
 }
 
 #[test]
@@ -65,13 +67,23 @@ fn random_message_matrix_delivers_exactly() {
             for spec in &msgs {
                 let (s, d) = if spec.device {
                     (
-                        m.gpu.pool.alloc_device(topo.device_of(spec.src), spec.size, true).unwrap(),
-                        m.gpu.pool.alloc_device(topo.device_of(spec.dst), spec.size, true).unwrap(),
+                        m.gpu
+                            .pool
+                            .alloc_device(topo.device_of(spec.src), spec.size, true)
+                            .unwrap(),
+                        m.gpu
+                            .pool
+                            .alloc_device(topo.device_of(spec.dst), spec.size, true)
+                            .unwrap(),
                     )
                 } else {
                     (
-                        m.gpu.pool.alloc_host(topo.node_of(spec.src), spec.size, true, true),
-                        m.gpu.pool.alloc_host(topo.node_of(spec.dst), spec.size, true, true),
+                        m.gpu
+                            .pool
+                            .alloc_host(topo.node_of(spec.src), spec.size, true, true),
+                        m.gpu
+                            .pool
+                            .alloc_host(topo.node_of(spec.dst), spec.size, true, true),
                     )
                 };
                 m.gpu.pool.write(s, &pattern(spec.size, spec.seed)).unwrap();
@@ -137,7 +149,8 @@ fn random_message_matrix_delivers_exactly() {
             assert_eq!(
                 sim.world().gpu.pool.read(dsts[i]).unwrap(),
                 pattern(spec.size, spec.seed),
-                "message {} corrupted", i
+                "message {} corrupted",
+                i
             );
         }
         assert_eq!(sim.world().ucp.inflight_rndv(), 0);

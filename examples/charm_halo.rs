@@ -36,9 +36,17 @@ fn main() {
             .pool
             .alloc_device(DeviceId(i as u32), SIZE, true)
             .unwrap();
-        m.gpu.pool.write(s, &vec![i as u8 + 1; SIZE as usize]).unwrap();
+        m.gpu
+            .pool
+            .write(s, &vec![i as u8 + 1; SIZE as usize])
+            .unwrap();
         sbufs.push(s);
-        rbufs.push(m.gpu.pool.alloc_device(DeviceId(i as u32), SIZE, true).unwrap());
+        rbufs.push(
+            m.gpu
+                .pool
+                .alloc_device(DeviceId(i as u32), SIZE, true)
+                .unwrap(),
+        );
     }
     let (sbufs, rbufs) = (Arc::new(sbufs), Arc::new(rbufs));
     let rbufs_check = rbufs.clone();

@@ -26,9 +26,7 @@ fn main() {
             .pool
             .alloc_device(topo.device_of(p), (ELEMS * 8) as u64, true)
             .unwrap();
-        let vals: Vec<u8> = (0..ELEMS)
-            .flat_map(|_| (p as f64).to_le_bytes())
-            .collect();
+        let vals: Vec<u8> = (0..ELEMS).flat_map(|_| (p as f64).to_le_bytes()).collect();
         m.gpu.pool.write(b, &vals).unwrap();
         bufs.push(b);
         scratch.push(
@@ -61,12 +59,14 @@ fn main() {
     for (p, b) in bufs.iter().enumerate() {
         let bytes = sim.world().gpu.pool.read(*b).unwrap();
         for c in bytes.chunks_exact(8) {
-            assert_eq!(f64::from_le_bytes(c.try_into().unwrap()), expected, "rank {p}");
+            assert_eq!(
+                f64::from_le_bytes(c.try_into().unwrap()),
+                expected,
+                "rank {p}"
+            );
         }
     }
-    println!(
-        "allreduce(sum) + bcast over {n} GPUs on 2 nodes: every element = {expected} ✓"
-    );
+    println!("allreduce(sum) + bcast over {n} GPUs on 2 nodes: every element = {expected} ✓");
     println!(
         "virtual time: {:.1} us; device-path rendezvous: {} intra-node (IPC), {} inter-node (pipeline)",
         as_us(*done_at.lock()),

@@ -43,5 +43,7 @@ fn main() {
             h.comm_ms / d.comm_ms
         );
     }
-    println!("\n(overall/comm = per-iteration times, max over ranks; H = host-staging, D = GPU-direct)");
+    println!(
+        "\n(overall/comm = per-iteration times, max over ranks; H = host-staging, D = GPU-direct)"
+    );
 }

@@ -8,9 +8,7 @@
 //! cargo run --release --example osu_cli -- latency  --model openmpi --mode d --no-gdrcopy
 //! ```
 
-use rucx::osu::{
-    bandwidth, bibw, latency, mpi_like, Mode, Model, OsuConfig, Placement, Series,
-};
+use rucx::osu::{bandwidth, bibw, latency, mpi_like, Mode, Model, OsuConfig, Placement, Series};
 
 fn usage() -> ! {
     eprintln!(

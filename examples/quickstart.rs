@@ -23,7 +23,11 @@ fn fresh() -> (MSim, MemRef, MemRef) {
         .pool
         .alloc_device(DeviceId(1), SIZE, true)
         .unwrap();
-    sim.world_mut().gpu.pool.write(a, &vec![7u8; SIZE as usize]).unwrap();
+    sim.world_mut()
+        .gpu
+        .pool
+        .write(a, &vec![7u8; SIZE as usize])
+        .unwrap();
     (sim, a, b)
 }
 
@@ -55,7 +59,10 @@ fn main() {
         _ => {}
     });
     assert_eq!(sim.run(), RunOutcome::Completed);
-    assert_eq!(sim.world().gpu.pool.read(b).unwrap(), vec![7u8; SIZE as usize]);
+    assert_eq!(
+        sim.world().gpu.pool.read(b).unwrap(),
+        vec![7u8; SIZE as usize]
+    );
     report("OpenMPI", *rtt.lock());
 
     // --- AMPI: MPI on the Charm++ runtime -------------------------------
@@ -111,7 +118,11 @@ fn main() {
         rucx::osu::Mode::Device,
         rucx::osu::Placement::IntraNode,
     );
-    println!("{:>10}: one-way latency for 1 MiB GPU buffer = {:>8.1} us", "Charm++", s.at(SIZE).unwrap());
+    println!(
+        "{:>10}: one-way latency for 1 MiB GPU buffer = {:>8.1} us",
+        "Charm++",
+        s.at(SIZE).unwrap()
+    );
 
     println!("\nHost-staging comparison (same transfer, staged through host):");
     let s = rucx::osu::latency(
@@ -120,7 +131,11 @@ fn main() {
         rucx::osu::Mode::HostStaging,
         rucx::osu::Placement::IntraNode,
     );
-    println!("{:>10}: one-way latency for 1 MiB GPU buffer = {:>8.1} us", "Charm++-H", s.at(SIZE).unwrap());
+    println!(
+        "{:>10}: one-way latency for 1 MiB GPU buffer = {:>8.1} us",
+        "Charm++-H",
+        s.at(SIZE).unwrap()
+    );
 }
 
 fn shared_mutex() -> rucx_compat::sync::Mutex<u64> {

@@ -41,6 +41,12 @@ fi
 echo "ok: no registry dependencies"
 
 # ---------------------------------------------------------------------------
+# Formatting gate.
+# ---------------------------------------------------------------------------
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+# ---------------------------------------------------------------------------
 # Build + test, fully offline (tier-1 verify plus the per-crate suites).
 # ---------------------------------------------------------------------------
 echo "== cargo build --release --offline =="
@@ -51,5 +57,15 @@ cargo test -q --offline
 
 echo "== cargo test -q --offline --workspace (all crates) =="
 cargo test -q --offline --workspace
+
+# ---------------------------------------------------------------------------
+# Engine microbenchmark smoke: one iteration, no warmup — proves the bench
+# harness runs end to end and regenerates BENCH_engine.json. Perf numbers
+# from smoke mode are meaningless; run without the env overrides for those.
+# ---------------------------------------------------------------------------
+echo "== engine bench smoke (RUCX_BENCH_ITERS=1) =="
+RUCX_BENCH_ITERS=1 RUCX_BENCH_WARMUP=0 cargo bench -q --offline -p rucx-bench --bench engine
+test -s BENCH_engine.json || { echo "FAIL: BENCH_engine.json not written"; exit 1; }
+echo "ok: engine bench smoke + BENCH_engine.json"
 
 echo "ALL CHECKS PASSED"

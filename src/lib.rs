@@ -48,8 +48,8 @@
 
 pub use rucx_ampi as ampi;
 pub use rucx_charm as charm;
-pub use rucx_compat as compat;
 pub use rucx_charm4py as charm4py;
+pub use rucx_compat as compat;
 pub use rucx_fabric as fabric;
 pub use rucx_gpu as gpu;
 pub use rucx_jacobi as jacobi;

@@ -69,6 +69,41 @@ fn osu_latency_is_byte_identical_across_runs() {
     assert_eq!(a.to_json(), b.to_json());
 }
 
+/// A slice of the `jacobi_figures` bench (weak scaling, nodes 1–2, both
+/// transfer modes), run twice: the figure JSON — the exact serialized form
+/// `write_json` persists — must be byte-identical. This covers the
+/// refactored scheduler with a full Charm++ PE sweep, not just
+/// microbenchmarks: hundreds of processes per run, pooled threads reused
+/// across `Simulation` lifetimes, and the zero-switch resume path all must
+/// leave virtual-time results untouched.
+#[test]
+fn jacobi_figures_slice_json_is_byte_identical() {
+    use rucx_compat::json::ToJson;
+
+    let sweep_json = || {
+        let rows: Vec<(usize, f64, f64, f64, f64)> = [1usize, 2]
+            .iter()
+            .map(|&n| {
+                let mut ch = JacobiConfig::weak(n, Mode::HostStaging);
+                let mut cd = JacobiConfig::weak(n, Mode::Device);
+                ch.iters = 2;
+                ch.warmup = 1;
+                cd.iters = 2;
+                cd.warmup = 1;
+                let h = run(JacobiModel::Charm, &ch);
+                let d = run(JacobiModel::Charm, &cd);
+                (n, h.overall_ms, d.overall_ms, h.comm_ms, d.comm_ms)
+            })
+            .collect();
+        rows.to_json()
+    };
+    assert_eq!(
+        sweep_json(),
+        sweep_json(),
+        "jacobi_figures slice must serialize identically across runs"
+    );
+}
+
 #[test]
 fn config_changes_actually_change_results() {
     // Guard against accidentally ignoring configuration: flipping GDRCopy
