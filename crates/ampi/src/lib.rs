@@ -19,7 +19,7 @@ pub mod rank;
 
 pub use coll::MpiOp;
 pub use mpi::{MpiRank, Request};
-pub use msg::{AmpiMsg, AmpiPayload, Status, ANY_SOURCE, ANY_TAG};
+pub use msg::{AmpiMsg, AmpiPayload, Status, ANY_SOURCE, ANY_TAG, MPI_ERR_TRUNCATE, MPI_SUCCESS};
 pub use rank::{AmpiParams, RankState};
 
 use rucx_ucp::{MCtx, MSim};
@@ -235,6 +235,131 @@ mod tests {
             sim.world().ucp.counters.get("ucp.rndv.ipc"),
             2 * window as u64
         );
+    }
+
+    #[test]
+    fn large_then_small_from_same_source_stay_ordered() {
+        // Regression: a 16 KiB inline payload makes the *envelope* exceed
+        // the host eager threshold, so it travels rendezvous and its bytes
+        // are re-injected asynchronously — while the next (small) envelope
+        // arrives eagerly and used to overtake it. MPI non-overtaking
+        // requires the wildcard receives to complete in send order.
+        let mut sim = sim(1);
+        let big = host_buf(&mut sim, 0, 16 * 1024);
+        let small = host_buf(&mut sim, 0, 8);
+        let rb1 = host_buf(&mut sim, 0, 16 * 1024);
+        let rb2 = host_buf(&mut sim, 0, 16 * 1024);
+        sim.world_mut()
+            .gpu
+            .pool
+            .write(big, &vec![0xAB; 16 * 1024])
+            .unwrap();
+        sim.world_mut().gpu.pool.write(small, &[0xCD; 8]).unwrap();
+        launch(&mut sim, move |mpi, ctx| match mpi.rank() {
+            0 => {
+                mpi.send(ctx, big, 1, 1);
+                mpi.send(ctx, small, 1, 2);
+            }
+            1 => {
+                ctx.advance(us(300.0));
+                let st1 = mpi.recv(ctx, rb1, ANY_SOURCE, ANY_TAG);
+                let st2 = mpi.recv(ctx, rb2, ANY_SOURCE, ANY_TAG);
+                assert_eq!(
+                    (st1.tag, st2.tag),
+                    (1, 2),
+                    "send order violated: got sizes {} then {}",
+                    st1.size,
+                    st2.size
+                );
+                assert_eq!(st1.size, 16 * 1024);
+                assert_eq!(st2.size, 8);
+            }
+            _ => {}
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(sim.world().gpu.pool.read(rb2).unwrap()[..8], [0xCD; 8]);
+    }
+
+    #[test]
+    fn inline_truncation_reported_in_status() {
+        let mut sim = sim(1);
+        let a = host_buf(&mut sim, 0, 64);
+        let b = host_buf(&mut sim, 0, 32);
+        let data: Vec<u8> = (0..64).collect();
+        sim.world_mut().gpu.pool.write(a, &data).unwrap();
+        launch(&mut sim, move |mpi, ctx| match mpi.rank() {
+            0 => mpi.send(ctx, a, 1, 5),
+            1 => {
+                let st = mpi.recv(ctx, b, 0, 5);
+                assert_eq!(st.size, 64, "status reports the full wire size");
+                assert_eq!(st.error, MPI_ERR_TRUNCATE);
+            }
+            _ => {}
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        // The prefix that fit was delivered intact.
+        assert_eq!(sim.world().gpu.pool.read(b).unwrap(), data[..32]);
+    }
+
+    #[test]
+    fn zero_copy_truncation_reported_in_status() {
+        let mut sim = sim(1);
+        let size = 1u64 << 20;
+        let a = dev_buf(&mut sim, 0, size);
+        let b = dev_buf(&mut sim, 1, size / 2);
+        launch(&mut sim, move |mpi, ctx| match mpi.rank() {
+            0 => mpi.send(ctx, a, 1, 0),
+            1 => {
+                let st = mpi.recv(ctx, b, 0, 0);
+                assert_eq!(st.size, size);
+                assert_eq!(st.error, MPI_ERR_TRUNCATE);
+            }
+            _ => {}
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        // The UCP layer saw (and counted) the same truncation.
+        assert_eq!(sim.world().ucp.counters.get("ucp.truncated"), 1);
+    }
+
+    #[test]
+    fn exact_fit_recv_is_success() {
+        let mut sim = sim(1);
+        let a = host_buf(&mut sim, 0, 64);
+        let b = host_buf(&mut sim, 0, 64);
+        launch(&mut sim, move |mpi, ctx| match mpi.rank() {
+            0 => mpi.send(ctx, a, 1, 5),
+            1 => {
+                let st = mpi.recv(ctx, b, 0, 5);
+                assert_eq!(st.error, MPI_SUCCESS);
+            }
+            _ => {}
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+    }
+
+    #[test]
+    fn probe_status_identifies_the_message_recv_then_matches() {
+        // Probe with wildcards, then receive with the returned (src, tag):
+        // the receive must complete with the probed message (same size),
+        // for every message — probe/recv consistency under FIFO matching.
+        let mut sim = sim(1);
+        let sbufs: Vec<MemRef> = (1..=3).map(|r| host_buf(&mut sim, 0, 16 * r)).collect();
+        let rb = host_buf(&mut sim, 0, 64);
+        launch(&mut sim, move |mpi, ctx| {
+            let r = mpi.rank();
+            if (1..=3).contains(&r) {
+                mpi.send(ctx, sbufs[r - 1], 0, r as i32 * 7);
+            } else if r == 0 {
+                assert!(mpi.iprobe(ctx, 5, 99).is_none());
+                for _ in 0..3 {
+                    let st = mpi.probe(ctx, ANY_SOURCE, ANY_TAG);
+                    let got = mpi.recv(ctx, rb, st.src, st.tag);
+                    assert_eq!((got.src, got.tag, got.size), (st.src, st.tag, st.size));
+                    assert_eq!(got.size, 16 * st.src as u64);
+                }
+            }
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
     }
 
     #[test]

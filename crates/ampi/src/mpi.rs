@@ -3,7 +3,7 @@
 //! device buffers can be passed to `send`/`recv` directly, like any
 //! CUDA-aware MPI implementation (§III-C).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use rucx_charm::{ChareRef, Collection, EpId, Msg, Pe};
 use rucx_gpu::MemRef;
@@ -11,7 +11,7 @@ use rucx_sim::sched::Trigger;
 use rucx_ucp::MCtx;
 
 use crate::msg::{AmpiMsg, AmpiPayload, Status};
-use crate::rank::{status_of, AmpiParams, PostedRecv, RankState, SlotState};
+use crate::rank::{status_into, status_of, AmpiParams, PostedRecv, RankState, SlotState};
 
 /// A non-blocking communication request.
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +35,9 @@ pub struct MpiRank {
     params: AmpiParams,
     /// Software cache of addresses known to be on the GPU (§III-C1).
     gpu_cache: HashSet<u64>,
+    /// Next send-sequence number per destination rank (stamped into every
+    /// outgoing message so the receiver can restore send order).
+    send_seq: HashMap<usize, u64>,
 }
 
 impl MpiRank {
@@ -92,6 +95,7 @@ impl MpiRank {
             next_slot: 1,
             params,
             gpu_cache: HashSet::new(),
+            send_seq: HashMap::new(),
         }
     }
 
@@ -154,9 +158,16 @@ impl MpiRank {
                 trig,
             )
         };
+        let seq = {
+            let c = self.send_seq.entry(dst).or_insert(0);
+            let seq = *c;
+            *c += 1;
+            seq
+        };
         let m = AmpiMsg {
             src_rank: self.rank as u32,
             tag,
+            seq,
             payload,
         };
         let col = self.col;
@@ -194,14 +205,15 @@ impl MpiRank {
         };
         match matched {
             Some(msg) => {
-                let status = status_of(&msg);
+                let status = status_into(&msg, &buf);
                 match msg.payload {
                     AmpiPayload::Inline { bytes, size } => {
                         deliver_inline(ctx, &self.params, buf, bytes, size);
                         self.state().slots.insert(slot, SlotState::Done { status });
                     }
                     AmpiPayload::ZeroCopy { ml_tag, size } => {
-                        let trigger = self.pe.ml_recv_device(ctx, ml_tag, buf.slice(0, size));
+                        let n = size.min(buf.len);
+                        let trigger = self.pe.ml_recv_device(ctx, ml_tag, buf.slice(0, n));
                         self.state()
                             .slots
                             .insert(slot, SlotState::Matched { trigger, status });
@@ -301,17 +313,25 @@ impl MpiRank {
     }
 
     /// `MPI_Probe`: block until a matching message is available (without
-    /// receiving it).
+    /// receiving it). The returned status identifies a concrete message: a
+    /// subsequent `recv(status.src, status.tag)` receives *that* message
+    /// (FIFO matching makes the probed message the first match).
     pub fn probe(&mut self, ctx: &mut MCtx, src: i32, tag: i32) -> Status {
         let (col, idx) = (self.col, self.rank() as u64);
-        self.pe.pump_until(ctx, move |pe, _| {
-            pe.chare_mut::<RankState>(col, idx)
-                .match_unexpected(src, tag)
-                .is_some()
-        });
-        let st = self.state();
-        let i = st.match_unexpected(src, tag).expect("probed message");
-        crate::rank::status_of(&st.unexpected[i])
+        loop {
+            self.pe.pump_until(ctx, move |pe, _| {
+                pe.chare_mut::<RankState>(col, idx)
+                    .match_unexpected(src, tag)
+                    .is_some()
+            });
+            // Re-match rather than assuming the wakeup's message is still
+            // queued: a message can be consumed between the predicate pass
+            // and this read once probes and receives interleave.
+            let st = self.state();
+            if let Some(i) = st.match_unexpected(src, tag) {
+                return status_of(&st.unexpected[i]);
+            }
+        }
     }
 
     /// `MPI_Barrier` over `MPI_COMM_WORLD`.
@@ -355,13 +375,48 @@ fn deliver_inline(
 }
 
 /// Entry-method handler: an AMPI message arrived at this rank.
+///
+/// Envelopes may complete out of send order at the machine layer: a large
+/// envelope goes rendezvous and its bytes are re-injected asynchronously,
+/// while a later small envelope arrives eagerly and is dispatched first.
+/// MPI's non-overtaking rule is restored here with the sender-stamped
+/// sequence number: an envelope from source `s` is matched only when every
+/// earlier envelope from `s` has been matched; early arrivals wait in the
+/// reorder stash.
 fn handle_ampi_msg(st: &mut RankState, msg: &Msg, pe: &mut Pe, ctx: &mut MCtx) {
     ctx.advance(st.params.recv_overhead);
     let am = AmpiMsg::decode(&msg.params);
+    let src = am.src_rank;
+    let expected = *st.next_recv_seq.get(&src).unwrap_or(&0);
+    if am.seq != expected {
+        debug_assert!(am.seq > expected, "duplicate AMPI envelope");
+        st.reorder_stash.push(am);
+        return;
+    }
+    accept_msg(st, am, pe, ctx);
+    // The gap closed: release consecutively-sequenced stashed envelopes.
+    loop {
+        let next = *st.next_recv_seq.get(&src).expect("seq just advanced");
+        let Some(i) = st
+            .reorder_stash
+            .iter()
+            .position(|m| m.src_rank == src && m.seq == next)
+        else {
+            break;
+        };
+        let held = st.reorder_stash.swap_remove(i);
+        accept_msg(st, held, pe, ctx);
+    }
+}
+
+/// Match one in-order message against the posted queue (or park it as
+/// unexpected).
+fn accept_msg(st: &mut RankState, am: AmpiMsg, pe: &mut Pe, ctx: &mut MCtx) {
+    *st.next_recv_seq.entry(am.src_rank).or_insert(0) = am.seq + 1;
     match st.match_posted(&am) {
         Some(i) => {
             let p = st.posted.remove(i);
-            let status = status_of(&am);
+            let status = status_into(&am, &p.buf);
             match am.payload {
                 AmpiPayload::Inline { bytes, size } => {
                     deliver_inline(ctx, &st.params, p.buf, bytes, size);
@@ -370,13 +425,19 @@ fn handle_ampi_msg(st: &mut RankState, msg: &Msg, pe: &mut Pe, ctx: &mut MCtx) {
                 AmpiPayload::ZeroCopy { ml_tag, size } => {
                     // The receive for the GPU data can only be posted now
                     // that the metadata has arrived (the delay the paper
-                    // discusses in §III and plans to eliminate).
-                    let trigger = pe.ml_recv_device(ctx, ml_tag, p.buf.slice(0, size));
+                    // discusses in §III and plans to eliminate). Clamp to
+                    // the posted buffer; `status` carries the truncation.
+                    let n = size.min(p.buf.len);
+                    let trigger = pe.ml_recv_device(ctx, ml_tag, p.buf.slice(0, n));
                     st.slots
                         .insert(p.slot, SlotState::Matched { trigger, status });
                 }
             }
         }
-        None => st.unexpected.push_back(am),
+        None => {
+            let (me, seq, size) = (pe.index as u32, am.seq, am.payload.size());
+            ctx.with_world(move |_, s| s.trace_instant("ampi.unexpected.enqueue", me, seq, size));
+            st.unexpected.push_back(am);
+        }
     }
 }

@@ -13,6 +13,11 @@ use rucx_charm::marshal::{self, Reader};
 pub const ANY_SOURCE: i32 = -1;
 /// MPI wildcard tag.
 pub const ANY_TAG: i32 = -1;
+/// Receive completed normally.
+pub const MPI_SUCCESS: i32 = 0;
+/// The message was longer than the posted receive buffer; only the
+/// buffer-sized prefix was delivered.
+pub const MPI_ERR_TRUNCATE: i32 = 15;
 
 /// How the payload travels.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +43,11 @@ impl AmpiPayload {
 pub struct AmpiMsg {
     pub src_rank: u32,
     pub tag: i32,
+    /// Per-(sender, receiver) send sequence number. The machine layer may
+    /// complete a large (rendezvous) envelope *after* a later small (eager)
+    /// one; the receiver uses this to restore MPI's non-overtaking order
+    /// before matching.
+    pub seq: u64,
     pub payload: AmpiPayload,
 }
 
@@ -47,6 +57,7 @@ impl AmpiMsg {
         let mut b = Vec::new();
         marshal::put_u32(&mut b, self.src_rank);
         marshal::put_i64(&mut b, self.tag as i64);
+        marshal::put_u64(&mut b, self.seq);
         match &self.payload {
             AmpiPayload::Inline { bytes, size } => {
                 marshal::put_u8(&mut b, 0);
@@ -73,6 +84,7 @@ impl AmpiMsg {
         let mut r = Reader(params);
         let src_rank = r.u32();
         let tag = r.i64() as i32;
+        let seq = r.u64();
         let payload = match r.u8() {
             0 => {
                 let size = r.u64();
@@ -91,6 +103,7 @@ impl AmpiMsg {
         AmpiMsg {
             src_rank,
             tag,
+            seq,
             payload,
         }
     }
@@ -107,7 +120,12 @@ pub fn recv_matches(want_src: i32, want_tag: i32, msg: &AmpiMsg) -> bool {
 pub struct Status {
     pub src: i32,
     pub tag: i32,
+    /// Wire size of the matched message (may exceed the receive buffer —
+    /// see `error`).
     pub size: u64,
+    /// [`MPI_SUCCESS`], or [`MPI_ERR_TRUNCATE`] when the message was
+    /// longer than the posted buffer.
+    pub error: i32,
 }
 
 #[cfg(test)]
@@ -119,6 +137,7 @@ mod tests {
         let m = AmpiMsg {
             src_rank: 3,
             tag: 42,
+            seq: 17,
             payload: AmpiPayload::Inline {
                 bytes: Some(vec![1, 2, 3]),
                 size: 3,
@@ -132,6 +151,7 @@ mod tests {
         let m = AmpiMsg {
             src_rank: 0,
             tag: -5,
+            seq: 0,
             payload: AmpiPayload::Inline {
                 bytes: None,
                 size: 4096,
@@ -145,6 +165,7 @@ mod tests {
         let m = AmpiMsg {
             src_rank: 1535,
             tag: i32::MAX,
+            seq: u64::MAX,
             payload: AmpiPayload::ZeroCopy {
                 ml_tag: 0x2FFF_FFFF_0000_0001,
                 size: 4 << 20,
@@ -158,6 +179,7 @@ mod tests {
         let m = AmpiMsg {
             src_rank: 2,
             tag: 7,
+            seq: 0,
             payload: AmpiPayload::Inline {
                 bytes: None,
                 size: 0,

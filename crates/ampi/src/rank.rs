@@ -7,7 +7,7 @@ use rucx_gpu::MemRef;
 use rucx_sim::sched::Trigger;
 use rucx_sim::time::{transfer_time, us, Duration};
 
-use crate::msg::{recv_matches, AmpiMsg, Status};
+use crate::msg::{recv_matches, AmpiMsg, Status, MPI_ERR_TRUNCATE, MPI_SUCCESS};
 
 /// Calibration constants of the AMPI layer (costs *above* Charm++ and UCX —
 /// the "about 8 µs outside of UCX" the paper attributes to AMPI specifics:
@@ -75,6 +75,12 @@ pub struct RankState {
     pub posted: Vec<PostedRecv>,
     pub slots: HashMap<u64, SlotState>,
     pub barrier_epoch: u64,
+    /// Next expected send-sequence number per source rank.
+    pub next_recv_seq: HashMap<u32, u64>,
+    /// Envelopes that arrived ahead of an earlier, still-in-flight envelope
+    /// from the same source (the machine layer completes large rendezvous
+    /// envelopes out of order); released once the gap closes.
+    pub reorder_stash: Vec<AmpiMsg>,
 }
 
 impl RankState {
@@ -85,6 +91,8 @@ impl RankState {
             posted: Vec::new(),
             slots: HashMap::new(),
             barrier_epoch: 0,
+            next_recv_seq: HashMap::new(),
+            reorder_stash: Vec::new(),
         }
     }
 
@@ -109,13 +117,25 @@ impl RankState {
     }
 }
 
-/// Status derived from a matched message.
+/// Status derived from a matched (or probed) message, before any buffer is
+/// known: always `MPI_SUCCESS`.
 pub fn status_of(msg: &AmpiMsg) -> Status {
     Status {
         src: msg.src_rank as i32,
         tag: msg.tag,
         size: msg.payload.size(),
+        error: MPI_SUCCESS,
     }
+}
+
+/// Status for a message delivered into `buf`: flags `MPI_ERR_TRUNCATE`
+/// when the message is longer than the buffer.
+pub fn status_into(msg: &AmpiMsg, buf: &MemRef) -> Status {
+    let mut st = status_of(msg);
+    if msg.payload.size() > buf.len {
+        st.error = MPI_ERR_TRUNCATE;
+    }
+    st
 }
 
 #[cfg(test)]
@@ -128,6 +148,7 @@ mod tests {
         AmpiMsg {
             src_rank: src,
             tag,
+            seq: 0,
             payload: AmpiPayload::Inline {
                 bytes: None,
                 size: 8,

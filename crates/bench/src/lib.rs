@@ -6,6 +6,8 @@ use std::path::PathBuf;
 
 use rucx_compat::json::ToJson;
 
+pub mod attr;
+
 /// Directory benchmark results are written to (JSON, one file per figure).
 pub fn out_dir() -> PathBuf {
     let dir = std::env::var("RUCX_RESULTS_DIR")
@@ -26,6 +28,14 @@ pub fn out_dir() -> PathBuf {
 pub fn write_json<T: ToJson + ?Sized>(name: &str, value: &T) {
     let path = out_dir().join(format!("{name}.json"));
     fs::write(&path, value.to_json()).expect("write results");
+    println!("  [results written to {}]", path.display());
+}
+
+/// Write an already-serialized document (e.g. a Chrome trace from
+/// [`rucx_sim::trace::TraceSink::to_chrome_json`]) under the results dir.
+pub fn write_text(name: &str, contents: &str) {
+    let path = out_dir().join(name);
+    fs::write(&path, contents).expect("write results");
     println!("  [results written to {}]", path.display());
 }
 

@@ -1056,6 +1056,14 @@ impl Pe {
     /// device buffers, or direct execution.
     fn dispatch(&mut self, ctx: &mut MCtx, env: Envelope) {
         self.msgs_processed += 1;
+        {
+            // One instant per delivered envelope: id packs (collection, ep)
+            // so a trace viewer can tell entry methods apart; arg = sender.
+            let me = self.index as u32;
+            let id = ((env.collection as u64) << 16) | env.ep as u64;
+            let src = env.src_pe as u64;
+            ctx.with_world(move |_, s| s.trace_instant("charm.sched.deliver", me, id, src));
+        }
         if env.collection != SYS_COLLECTION || !matches!(env.ep, SYS_QD_PING | SYS_QD_REPLY) {
             self.qd_processed += 1;
         }

@@ -300,8 +300,20 @@ impl PyProc {
         PyFuture(fut)
     }
 
+    /// Advance by a Python/Cython overhead and attribute it in the trace
+    /// as a `charm4py.call_overhead` span. `site` distinguishes the call
+    /// site: 0 = send path, 1 = recv path, 2 = coroutine wake, 3 = CUDA
+    /// call; `arg` carries the duration so the attribution table can sum
+    /// spans without re-deriving them.
+    fn py_overhead(&self, ctx: &mut MCtx, dur: Duration, site: u64) {
+        let me = self.rank as u32;
+        ctx.with_world(move |_, s| s.trace_span_in("charm4py.call_overhead", dur, me, site, dur));
+        ctx.advance(dur);
+    }
+
     fn invoke_inner(&mut self, ctx: &mut MCtx, target: usize, id: u16, args: Vec<u8>, fut: u64) {
-        ctx.advance(self.params.py_send + self.params.pickle_cost(args.len() as u64));
+        let dur = self.params.py_send + self.params.pickle_cost(args.len() as u64);
+        self.py_overhead(ctx, dur, 0);
         let mut p = Vec::new();
         marshal::put_u64(&mut p, id as u64);
         marshal::put_u64(&mut p, fut);
@@ -329,7 +341,7 @@ impl PyProc {
                 .futures
                 .contains_key(&fut.0)
         });
-        ctx.advance(self.params.py_wake);
+        self.py_overhead(ctx, self.params.py_wake, 2);
         self.pe
             .chare_mut::<ChanState>(col, idx)
             .futures
@@ -354,7 +366,8 @@ impl PyProc {
     /// `channel.send(d_buf, size)` — GPU-direct send (Fig. 8 `gpu_direct`).
     /// Asynchronous: returns once the runtime has taken over the buffer.
     pub fn send(&mut self, ctx: &mut MCtx, ch: Channel, buf: MemRef) {
-        ctx.advance(self.params.py_send + self.params.buffer_cost(buf.len));
+        let dur = self.params.py_send + self.params.buffer_cost(buf.len);
+        self.py_overhead(ctx, dur, 0);
         let (ml_tag, _trig) = self.pe.ml_send_device(ctx, ch.peer, buf, false);
         let payload = ChanPayload::ZeroCopy {
             ml_tag,
@@ -390,7 +403,8 @@ impl PyProc {
         bytes: Option<Vec<u8>>,
         size: u64,
     ) {
-        ctx.advance(self.params.py_send + self.params.pickle_cost(size));
+        let dur = self.params.py_send + self.params.pickle_cost(size);
+        self.py_overhead(ctx, dur, 0);
         // Unmaterialized payloads still occupy `size` bytes on the wire.
         let phantom = if bytes.is_none() { size } else { 0 };
         let payload = ChanPayload::Inline { bytes, size };
@@ -413,21 +427,22 @@ impl PyProc {
     /// post the device receive, and resume when the data lands. Returns the
     /// received size.
     pub fn recv(&mut self, ctx: &mut MCtx, ch: Channel, buf: MemRef) -> u64 {
-        ctx.advance(self.params.py_recv);
+        self.py_overhead(ctx, self.params.py_recv, 1);
         let payload = self.pop_inbox(ctx, ch.peer);
         match payload {
             ChanPayload::ZeroCopy { ml_tag, size } => {
-                ctx.advance(self.params.buffer_cost(size));
+                self.py_overhead(ctx, self.params.buffer_cost(size), 1);
                 let trigger = self.pe.ml_recv_device(ctx, ml_tag, buf.slice(0, size));
                 self.pe.pump_until(ctx, move |_, ctx| {
                     ctx.with_world_ref(|_, s| s.fired(trigger))
                 });
                 ctx.with_world(move |_, s| s.recycle_trigger(trigger));
-                ctx.advance(self.params.py_wake);
+                self.py_overhead(ctx, self.params.py_wake, 2);
                 size
             }
             ChanPayload::Inline { bytes, size } => {
-                ctx.advance(self.params.pickle_cost(size) + self.params.py_wake);
+                let dur = self.params.pickle_cost(size) + self.params.py_wake;
+                self.py_overhead(ctx, dur, 2);
                 if let Some(b) = bytes {
                     let n = (buf.len as usize).min(b.len());
                     ctx.with_world(move |w, _| {
@@ -444,10 +459,11 @@ impl PyProc {
 
     /// `channel.recv()` of a pickled host object.
     pub fn recv_host(&mut self, ctx: &mut MCtx, ch: Channel) -> Option<Vec<u8>> {
-        ctx.advance(self.params.py_recv);
+        self.py_overhead(ctx, self.params.py_recv, 1);
         match self.pop_inbox(ctx, ch.peer) {
             ChanPayload::Inline { bytes, size } => {
-                ctx.advance(self.params.pickle_cost(size) + self.params.py_wake);
+                let dur = self.params.pickle_cost(size) + self.params.py_wake;
+                self.py_overhead(ctx, dur, 2);
                 bytes
             }
             ChanPayload::ZeroCopy { .. } => {
@@ -496,7 +512,8 @@ impl PyProc {
     /// `charm.lib.CudaDtoH` / `CudaHtoD`: async copy issued from Python.
     pub fn cuda_copy(&mut self, ctx: &mut MCtx, src: MemRef, dst: MemRef, stream: StreamId) {
         let launch = ctx.with_world_ref(|w, _| w.gpu.params.copy_launch);
-        ctx.advance(self.params.py_cuda_call + launch);
+        self.py_overhead(ctx, self.params.py_cuda_call, 3);
+        ctx.advance(launch);
         ctx.with_world(move |w, s| {
             copy_async(w, s, src, dst, stream, None);
         });
@@ -505,7 +522,7 @@ impl PyProc {
     /// `charm.lib.CudaStreamSynchronize` from Python.
     pub fn cuda_stream_sync(&mut self, ctx: &mut MCtx, stream: StreamId) {
         let sync_cost = ctx.with_world_ref(|w, _| w.gpu.params.sync_overhead);
-        ctx.advance(self.params.py_cuda_call);
+        self.py_overhead(ctx, self.params.py_cuda_call, 3);
         let t = ctx.with_world(move |w, s| stream_sync_trigger(w, s, stream));
         ctx.wait(t);
         ctx.with_world(move |_, s| s.recycle_trigger(t));

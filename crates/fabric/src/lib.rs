@@ -5,6 +5,7 @@
 //! contention). Intra-node links (NVLink, X-Bus, CPU-GPU) live in
 //! [`rucx_gpu`]; this crate covers everything that crosses node boundaries.
 
+pub mod metrics;
 pub mod net;
 pub mod topology;
 

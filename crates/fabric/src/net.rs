@@ -173,10 +173,16 @@ where
     net.rx_busy[rx_port] = arrival;
     net.bytes_sent += size;
     net.messages_sent += 1;
-    net.counters.bump(match kind {
-        WireKind::Host => "net.msg.host",
-        WireKind::Gdr => "net.msg.gdr",
-    });
+    net.counters.bump(crate::metrics::msg(kind));
+    // Link occupancy span: the window this message holds the TX port.
+    s.trace_span(
+        "fabric.link.busy",
+        tx_start,
+        tx_end,
+        src_node as u32,
+        tx_port as u64,
+        size,
+    );
     s.schedule_at(arrival, done);
     arrival
 }
@@ -227,8 +233,9 @@ mod tests {
                 1 << 20,
                 WireKind::Host,
                 move |w, s| {
+                    const ARRIVED: rucx_sim::Metric = rucx_sim::Metric::counter("arrived");
                     assert_eq!(s.now(), expected);
-                    w.net().counters.bump("arrived");
+                    w.net().counters.bump(ARRIVED);
                 },
             );
         });

@@ -16,6 +16,7 @@
 
 pub mod device;
 pub mod mem;
+pub mod metrics;
 pub mod ops;
 pub mod subsystem;
 

@@ -1,0 +1,30 @@
+//! GPU-layer metrics registry: every counter the GPU model emits, declared
+//! once as typed [`Metric`] handles (ad-hoc string literals at call sites
+//! are rejected by `scripts/check.sh`).
+
+use rucx_sim::Metric;
+
+use crate::device::CopyPath;
+
+/// Kernel launches completed.
+pub const KERNEL: Metric = Metric::counter("gpu.kernel");
+
+/// Copies by resolved intra-node path.
+pub const COPY_ON_DEVICE: Metric = Metric::counter("gpu.copy.on_device");
+pub const COPY_NVLINK: Metric = Metric::counter("gpu.copy.nvlink");
+pub const COPY_XBUS: Metric = Metric::counter("gpu.copy.xbus");
+pub const COPY_HOST_PINNED: Metric = Metric::counter("gpu.copy.host_pinned");
+pub const COPY_HOST_PAGEABLE: Metric = Metric::counter("gpu.copy.host_pageable");
+pub const COPY_HOST_MEM: Metric = Metric::counter("gpu.copy.host_mem");
+
+/// The copy counter for a resolved path.
+pub const fn copy_path(path: CopyPath) -> Metric {
+    match path {
+        CopyPath::OnDevice => COPY_ON_DEVICE,
+        CopyPath::NvLink => COPY_NVLINK,
+        CopyPath::XBus => COPY_XBUS,
+        CopyPath::HostPinnedLink => COPY_HOST_PINNED,
+        CopyPath::HostPageableLink => COPY_HOST_PAGEABLE,
+        CopyPath::HostMem => COPY_HOST_MEM,
+    }
+}

@@ -103,7 +103,7 @@ pub fn copy_async<W: HasGpu>(
         };
         gpu.set_port_busy(*p, busy_until);
     }
-    gpu.counters.bump(path_counter(path));
+    gpu.counters.bump(crate::metrics::copy_path(path));
 
     s.schedule_at(end, move |w, s| {
         w.gpu()
@@ -115,17 +115,6 @@ pub fn copy_async<W: HasGpu>(
         }
     });
     end
-}
-
-fn path_counter(path: CopyPath) -> &'static str {
-    match path {
-        CopyPath::OnDevice => "gpu.copy.on_device",
-        CopyPath::NvLink => "gpu.copy.nvlink",
-        CopyPath::XBus => "gpu.copy.xbus",
-        CopyPath::HostPinnedLink => "gpu.copy.host_pinned",
-        CopyPath::HostPageableLink => "gpu.copy.host_pageable",
-        CopyPath::HostMem => "gpu.copy.host_mem",
-    }
 }
 
 /// Link-port identifiers used for contention accounting.
@@ -149,7 +138,7 @@ pub fn kernel_async<W: HasGpu>(
     let start = now.max(gpu.stream_busy(stream));
     let end = start + cost.duration(&gpu.params);
     gpu.set_stream_busy(stream, end);
-    gpu.counters.bump("gpu.kernel");
+    gpu.counters.bump(crate::metrics::KERNEL);
     if let Some(t) = done {
         s.schedule_at(end, move |_, s| s.fire(t));
     }

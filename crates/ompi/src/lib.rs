@@ -20,6 +20,11 @@ use rucx_ucp::{
 pub const ANY_SOURCE: i32 = -1;
 /// MPI wildcard tag.
 pub const ANY_TAG: i32 = -1;
+/// Receive completed normally.
+pub const MPI_SUCCESS: i32 = 0;
+/// The message was longer than the posted receive buffer; only the
+/// buffer-sized prefix was delivered.
+pub const MPI_ERR_TRUNCATE: i32 = 15;
 
 /// Tag layout: | comm:8 | src_rank:24 | user tag:32 |.
 const SRC_SHIFT: u32 = 32;
@@ -58,7 +63,12 @@ fn decode_tag(tag: Tag) -> i32 {
 pub struct Status {
     pub src: i32,
     pub tag: i32,
+    /// Wire size of the matched message (may exceed the receive buffer —
+    /// see `error`).
     pub size: u64,
+    /// [`MPI_SUCCESS`], or [`MPI_ERR_TRUNCATE`] when the message was
+    /// longer than the posted buffer.
+    pub error: i32,
 }
 
 /// A non-blocking request: the trigger plus, for receives, a status slot.
@@ -180,6 +190,11 @@ impl OmpiRank {
                         src: decode_src(info.tag),
                         tag: decode_tag(info.tag),
                         size: info.size,
+                        error: if info.truncated {
+                            MPI_ERR_TRUNCATE
+                        } else {
+                            MPI_SUCCESS
+                        },
                     });
                     s.fire(trig);
                 })),
@@ -472,5 +487,35 @@ mod tests {
             sim.world().ucp.counters.get("ucp.rndv.pipeline"),
             2 * window as u64
         );
+    }
+
+    #[test]
+    fn truncation_is_reported_not_silent() {
+        let mut sim = sim(1);
+        let node = sim.world().topo.node_of(0);
+        let send = sim.world_mut().gpu.pool.alloc_host(node, 64, true, true);
+        let node1 = sim.world().topo.node_of(1);
+        let small = sim.world_mut().gpu.pool.alloc_host(node1, 32, true, true);
+        let exact = sim.world_mut().gpu.pool.alloc_host(node1, 64, true, true);
+        sim.world_mut().gpu.pool.write(send, &[0xCD; 64]).unwrap();
+        launch(&mut sim, move |mpi, ctx| match mpi.rank() {
+            0 => {
+                mpi.send(ctx, send, 1, 1);
+                mpi.send(ctx, send, 1, 2);
+            }
+            1 => {
+                let st = mpi.recv(ctx, small, 0, 1);
+                assert_eq!(st.error, MPI_ERR_TRUNCATE);
+                assert_eq!(st.size, 64, "status reports the wire size");
+                let st = mpi.recv(ctx, exact, 0, 2);
+                assert_eq!(st.error, MPI_SUCCESS);
+            }
+            _ => {}
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        // Only the buffer-sized prefix was delivered.
+        let got = sim.world().gpu.pool.read(small).unwrap();
+        assert_eq!(got, vec![0xCD; 32]);
+        assert_eq!(sim.world().ucp.counters.get("ucp.truncated"), 1);
     }
 }

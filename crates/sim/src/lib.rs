@@ -44,11 +44,13 @@ pub mod sched;
 pub mod sim;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use pool::ProcessPool;
 pub use process::ProcCtx;
 pub use rng::SimRng;
 pub use sched::{Notify, ProcId, Scheduler, Trigger};
 pub use sim::{RunOutcome, SimConfig, Simulation};
-pub use stats::{Counters, DurationStats};
+pub use stats::{Counters, DurationStats, Metric, MetricKind};
 pub use time::{Duration, Time};
+pub use trace::{Phase, TraceEvent, TraceSink};

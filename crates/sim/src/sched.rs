@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 
 use crate::process::ProcCtx;
 use crate::time::{Duration, Time};
+use crate::trace::TraceSink;
 
 /// Identifier of a simulated process (index into the process table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -120,8 +121,9 @@ pub struct Scheduler<W> {
     pub(crate) runnable: VecDeque<ProcId>,
     pub(crate) pending_spawns: Vec<PendingSpawn<W>>,
     stopped: bool,
-    /// Optional trace sink for debugging model behaviour.
-    trace: Option<Box<dyn FnMut(Time, &str) + Send>>,
+    /// Structured trace sink (see [`crate::trace`]): ring-buffered typed
+    /// events stamped with virtual time, disabled (and free) by default.
+    pub trace: TraceSink,
 }
 
 impl<W> Default for Scheduler<W> {
@@ -143,7 +145,7 @@ impl<W> Scheduler<W> {
             runnable: VecDeque::new(),
             pending_spawns: Vec::new(),
             stopped: false,
-            trace: None,
+            trace: TraceSink::new(),
         }
     }
 
@@ -171,23 +173,45 @@ impl<W> Scheduler<W> {
         self.stopped = false;
     }
 
-    /// Install a trace sink receiving `(time, message)` lines.
-    pub fn set_trace(&mut self, f: impl FnMut(Time, &str) + Send + 'static) {
-        self.trace = Some(Box::new(f));
+    /// True if structured tracing is enabled (lets hot paths skip building
+    /// event arguments).
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.trace.enabled()
     }
 
-    /// Emit a trace line if a sink is installed.
+    /// Record a trace instant at the current virtual time.
     #[inline]
-    pub fn trace(&mut self, msg: &str) {
-        if let Some(t) = &mut self.trace {
-            t(self.now, msg);
+    pub fn trace_instant(&mut self, name: &'static str, pe: u32, id: u64, arg: u64) {
+        if self.trace.enabled() {
+            self.trace.instant(name, self.now, pe, id, arg);
         }
     }
 
-    /// True if tracing is enabled (lets hot paths skip building messages).
+    /// Record a trace span `[start, end]` (virtual times).
     #[inline]
-    pub fn tracing(&self) -> bool {
-        self.trace.is_some()
+    pub fn trace_span(
+        &mut self,
+        name: &'static str,
+        start: Time,
+        end: Time,
+        pe: u32,
+        id: u64,
+        arg: u64,
+    ) {
+        if self.trace.enabled() {
+            self.trace.span(name, start, end, pe, id, arg);
+        }
+    }
+
+    /// Record a trace span starting at the current time and lasting `dur` —
+    /// the shape protocol code uses when it schedules work `dur` ahead.
+    #[inline]
+    pub fn trace_span_in(&mut self, name: &'static str, dur: Duration, pe: u32, id: u64, arg: u64) {
+        if self.trace.enabled() {
+            self.trace
+                .span(name, self.now, self.now.saturating_add(dur), pe, id, arg);
+        }
     }
 
     /// Schedule `f` to run on the world at absolute time `t` (clamped to the

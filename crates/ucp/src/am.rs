@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use rucx_gpu::MemKind;
 
 use crate::machine::{Machine, RtsState, SendPayload};
+use crate::metrics as m;
 use crate::proto::{deliver_am_wire, SendBuf};
 use crate::worker::{Completion, MSched};
 
@@ -113,7 +114,7 @@ pub fn am_send_nb(
     match payload {
         None => {
             let wire = header.len() as u64 + 16;
-            w.ucp.counters.bump("ucp.am.header_only");
+            w.ucp.counters.bump(m::AM_HEADER_ONLY);
             deliver_am_wire(w, s, src, dst, id, header, AmWire::None, wire, proto, done);
         }
         Some(buf) => {
@@ -147,7 +148,7 @@ pub fn am_send_nb(
                     SendBuf::Phantom { .. } => None,
                 };
                 let wire = header.len() as u64 + size + 16;
-                w.ucp.counters.bump("ucp.am.eager");
+                w.ucp.counters.bump(m::AM_EAGER);
                 deliver_am_wire(
                     w,
                     s,
@@ -180,7 +181,7 @@ pub fn am_send_nb(
                     },
                 );
                 let wire = header.len() as u64 + w.ucp.config.rts_size;
-                w.ucp.counters.bump("ucp.am.rndv");
+                w.ucp.counters.bump(m::AM_RNDV);
                 deliver_am_wire(
                     w,
                     s,

@@ -13,6 +13,7 @@
 pub mod am;
 pub mod config;
 pub mod machine;
+pub mod metrics;
 pub mod proto;
 pub mod tag;
 pub mod worker;
@@ -348,6 +349,123 @@ mod tests {
         assert_eq!(sim.run(), RunOutcome::Completed);
         assert_eq!(got.lock().take().unwrap(), big);
         assert_eq!(sim.world().ucp.inflight_rndv(), 0);
+    }
+
+    #[test]
+    fn eager_truncation_surfaces_on_status_and_preserves_prefix() {
+        let mut sim = sim2nodes();
+        let a = alloc_host(&mut sim, 0, 64);
+        let b = alloc_host(&mut sim, 0, 32);
+        let data = pattern(64, 5);
+        sim.world_mut().gpu.pool.write(a, &data).unwrap();
+        sim.spawn("sender", 0, move |ctx| {
+            blocking::send(ctx, 0, 1, SendBuf::Mem(a), 3);
+        });
+        sim.spawn("receiver", 0, move |ctx| {
+            let info = blocking::recv(ctx, 1, b, 3, MASK_FULL);
+            // The status reports the wire size and flags the truncation.
+            assert_eq!(info.size, 64);
+            assert!(info.truncated, "eager overflow must not silently succeed");
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(sim.world().gpu.pool.read(b).unwrap(), data[..32]);
+        assert_eq!(sim.world().ucp.counters.get("ucp.truncated"), 1);
+    }
+
+    #[test]
+    fn rndv_truncation_surfaces_on_status() {
+        let mut sim = sim2nodes();
+        let size = 1u64 << 20;
+        let a = alloc_host(&mut sim, 0, size);
+        let b = alloc_host(&mut sim, 1, size / 2);
+        let data = pattern(size as usize, 11);
+        sim.world_mut().gpu.pool.write(a, &data).unwrap();
+        sim.spawn("sender", 0, move |ctx| {
+            blocking::send(ctx, 0, 6, SendBuf::Mem(a), 4);
+        });
+        sim.spawn("receiver", 0, move |ctx| {
+            let info = blocking::recv(ctx, 6, b, 4, MASK_FULL);
+            assert_eq!(info.size, size);
+            assert!(info.truncated, "rndv overflow must not silently succeed");
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(
+            sim.world().gpu.pool.read(b).unwrap(),
+            data[..size as usize / 2]
+        );
+        assert_eq!(sim.world().ucp.counters.get("ucp.truncated"), 1);
+    }
+
+    #[test]
+    fn pipeline_truncation_surfaces_on_status() {
+        // Inter-node device-device rendezvous takes the pipelined path;
+        // a short receive buffer must still flag truncation.
+        let mut sim = sim2nodes();
+        let size = 4u64 << 20;
+        let a = alloc_dev(&mut sim, 0, size);
+        let b = alloc_dev(&mut sim, 6, size / 4);
+        let data = pattern(size as usize, 13);
+        sim.world_mut().gpu.pool.write(a, &data).unwrap();
+        sim.spawn("sender", 0, move |ctx| {
+            blocking::send(ctx, 0, 6, SendBuf::Mem(a), 8);
+        });
+        sim.spawn("receiver", 0, move |ctx| {
+            let info = blocking::recv(ctx, 6, b, 8, MASK_FULL);
+            assert_eq!(info.size, size);
+            assert!(info.truncated);
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(sim.world().ucp.counters.get("ucp.rndv.pipeline"), 1);
+        assert_eq!(sim.world().ucp.counters.get("ucp.truncated"), 1);
+    }
+
+    #[test]
+    fn exact_fit_is_not_truncated() {
+        let mut sim = sim2nodes();
+        let a = alloc_host(&mut sim, 0, 64);
+        let b = alloc_host(&mut sim, 0, 64);
+        sim.world_mut().gpu.pool.write(a, &[1u8; 64]).unwrap();
+        sim.spawn("sender", 0, move |ctx| {
+            blocking::send(ctx, 0, 1, SendBuf::Mem(a), 3);
+        });
+        sim.spawn("receiver", 0, move |ctx| {
+            let info = blocking::recv(ctx, 1, b, 3, MASK_FULL);
+            assert!(!info.truncated);
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(sim.world().ucp.counters.get("ucp.truncated"), 0);
+    }
+
+    #[test]
+    fn prop_truncation_iff_wire_exceeds_buffer() {
+        // Across protocols (eager vs rendezvous is a function of size) and
+        // arbitrary send/recv sizes: `truncated` on the completed request
+        // is exactly `wire_size > recv_buf.len`, and the delivered prefix
+        // is always intact.
+        rucx_compat::check::check_with("ucp.truncation_iff_overflow", 16, |g| {
+            let send = g.u64(1..128 * 1024);
+            let recv = g.u64(1..128 * 1024);
+            let mut sim = sim2nodes();
+            let a = alloc_host(&mut sim, 0, send);
+            let b = alloc_host(&mut sim, 1, recv);
+            let data = pattern(send as usize, g.any_u8());
+            sim.world_mut().gpu.pool.write(a, &data).unwrap();
+            sim.spawn("sender", 0, move |ctx| {
+                blocking::send(ctx, 0, 6, SendBuf::Mem(a), 1);
+            });
+            sim.spawn("receiver", 0, move |ctx| {
+                let info = blocking::recv(ctx, 6, b, 1, MASK_FULL);
+                assert_eq!(info.size, send);
+                assert_eq!(info.truncated, send > recv);
+            });
+            assert_eq!(sim.run(), RunOutcome::Completed);
+            let n = send.min(recv) as usize;
+            assert_eq!(
+                sim.world().gpu.pool.read(b).unwrap()[..n],
+                data[..n],
+                "delivered prefix must be intact (send={send} recv={recv})"
+            );
+        });
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! UCP-layer metrics registry: every counter the protocol layer emits,
+//! declared once as typed [`Metric`] handles. Call sites pass these
+//! handles; ad-hoc string literals are rejected by `scripts/check.sh`.
+//! Names are the stable external identity (tests and JSON read by name).
+
+use rucx_sim::Metric;
+
+// ---- Protocol selection --------------------------------------------------
+
+/// Eager sends (host shm/IB or GDRCopy bounce).
+pub const EAGER: Metric = Metric::counter("ucp.eager");
+/// Rendezvous sends (RTS issued).
+pub const RNDV: Metric = Metric::counter("ucp.rndv");
+/// Arrivals with no matching posted receive.
+pub const UNEXPECTED: Metric = Metric::counter("ucp.unexpected");
+/// Receives that matched a message larger than the posted buffer.
+pub const TRUNCATED: Metric = Metric::counter("ucp.truncated");
+
+// ---- Eager device staging ------------------------------------------------
+
+pub const EAGER_GDRCOPY_READ: Metric = Metric::counter("ucp.eager.gdrcopy_read");
+pub const EAGER_GDRCOPY_WRITE: Metric = Metric::counter("ucp.eager.gdrcopy_write");
+
+// ---- Rendezvous data paths -----------------------------------------------
+
+/// CUDA-IPC peer-to-peer DMA (intra-node device-device).
+pub const RNDV_IPC: Metric = Metric::counter("ucp.rndv.ipc");
+/// Staged CPU-GPU leg + shm handoff (intra-node mixed pairs).
+pub const RNDV_STAGED_INTRA: Metric = Metric::counter("ucp.rndv.staged_intra");
+/// CMA host-host single copy (intra-node).
+pub const RNDV_CMA: Metric = Metric::counter("ucp.rndv.cma");
+/// Direct GPUDirect-RDMA get (inter-node device-device).
+pub const RNDV_GDR_DIRECT: Metric = Metric::counter("ucp.rndv.gdr_direct");
+/// One staged host leg + RDMA (inter-node mixed pairs).
+pub const RNDV_STAGED_INTER: Metric = Metric::counter("ucp.rndv.staged_inter");
+/// Zero-copy RDMA get (inter-node host-host).
+pub const RNDV_RDMA: Metric = Metric::counter("ucp.rndv.rdma");
+/// Pipelined host-staging transfers (inter-node device-device).
+pub const RNDV_PIPELINE: Metric = Metric::counter("ucp.rndv.pipeline");
+/// Chunks issued by the pipelined path.
+pub const PIPELINE_CHUNKS: Metric = Metric::counter("ucp.pipeline_chunks");
+
+// ---- Active messages -----------------------------------------------------
+
+pub const AM_HEADER_ONLY: Metric = Metric::counter("ucp.am.header_only");
+pub const AM_EAGER: Metric = Metric::counter("ucp.am.eager");
+pub const AM_RNDV: Metric = Metric::counter("ucp.am.rndv");

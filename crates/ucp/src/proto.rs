@@ -20,6 +20,7 @@ use rucx_gpu::{CopyPath, MemKind, MemRef};
 use rucx_sim::time::Duration;
 
 use crate::machine::{Machine, RtsState, SendPayload};
+use crate::metrics as m;
 use crate::tag::{Tag, TagMask};
 use crate::worker::{
     ArrivedBody, ArrivedMsg, Completion, ExpectedRecv, MSched, RecvCompletion, RecvInfo,
@@ -278,7 +279,7 @@ pub fn tag_send_nb(
         // Sender-side staging: GDRCopy read for device payloads.
         let local_delay = cfg_proto
             + if kind.is_device() {
-                w.ucp.counters.bump("ucp.eager.gdrcopy_read");
+                w.ucp.counters.bump(m::EAGER_GDRCOPY_READ);
                 w.ucp.config.gdrcopy_cost(size)
             } else {
                 0
@@ -294,7 +295,7 @@ pub fn tag_send_nb(
             SendBuf::Inline { bytes, .. } => Some(bytes.clone()),
             SendBuf::Phantom { .. } => None,
         };
-        w.ucp.counters.bump("ucp.eager");
+        w.ucp.counters.bump(m::EAGER);
         send_wire(
             w,
             s,
@@ -328,7 +329,8 @@ pub fn tag_send_nb(
                 sender_done: done,
             },
         );
-        w.ucp.counters.bump("ucp.rndv");
+        w.ucp.counters.bump(m::RNDV);
+        s.trace_instant("ucp.rndv.rts", src as u32, rts_id, size);
         let rts_size = w.ucp.config.rts_size;
         send_wire(
             w,
@@ -353,7 +355,7 @@ fn deliver(w: &mut Machine, s: &mut MSched, dst: usize, msg: ArrivedMsg) {
     } else {
         worker.unexpected.push_back(msg);
         let n = worker.notify;
-        w.ucp.counters.bump("ucp.unexpected");
+        w.ucp.counters.bump(m::UNEXPECTED);
         s.notify(n);
     }
 }
@@ -370,16 +372,26 @@ fn process_match(
         ArrivedBody::Eager { bytes, wire_size } => {
             let dst_kind = w.gpu.pool.kind(exp.buf.id).expect("recv into bad handle");
             let delay = if dst_kind.is_device() {
-                w.ucp.counters.bump("ucp.eager.gdrcopy_write");
+                w.ucp.counters.bump(m::EAGER_GDRCOPY_WRITE);
                 w.ucp.config.gdrcopy_cost(wire_size)
             } else {
                 w.ucp.config.eager_copy_cost(wire_size)
             };
+            // The message is larger than the posted buffer: deliver the
+            // prefix (the wire already carried the full payload) but flag
+            // the truncation so the request surfaces an error status
+            // instead of silently succeeding.
+            let truncated = wire_size > exp.buf.len;
+            if truncated {
+                w.ucp.counters.bump(m::TRUNCATED);
+            }
             let info = RecvInfo {
                 src: msg.src,
                 tag: msg.tag,
                 size: wire_size,
+                truncated,
             };
+            s.trace_span_in("ucp.eager", delay, dst_proc as u32, 0, wire_size);
             let buf = exp.buf;
             let done = exp.done;
             s.schedule_in(delay, move |w, s| {
@@ -515,11 +527,20 @@ fn start_fetch(
         .expect("rendezvous fetched twice or never announced");
     let src_proc = rts.src_proc;
     let size = rts.wire_size;
+    let truncated = match &dst {
+        FetchDst::Mem(r) => size > r.len,
+        FetchDst::Bytes => false,
+    };
+    if truncated {
+        w.ucp.counters.bump(m::TRUNCATED);
+    }
     let info = RecvInfo {
         src: src_proc,
         tag,
         size,
+        truncated,
     };
+    s.trace_instant("ucp.rndv.cts", recv_proc as u32, rts_id, size);
     let src_kind = match &rts.payload {
         SendPayload::Mem(r) => w.gpu.pool.kind(r.id).expect("rndv src freed"),
         _ => MemKind::HostPinned {
@@ -609,7 +630,7 @@ fn fetch_intra<F>(
         (MemKind::Device(sd), MemKind::Device(dd)) => {
             // CUDA IPC: receiver-driven peer-to-peer DMA on the receiver's
             // UCX-internal stream, contending on device ports / X-Bus.
-            w.ucp.counters.bump("ucp.rndv.ipc");
+            w.ucp.counters.bump(m::RNDV_IPC);
             let stream = w.ucp.ucx_streams[recv_proc];
             let path = if sd == dd {
                 CopyPath::OnDevice
@@ -625,13 +646,13 @@ fn fetch_intra<F>(
         (MemKind::Device(_), _) | (_, MemKind::Device(_)) => {
             // One staged leg over the CPU-GPU link plus the shm handoff.
             let leg = w.gpu.params.wire_time(CopyPath::HostPinnedLink, size);
-            w.ucp.counters.bump("ucp.rndv.staged_intra");
+            w.ucp.counters.bump(m::RNDV_STAGED_INTRA);
             let end = shm_occupy(w, src_proc, recv_proc, s.now(), size) + leg;
             s.schedule_at(end, finalize);
         }
         _ => {
             // Host-to-host: CMA single copy (serial per pair).
-            w.ucp.counters.bump("ucp.rndv.cma");
+            w.ucp.counters.bump(m::RNDV_CMA);
             let end = shm_occupy(w, src_proc, recv_proc, s.now(), size);
             s.schedule_at(end, finalize);
         }
@@ -657,7 +678,7 @@ fn fetch_inter<F>(
     match (src_kind.is_device(), dst_kind.is_device()) {
         (true, true) => {
             if w.ucp.config.direct_gdr_rndv {
-                w.ucp.counters.bump("ucp.rndv.gdr_direct");
+                w.ucp.counters.bump(m::RNDV_GDR_DIRECT);
                 net_transfer(w, s, src_port, dst_port, size, WireKind::Gdr, finalize);
             } else {
                 pipeline_fetch(w, s, src_proc, recv_proc, size, finalize);
@@ -666,14 +687,14 @@ fn fetch_inter<F>(
         (true, false) => {
             // D2H on the sender, then RDMA.
             let leg = w.gpu.params.wire_time(CopyPath::HostPinnedLink, size);
-            w.ucp.counters.bump("ucp.rndv.staged_inter");
+            w.ucp.counters.bump(m::RNDV_STAGED_INTER);
             s.schedule_in(leg, move |w, s| {
                 let _ = net_transfer(w, s, src_port, dst_port, size, WireKind::Host, finalize);
             });
         }
         (false, true) => {
             // RDMA, then H2D on the receiver.
-            w.ucp.counters.bump("ucp.rndv.staged_inter");
+            w.ucp.counters.bump(m::RNDV_STAGED_INTER);
             let leg = w.gpu.params.wire_time(CopyPath::HostPinnedLink, size);
             net_transfer(
                 w,
@@ -690,7 +711,7 @@ fn fetch_inter<F>(
         }
         (false, false) => {
             // Zero-copy RDMA get.
-            w.ucp.counters.bump("ucp.rndv.rdma");
+            w.ucp.counters.bump(m::RNDV_RDMA);
             net_transfer(w, s, src_port, dst_port, size, WireKind::Host, finalize);
         }
     }
@@ -711,8 +732,8 @@ fn pipeline_fetch<F>(
 {
     let chunk = w.ucp.config.pipeline_chunk.max(1);
     let nchunks = size.div_ceil(chunk);
-    w.ucp.counters.add("ucp.pipeline_chunks", nchunks);
-    w.ucp.counters.bump("ucp.rndv.pipeline");
+    w.ucp.counters.add(m::PIPELINE_CHUNKS, nchunks);
+    w.ucp.counters.bump(m::RNDV_PIPELINE);
     let src_port = (w.topo.node_of(src_proc), rail(w, src_proc));
     let dst_port = (w.topo.node_of(recv_proc), rail(w, recv_proc));
     let src_dev = w.topo.device_of(src_proc);
@@ -731,6 +752,15 @@ fn pipeline_fetch<F>(
         let path = CopyPath::HostPinnedLink;
         let dur = w.gpu.params.wire_time(path, len);
         let d2h_end = rucx_gpu::ops::occupy_egress(w, s, src_dev, src_stream, dur);
+        // The sender-side D2H staging window of this chunk.
+        s.trace_span(
+            "ucp.pipeline.chunk",
+            d2h_end.saturating_sub(dur),
+            d2h_end,
+            src_proc as u32,
+            i,
+            len,
+        );
         let remaining = remaining.clone();
         let finalize = finalize.clone();
         s.schedule_at(d2h_end, move |w, s| {

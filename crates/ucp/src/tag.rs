@@ -49,4 +49,50 @@ mod tests {
             0x4000_0000_0000_0000
         ));
     }
+
+    #[test]
+    fn prop_full_mask_is_equality() {
+        rucx_compat::check::check("tag.full_mask_is_equality", |g| {
+            let want = g.any_u64();
+            let arrived = if g.bool() { want } else { g.any_u64() };
+            assert_eq!(tag_matches(want, MASK_FULL, arrived), want == arrived);
+        });
+    }
+
+    #[test]
+    fn prop_zero_mask_is_wildcard() {
+        rucx_compat::check::check("tag.zero_mask_is_wildcard", |g| {
+            assert!(tag_matches(g.any_u64(), MASK_NONE, g.any_u64()));
+        });
+    }
+
+    #[test]
+    fn prop_unmasked_bits_never_affect_match() {
+        // Flipping bits outside the mask — on either side — cannot change
+        // the outcome: wildcard (ANY_SOURCE/ANY_TAG style) fields live in
+        // the unmasked bits.
+        rucx_compat::check::check("tag.unmasked_bits_ignored", |g| {
+            let want = g.any_u64();
+            let mask = g.any_u64();
+            let arrived = g.any_u64();
+            let flip_w = g.any_u64() & !mask;
+            let flip_a = g.any_u64() & !mask;
+            assert_eq!(
+                tag_matches(want, mask, arrived),
+                tag_matches(want ^ flip_w, mask, arrived ^ flip_a)
+            );
+        });
+    }
+
+    #[test]
+    fn prop_agreeing_masked_bits_always_match() {
+        // Constructively: if the arrival agrees with the want on every
+        // masked bit, it matches no matter what the free bits hold.
+        rucx_compat::check::check("tag.agreeing_masked_bits_match", |g| {
+            let want = g.any_u64();
+            let mask = g.any_u64();
+            let arrived = (want & mask) | (g.any_u64() & !mask);
+            assert!(tag_matches(want, mask, arrived));
+        });
+    }
 }

@@ -33,6 +33,10 @@ pub struct RecvInfo {
     pub tag: Tag,
     /// Wire size of the message in bytes.
     pub size: u64,
+    /// The message was larger than the posted receive buffer: only the
+    /// buffer-sized prefix was delivered. Runtimes map this to an
+    /// `MPI_ERR_TRUNCATE`-style error instead of silently succeeding.
+    pub truncated: bool,
 }
 
 /// Completion action for receives.

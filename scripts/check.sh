@@ -41,6 +41,25 @@ fi
 echo "ok: no registry dependencies"
 
 # ---------------------------------------------------------------------------
+# Gate: no stringly-typed metric call sites.
+#
+# Counter names live as `Metric` constants in per-crate `metrics.rs`
+# registries (plus the engine's own stats module); call sites must go
+# through those constants. A string literal fed straight into
+# `.add("...")` / `.bump("...")` / `.set("...")` forks the namespace and
+# dodges both the registry and the trace attribution table.
+# ---------------------------------------------------------------------------
+echo "== typed-metrics gate =="
+bad=$(grep -rnE '\.(add|bump|set)\("' crates/*/src --include='*.rs' \
+    | grep -v '/metrics\.rs:' | grep -v '/stats\.rs:' || true)
+if [ -n "$bad" ]; then
+    echo "stringly-typed metric call site detected (use the metrics registry):"
+    echo "$bad"
+    exit 1
+fi
+echo "ok: all metric call sites use typed registries"
+
+# ---------------------------------------------------------------------------
 # Formatting gate.
 # ---------------------------------------------------------------------------
 echo "== cargo fmt --check =="
@@ -67,5 +86,29 @@ echo "== engine bench smoke (RUCX_BENCH_ITERS=1) =="
 RUCX_BENCH_ITERS=1 RUCX_BENCH_WARMUP=0 cargo bench -q --offline -p rucx-bench --bench engine
 test -s BENCH_engine.json || { echo "FAIL: BENCH_engine.json not written"; exit 1; }
 echo "ok: engine bench smoke + BENCH_engine.json"
+
+# ---------------------------------------------------------------------------
+# Trace subsystem: the zero-cost-when-disabled claim must also hold at
+# compile time (no-default-features strips the `trace` feature), a traced
+# run must emit the Chrome JSON and attribution outputs, and identical
+# runs must emit byte-identical traces.
+# ---------------------------------------------------------------------------
+echo "== trace: no-default-features build =="
+cargo build -q --offline -p rucx-sim --no-default-features
+echo "ok: rucx-sim builds without the trace feature"
+
+echo "== trace: attribution bench smoke =="
+cargo bench -q --offline -p rucx-bench --bench trace_attribution
+for f in trace_ampi_1M.json trace_attribution.json; do
+    test -s "target/rucx-results/$f" \
+        || { echo "FAIL: $f not written"; exit 1; }
+done
+grep -q '"traceEvents"' target/rucx-results/trace_ampi_1M.json \
+    || { echo "FAIL: trace_ampi_1M.json is not a Chrome trace"; exit 1; }
+echo "ok: traced run + Chrome trace + attribution table"
+
+echo "== trace: determinism test =="
+cargo test -q --offline --test determinism trace_output_is_byte_identical
+echo "ok: byte-identical trace across same-seed runs"
 
 echo "ALL CHECKS PASSED"

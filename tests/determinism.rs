@@ -104,6 +104,63 @@ fn jacobi_figures_slice_json_is_byte_identical() {
     );
 }
 
+/// A traced run's serialized Chrome trace is a pure function of
+/// `(seed, config)`: two identical runs — full stack, mixed eager/rendezvous
+/// traffic across the fabric, trace sink enabled — must produce
+/// byte-identical JSON. This is the property that makes traces diffable:
+/// any byte that moves between two same-config runs is a real behavioural
+/// change, not serialization noise.
+#[test]
+fn trace_output_is_byte_identical_across_runs() {
+    use rucx::fabric::Topology;
+    use rucx::gpu::DeviceId;
+    use rucx::sim::RunOutcome;
+    use rucx::ucp::{build_sim, MachineConfig};
+
+    let traced_run = || {
+        let mut sim = build_sim(Topology::summit(2), MachineConfig::default());
+        sim.scheduler().trace.enable(0);
+        let a = sim
+            .world_mut()
+            .gpu
+            .pool
+            .alloc_device(DeviceId(0), 1 << 20, false)
+            .unwrap();
+        let b = sim
+            .world_mut()
+            .gpu
+            .pool
+            .alloc_device(DeviceId(6), 1 << 20, false)
+            .unwrap();
+        rucx::ampi::launch(&mut sim, move |mpi, ctx| match mpi.rank() {
+            0 => {
+                for i in 0..4 {
+                    // Small host-inline round plus a large rendezvous
+                    // round, so both protocol paths land in the trace.
+                    mpi.send(ctx, a.slice(0, 64), 6, i);
+                    mpi.send(ctx, a, 6, i);
+                }
+            }
+            6 => {
+                for i in 0..4 {
+                    mpi.recv(ctx, b.slice(0, 64), 0, i);
+                    mpi.recv(ctx, b, 0, i);
+                }
+            }
+            _ => {}
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let json = sim.scheduler().trace.to_chrome_json();
+        assert!(!sim.scheduler().trace.is_empty(), "trace recorded events");
+        json
+    };
+    assert_eq!(
+        traced_run(),
+        traced_run(),
+        "Chrome trace JSON must be byte-identical for identical runs"
+    );
+}
+
 #[test]
 fn config_changes_actually_change_results() {
     // Guard against accidentally ignoring configuration: flipping GDRCopy
