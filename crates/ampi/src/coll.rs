@@ -110,10 +110,14 @@ fn combine(ctx: &mut MCtx, mine: MemRef, other: MemRef, op: MpiOp, stream: rucx_
         if !w.gpu.pool.is_materialized(mine.id).unwrap_or(false) {
             return;
         }
+        // Invariant: both handles are the collective's own live,
+        // materialized buffers (checked just above for `mine`; `other`
+        // was just written by the transfer that completed `done`).
         let a = w.gpu.pool.read(mine).expect("combine lhs");
         let b = w.gpu.pool.read(other).expect("combine rhs");
         let mut out = Vec::with_capacity(a.len());
         for (ca, cb) in a.chunks_exact(8).zip(b.chunks_exact(8)) {
+            // Invariant: chunks_exact(8) yields exactly 8 bytes.
             let x = f64::from_le_bytes(ca.try_into().unwrap());
             let y = f64::from_le_bytes(cb.try_into().unwrap());
             let r = match op {
@@ -126,6 +130,8 @@ fn combine(ctx: &mut MCtx, mine: MemRef, other: MemRef, op: MpiOp, stream: rucx_
         let len = out.len() as u64;
         w.gpu
             .pool
+            // Invariant: `out` is at most `mine.len` bytes (element-wise
+            // combine of a read of `mine`), into a live handle.
             .write(mine.slice(0, len), &out)
             .expect("combine write");
     });

@@ -19,7 +19,9 @@ pub mod rank;
 
 pub use coll::MpiOp;
 pub use mpi::{MpiRank, Request};
-pub use msg::{AmpiMsg, AmpiPayload, Status, ANY_SOURCE, ANY_TAG, MPI_ERR_TRUNCATE, MPI_SUCCESS};
+pub use msg::{
+    AmpiMsg, AmpiPayload, Status, ANY_SOURCE, ANY_TAG, MPI_ERR_OTHER, MPI_ERR_TRUNCATE, MPI_SUCCESS,
+};
 pub use rank::{AmpiParams, RankState};
 
 use rucx_ucp::{MCtx, MSim};
@@ -380,6 +382,97 @@ mod tests {
         for &(_, t) in v.iter() {
             assert!(t >= latest_entry, "barrier exited before slowest entry");
         }
+    }
+
+    #[test]
+    fn unreachable_peer_reported_as_mpi_err_other() {
+        // A permanent inter-node partition with a small retry budget: the
+        // send's MPI_Wait completes (never hangs) and reports the failure
+        // as an MPI_ERR_OTHER status instead of succeeding silently.
+        let mut spec = rucx_fault::FaultSpec::default();
+        spec.partitions.push(rucx_fault::PartitionWindow {
+            from: 0,
+            until: u64::MAX,
+        });
+        let mut cfg = MachineConfig::default();
+        cfg.ucp.max_retries = 2;
+        cfg.fault = Some(spec);
+        let mut sim = build_sim(Topology::summit(2), cfg);
+        let a = dev_buf(&mut sim, 0, 2 << 20);
+        let got = Arc::new(rucx_compat::sync::Mutex::new(None));
+        let got2 = got.clone();
+        launch(&mut sim, move |mpi, ctx| {
+            if mpi.rank() == 0 {
+                let req = mpi.isend(ctx, a, 6, 3);
+                *got2.lock() = mpi.wait(ctx, req);
+            }
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let st = got.lock().take().expect("failed send must yield a status");
+        assert_eq!(st.error, MPI_ERR_OTHER);
+        assert_eq!(st.src, 6, "status names the unreachable peer");
+        assert_eq!(st.size, 0);
+        assert!(sim.world().ucp.counters.get("ucp.unreachable") >= 1);
+    }
+
+    #[test]
+    fn chaos_drop_run_still_delivers_correct_data() {
+        // 30% drop on every link: AMPI traffic (inline envelopes + zero-copy
+        // rendezvous) is fully recovered by the reliability layer.
+        let mut spec = rucx_fault::FaultSpec::default();
+        spec.seed = 23;
+        spec.drop_p = 0.3;
+        let mut cfg = MachineConfig::default();
+        cfg.fault = Some(spec);
+        let mut sim = build_sim(Topology::summit(2), cfg);
+        let size = 1u64 << 20;
+        let small = host_buf(&mut sim, 0, 64);
+        let big = dev_buf(&mut sim, 0, size);
+        let rb_small = host_buf(&mut sim, 1, 64);
+        let rb_big = dev_buf(&mut sim, 6, size);
+        sim.world_mut().gpu.pool.write(small, &[0x5A; 64]).unwrap();
+        let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        let d2 = data.clone();
+        sim.world_mut().gpu.pool.write(big, &d2).unwrap();
+        launch(&mut sim, move |mpi, ctx| match mpi.rank() {
+            0 => {
+                let r1 = mpi.isend(ctx, small, 6, 1);
+                assert!(mpi.wait(ctx, r1).is_none());
+                let r2 = mpi.isend(ctx, big, 6, 2);
+                assert!(mpi.wait(ctx, r2).is_none());
+            }
+            6 => {
+                assert_eq!(mpi.recv(ctx, rb_small, 0, 1).error, MPI_SUCCESS);
+                assert_eq!(mpi.recv(ctx, rb_big, 0, 2).error, MPI_SUCCESS);
+            }
+            _ => {}
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(sim.world().gpu.pool.read(rb_small).unwrap(), vec![0x5A; 64]);
+        assert_eq!(sim.world().gpu.pool.read(rb_big).unwrap(), data);
+        assert!(sim.world().ucp.counters.get("fault.drop") > 0);
+        assert_eq!(sim.world().ucp.counters.get("ucp.unreachable"), 0);
+    }
+
+    #[test]
+    fn isend_from_freed_handle_reports_mpi_err_other() {
+        // Freeing a buffer and then sending it is a caller error; the rank
+        // must survive it and report MPI_ERR_OTHER at MPI_Wait, not crash.
+        let mut sim = sim(1);
+        let a = host_buf(&mut sim, 0, 64);
+        let got = Arc::new(rucx_compat::sync::Mutex::new(None));
+        let got2 = got.clone();
+        launch(&mut sim, move |mpi, ctx| {
+            if mpi.rank() == 0 {
+                ctx.with_world(move |w, _| w.gpu.pool.free(a.id).unwrap());
+                let req = mpi.isend(ctx, a, 1, 9);
+                *got2.lock() = mpi.wait(ctx, req);
+            }
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let st = got.lock().take().expect("bad-handle send yields a status");
+        assert_eq!(st.error, MPI_ERR_OTHER);
+        assert_eq!(st.size, 0);
     }
 
     #[test]

@@ -67,6 +67,8 @@ impl MpiRank {
             col,
             None,
             Box::new(move |chare, msg: &Msg, pe, ctx| {
+                // Invariant: this collection only ever holds RankState
+                // chares (inserted a few lines below).
                 let st = chare.downcast_mut::<RankState>().expect("rank state");
                 handle_ampi_msg(st, msg, pe, ctx);
             }),
@@ -76,6 +78,7 @@ impl MpiRank {
             col,
             None,
             Box::new(move |chare, _msg, _pe, _ctx| {
+                // Invariant: same collection, same RankState-only contents.
                 let st = chare.downcast_mut::<RankState>().expect("rank state");
                 st.barrier_epoch += 1;
             }),
@@ -85,6 +88,14 @@ impl MpiRank {
             pe_index as u64,
             Box::new(RankState::new(params.clone())),
         );
+        // Reliability give-ups surface as MPI_ERR_OTHER statuses: queue
+        // them at the rank and let MPI_Wait report them.
+        let idx = pe_index as u64;
+        pe.set_default_error_handler(Box::new(move |err, pe, _ctx| {
+            pe.chare_mut::<RankState>(col, idx)
+                .comm_errors
+                .push_back(err.clone());
+        }));
         MpiRank {
             pe,
             rank: pe_index,
@@ -104,15 +115,12 @@ impl MpiRank {
         self.pe.chare_mut::<RankState>(col, idx)
     }
 
-    /// Model the GPU-pointer detection with its software cache.
-    fn detect_device(&mut self, ctx: &mut MCtx, buf: MemRef) -> bool {
-        let is_dev = ctx.with_world_ref(|w, _| {
-            w.gpu
-                .pool
-                .kind(buf.id)
-                .expect("send from bad handle")
-                .is_device()
-        });
+    /// Model the GPU-pointer detection with its software cache. `None`
+    /// when the handle is stale (freed before the send was posted).
+    fn detect_device(&mut self, ctx: &mut MCtx, buf: MemRef) -> Option<bool> {
+        let is_dev = ctx
+            .with_world_ref(|w, _| w.gpu.pool.kind(buf.id).map(|k| k.is_device()))
+            .ok()?;
         if is_dev && self.gpu_cache.contains(&buf.id.0) {
             ctx.advance(self.params.cache_hit);
         } else {
@@ -121,13 +129,24 @@ impl MpiRank {
                 self.gpu_cache.insert(buf.id.0);
             }
         }
-        is_dev
+        Some(is_dev)
     }
 
     /// `MPI_Isend`: non-blocking standard send.
     pub fn isend(&mut self, ctx: &mut MCtx, buf: MemRef, dst: usize, tag: i32) -> Request {
         ctx.advance(self.params.send_overhead);
-        let is_dev = self.detect_device(ctx, buf);
+        let Some(is_dev) = self.detect_device(ctx, buf) else {
+            // Freed-before-send is a caller error, not a crash: MPI_Wait
+            // on this request reports MPI_ERR_OTHER.
+            let me = self.rank;
+            self.state()
+                .comm_errors
+                .push_back(rucx_ucp::UcpError::InvalidHandle {
+                    op: "MPI_Isend",
+                    proc: me,
+                });
+            return Request::Send(None);
+        };
         let payload_inline = !is_dev && buf.len <= self.params.inline_max;
         let (payload, trig) = if payload_inline {
             let copy = self.params.copy_cost(buf.len);
@@ -201,6 +220,8 @@ impl MpiRank {
         let matched = {
             let st = self.state();
             st.match_unexpected(src, tag)
+                // Invariant: the index came from match_unexpected on the
+                // same queue with no intervening mutation.
                 .map(|i| st.unexpected.remove(i).expect("matched msg"))
         };
         match matched {
@@ -237,19 +258,47 @@ impl MpiRank {
     /// `MPI_Recv`: blocking receive. Returns the completion status.
     pub fn recv(&mut self, ctx: &mut MCtx, buf: MemRef, src: i32, tag: i32) -> Status {
         let req = self.irecv(ctx, buf, src, tag);
+        // Invariant: wait on a Recv request always yields a status.
         self.wait(ctx, req).expect("recv yields a status")
+    }
+
+    /// Drain one pending communication failure into an `MPI_ERR_OTHER`
+    /// status. Pulls errors still sitting at the UCP worker first (the PE
+    /// scheduler may not have stepped since the failure was recorded).
+    /// `src`/`tag` identify the failing *operation's* endpoint when known
+    /// from the error, else wildcards.
+    pub fn take_comm_error(&mut self, ctx: &mut MCtx) -> Option<Status> {
+        let me = self.rank;
+        while let Some(e) = ctx.with_world(move |w, _| w.ucp.take_worker_error(me)) {
+            self.state().comm_errors.push_back(e);
+        }
+        let err = self.state().comm_errors.pop_front()?;
+        let (src, tag) = match &err {
+            rucx_ucp::UcpError::EndpointTimeout { dst, .. } => (*dst as i32, crate::msg::ANY_TAG),
+            _ => (crate::msg::ANY_SOURCE, crate::msg::ANY_TAG),
+        };
+        Some(Status {
+            src,
+            tag,
+            size: 0,
+            error: crate::msg::MPI_ERR_OTHER,
+        })
     }
 
     /// `MPI_Wait`: block until the request completes, pumping the scheduler
     /// (the PE keeps delivering messages while this rank waits).
+    ///
+    /// A completed *send* normally yields `None`; when the reliability
+    /// layer abandoned the transfer, the failure is reported here as a
+    /// status with [`crate::msg::MPI_ERR_OTHER`].
     pub fn wait(&mut self, ctx: &mut MCtx, req: Request) -> Option<Status> {
         match req {
-            Request::Send(None) => None,
+            Request::Send(None) => self.take_comm_error(ctx),
             Request::Send(Some(t)) => {
                 self.pe
                     .pump_until(ctx, move |_, ctx| ctx.with_world_ref(|_, s| s.fired(t)));
                 ctx.with_world(move |_, s| s.recycle_trigger(t));
-                None
+                self.take_comm_error(ctx)
             }
             Request::Recv(slot) => {
                 let (col, idx) = (self.col, self.rank as u64);
@@ -259,6 +308,8 @@ impl MpiRank {
                         Some(SlotState::Pending)
                     )
                 });
+                // Invariant: irecv created the slot and nothing removes
+                // it before wait consumes it here.
                 let state = *self.state().slots.get(&slot).expect("slot");
                 let status = match state {
                     SlotState::Pending => unreachable!(),
@@ -298,6 +349,7 @@ impl MpiRank {
     ) -> Status {
         let r = self.irecv(ctx, recv_buf, src, recv_tag);
         let s = self.isend(ctx, send_buf, dst, send_tag);
+        // Invariant: wait on a Recv request always yields a status.
         let status = self.wait(ctx, r).expect("recv status");
         self.wait(ctx, s);
         status
@@ -368,6 +420,9 @@ fn deliver_inline(
         ctx.with_world(move |w, _| {
             w.gpu
                 .pool
+                // Invariant: posted-receive buffers stay owned by the rank
+                // until the matching wait, and the slice is clamped to the
+                // buffer length, so the write cannot fail.
                 .write(buf.slice(0, n as u64), &b[..n])
                 .expect("inline deliver")
         });
@@ -396,6 +451,7 @@ fn handle_ampi_msg(st: &mut RankState, msg: &Msg, pe: &mut Pe, ctx: &mut MCtx) {
     accept_msg(st, am, pe, ctx);
     // The gap closed: release consecutively-sequenced stashed envelopes.
     loop {
+        // Invariant: accept_msg above bumped next_recv_seq[src].
         let next = *st.next_recv_seq.get(&src).expect("seq just advanced");
         let Some(i) = st
             .reorder_stash

@@ -18,6 +18,10 @@ pub const MPI_SUCCESS: i32 = 0;
 /// The message was longer than the posted receive buffer; only the
 /// buffer-sized prefix was delivered.
 pub const MPI_ERR_TRUNCATE: i32 = 15;
+/// A communication operation failed: the UCP reliability layer exhausted
+/// its retransmission budget (peer unreachable) or a rendezvous could not
+/// be completed.
+pub const MPI_ERR_OTHER: i32 = 16;
 
 /// How the payload travels.
 #[derive(Debug, Clone, PartialEq, Eq)]

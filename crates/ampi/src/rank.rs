@@ -81,6 +81,10 @@ pub struct RankState {
     /// from the same source (the machine layer completes large rendezvous
     /// envelopes out of order); released once the gap closes.
     pub reorder_stash: Vec<AmpiMsg>,
+    /// Asynchronous communication failures from the UCP reliability layer
+    /// (routed here by the PE's default error handler); drained into
+    /// `MPI_ERR_OTHER` statuses by `MPI_Wait`.
+    pub comm_errors: VecDeque<rucx_ucp::UcpError>,
 }
 
 impl RankState {
@@ -93,6 +97,7 @@ impl RankState {
             barrier_epoch: 0,
             next_recv_seq: HashMap::new(),
             reorder_stash: Vec::new(),
+            comm_errors: VecDeque::new(),
         }
     }
 

@@ -68,7 +68,7 @@ fn active_message_ablation() {
                         Box::new(move |w, s, msg| match msg.payload {
                             AmPayload::Rndv { rts_id, size } => {
                                 let d3 = done2.clone();
-                                rndv_fetch(
+                                let _ = rndv_fetch(
                                     w,
                                     s,
                                     1,

@@ -24,6 +24,8 @@ fn sweep(
             ch.warmup = 1;
             cd.iters = 4;
             cd.warmup = 1;
+            ch.machine.fault = rucx_bench::fault_spec_from_env();
+            cd.machine.fault = rucx_bench::fault_spec_from_env();
             let h = run(model, &ch);
             let d = run(model, &cd);
             eprintln!(

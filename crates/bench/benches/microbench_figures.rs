@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo bench --bench microbench_figures`.
 
-use rucx_bench::{fmt_size, print_table, write_json};
+use rucx_bench::{fault_spec_from_env, fmt_size, print_table, write_json};
 use rucx_osu::{bandwidth, latency, ratio, ratio_range, Mode, Model, OsuConfig, Placement, Series};
 
 struct FigureData {
@@ -57,7 +57,8 @@ fn print_figure(name: &str, title: &str, data: &FigureData, unit: &str) {
 }
 
 fn main() {
-    let cfg = OsuConfig::default();
+    let mut cfg = OsuConfig::default();
+    cfg.machine.fault = fault_spec_from_env();
     println!(
         "rucx microbenchmark figures (sizes 1B-4MB, {} points)",
         cfg.sizes.len()

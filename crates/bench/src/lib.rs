@@ -39,6 +39,25 @@ pub fn write_text(name: &str, contents: &str) {
     println!("  [results written to {}]", path.display());
 }
 
+/// The chaos knob shared by every driver: `RUCX_FAULT_SPEC` holds a fault
+/// specification (see [`rucx_fault::FaultSpec::parse`] for the grammar,
+/// e.g. `seed=7,drop=0.01,delay=0.05:20`), parsed once per run into
+/// [`rucx_ucp::MachineConfig::fault`]. Unset means a clean machine; an
+/// unparseable spec aborts the run rather than silently benchmarking the
+/// wrong configuration.
+pub fn fault_spec_from_env() -> Option<rucx_fault::FaultSpec> {
+    let raw = std::env::var("RUCX_FAULT_SPEC").ok()?;
+    match rucx_fault::FaultSpec::parse(&raw) {
+        Ok(spec) => {
+            // Announce once, not per sweep point.
+            static ANNOUNCED: std::sync::Once = std::sync::Once::new();
+            ANNOUNCED.call_once(|| println!("  [fault injection active: RUCX_FAULT_SPEC={raw}]"));
+            Some(spec)
+        }
+        Err(e) => panic!("invalid RUCX_FAULT_SPEC {raw:?}: {e}"),
+    }
+}
+
 /// Largest node count for the Jacobi3D scaling sweeps (paper: 256).
 /// Override with `RUCX_MAX_NODES` to trade fidelity for wall-clock time.
 pub fn max_nodes() -> usize {

@@ -459,4 +459,76 @@ mod tests {
             vec![2u8; size as usize]
         );
     }
+
+    #[test]
+    fn chare_error_handler_receives_endpoint_timeout() {
+        // Permanent inter-node partition with a tiny retry budget: a device
+        // send issued from inside a chare's entry method fails, and the
+        // typed error is routed back to *that chare's* error handler via
+        // the send-context stamp.
+        let mut spec = rucx_fault::FaultSpec::default();
+        spec.partitions.push(rucx_fault::PartitionWindow {
+            from: 0,
+            until: u64::MAX,
+        });
+        let mut cfg = MachineConfig::default();
+        cfg.ucp.max_retries = 2;
+        cfg.fault = Some(spec);
+        let mut sim = build_sim(Topology::summit(2), cfg);
+        let src = sim
+            .world_mut()
+            .gpu
+            .pool
+            .alloc_device(DeviceId(0), 2 << 20, false)
+            .unwrap();
+        let errs = Arc::new(rucx_compat::sync::Mutex::new(Vec::new()));
+        let errs2 = errs.clone();
+        launch(&mut sim, move |pe, ctx| {
+            let n = pe.n_pes as u64;
+            let col = pe.register_collection(n, move |i| i as usize);
+            // ep 0: kick — chare 0 sends a device buffer to the other node.
+            let ep_kick = pe.register_ep(
+                col,
+                None,
+                Box::new(move |_chare, _msg: &Msg, pe, ctx| {
+                    pe.send(ctx, ChareRef { col, index: 6 }, 1, vec![], 0, vec![src]);
+                }),
+            );
+            // ep 1: would receive the buffer (never runs: partitioned).
+            pe.register_ep(
+                col,
+                Some(Box::new(|_, _| vec![])),
+                Box::new(|_, _, _, _| {}),
+            );
+            struct Unit;
+            for &i in pe.local_indices(col).to_vec().iter() {
+                pe.insert_chare(col, i, Box::new(Unit));
+            }
+            if pe.index != 0 {
+                return; // only PE 0 participates; no global scheduler needed
+            }
+            let e3 = errs2.clone();
+            pe.set_error_handler(
+                col,
+                0,
+                Box::new(move |_chare, err, _pe, _ctx| e3.lock().push(err.clone())),
+            );
+            // Local loopback delivery runs the kick inside entry context.
+            pe.send(ctx, ChareRef { col, index: 0 }, ep_kick, vec![], 0, vec![]);
+            let e4 = errs2.clone();
+            pe.pump_until(ctx, move |_, _| !e4.lock().is_empty());
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let got = errs.lock();
+        assert!(!got.is_empty());
+        for e in got.iter() {
+            match e {
+                rucx_ucp::UcpError::EndpointTimeout { src, dst, .. } => {
+                    assert_eq!((*src, *dst), (0, 6));
+                }
+                other => panic!("want endpoint timeout, got {other:?}"),
+            }
+        }
+        assert!(sim.world().ucp.counters.get("ucp.unreachable") >= 1);
+    }
 }

@@ -15,7 +15,7 @@ use rucx_gpu::MemRef;
 use rucx_sim::sched::Trigger;
 use rucx_ucp::{
     probe_pop, rndv_fetch, tag_recv_nb, tag_send_nb, Completion, FetchDst, MCtx, PoppedMsg,
-    RecvCompletion, SendBuf,
+    RecvCompletion, SendBuf, UcpError,
 };
 
 use crate::mltags::TagScheme;
@@ -71,6 +71,13 @@ pub struct Msg {
 pub type PostFn = Box<dyn Fn(&mut dyn Any, &Msg) -> Vec<MemRef>>;
 /// Regular entry method.
 pub type ExecFn = Box<dyn Fn(&mut dyn Any, &Msg, &mut Pe, &mut MCtx)>;
+/// Per-chare communication-error handler: invoked on the chare whose send
+/// the reliability layer gave up on (routed via the send-context stamp).
+pub type ErrorFn = Box<dyn Fn(&mut dyn Any, &UcpError, &mut Pe, &mut MCtx)>;
+/// PE-wide fallback error handler (no owning chare identified, or the chare
+/// has no handler of its own). Blocking layers built on [`Pe`] (AMPI,
+/// Charm4py) install one to map errors onto their own semantics.
+pub type DefaultErrorFn = Box<dyn Fn(&UcpError, &mut Pe, &mut MCtx)>;
 
 /// One registered entry method.
 pub struct EpEntry {
@@ -171,6 +178,38 @@ pub struct Pe {
     qd_processed: u64,
     /// Root-side state of an active quiescence detection.
     qd: Option<QdState>,
+    /// Per-chare communication-error handlers ([`Pe::set_error_handler`]).
+    error_handlers: HashMap<(u16, u64), Rc<ErrorFn>>,
+    /// PE-wide fallback error handler.
+    default_error_handler: Option<Rc<DefaultErrorFn>>,
+    /// Chare whose entry method is currently executing (stamped into
+    /// tracked sends so give-up errors route back to it).
+    current_chare: Option<(u16, u64)>,
+    /// Errors no handler claimed — kept (not dropped) so drivers and tests
+    /// can still observe them.
+    pub unhandled_errors: Vec<UcpError>,
+}
+
+/// Send-context encoding: (collection + 1) in the top 16 bits, chare index
+/// below. 0 stays "unset"; indices are assumed < 2^48 (enforced nowhere —
+/// a wrapped index merely mis-routes the error to the default handler).
+fn encode_chare_ctx(key: (u16, u64)) -> u64 {
+    ((key.0 as u64 + 1) << 48) | (key.1 & ((1u64 << 48) - 1))
+}
+
+fn decode_chare_ctx(ctx: u64) -> Option<(u16, u64)> {
+    if ctx == 0 {
+        return None;
+    }
+    Some((((ctx >> 48) - 1) as u16, ctx & ((1u64 << 48) - 1)))
+}
+
+/// Stamp the send context for the next tracked send. No-op on clean runs
+/// (the register is only consulted when faults are enabled).
+fn stamp_ctx(w: &mut rucx_ucp::Machine, sctx: u64) {
+    if sctx != 0 && w.faults.enabled() {
+        w.ucp.set_send_ctx(sctx);
+    }
 }
 
 struct QdState {
@@ -206,6 +245,10 @@ impl Pe {
             qd_created: 0,
             qd_processed: 0,
             qd: None,
+            error_handlers: HashMap::new(),
+            default_error_handler: None,
+            current_chare: None,
+            unhandled_errors: Vec::new(),
         }
     }
 
@@ -276,6 +319,18 @@ impl Pe {
         self.chares.insert((col.0, index), chare);
     }
 
+    /// Register a communication-error handler for one local chare: when a
+    /// send issued from its entry methods is abandoned by the reliability
+    /// layer, the handler runs with the chare, like an entry method would.
+    pub fn set_error_handler(&mut self, col: Collection, index: u64, f: ErrorFn) {
+        self.error_handlers.insert((col.0, index), Rc::new(f));
+    }
+
+    /// Register the PE-wide fallback communication-error handler.
+    pub fn set_default_error_handler(&mut self, f: DefaultErrorFn) {
+        self.default_error_handler = Some(Rc::new(f));
+    }
+
     /// Indices of this PE's local elements of `col`.
     pub fn local_indices(&self, col: Collection) -> &[u64] {
         &self.collections[col.0 as usize].local_indices
@@ -333,11 +388,13 @@ impl Pe {
             .chares
             .remove(&key)
             .expect("chare not present on this PE");
+        let prev = self.current_chare.replace(key);
         let r = f(
             chare.downcast_mut::<T>().expect("chare type mismatch"),
             self,
             ctx,
         );
+        self.current_chare = prev;
         self.chares.insert(key, chare);
         r
     }
@@ -477,6 +534,7 @@ impl Pe {
         let mut metas = Vec::with_capacity(ndev);
         let mut triggers = Vec::new();
         let src_pe = self.index;
+        let sctx = self.send_ctx_stamp();
         for buf in device_bufs {
             let tag = self.scheme.device_tag(src_pe, self.device_cnt);
             self.device_cnt += 1;
@@ -486,6 +544,7 @@ impl Pe {
                 user_tagged: false,
             });
             let trig = ctx.with_world(move |w, s| {
+                stamp_ctx(w, sctx);
                 if want_triggers {
                     let t = s.new_trigger();
                     tag_send_nb(
@@ -543,7 +602,9 @@ impl Pe {
             let tag = self.scheme.host_tag(src_pe);
             let wire = env.wire_size();
             let bytes = env.encode();
+            let sctx = self.send_ctx_stamp();
             ctx.with_world(move |w, s| {
+                stamp_ctx(w, sctx);
                 tag_send_nb(
                     w,
                     s,
@@ -853,7 +914,9 @@ impl Pe {
         let src_pe = self.index;
         let ucp_call = ctx.with_world_ref(|w, _| w.ucp.config.cpu_call);
         ctx.advance(self.params.device_meta_overhead + ucp_call);
+        let sctx = self.send_ctx_stamp();
         let trig = ctx.with_world(move |w, s| {
+            stamp_ctx(w, sctx);
             if want_trigger {
                 let t = s.new_trigger();
                 tag_send_nb(
@@ -914,6 +977,7 @@ impl Pe {
         ctx.advance(cost);
         let src_pe = self.index;
         let mut metas = Vec::with_capacity(ndev);
+        let sctx = self.send_ctx_stamp();
         for (buf, user_tag) in device_bufs {
             let tag = self.scheme.user_device_tag(user_tag);
             metas.push(DeviceMeta {
@@ -922,6 +986,7 @@ impl Pe {
                 user_tagged: true,
             });
             ctx.with_world(move |w, s| {
+                stamp_ctx(w, sctx);
                 tag_send_nb(
                     w,
                     s,
@@ -966,8 +1031,45 @@ impl Pe {
         })
     }
 
+    /// Send-context stamp for sends issued right now: the executing chare,
+    /// or 0 outside entry methods (driver/blocking-layer code).
+    fn send_ctx_stamp(&self) -> u64 {
+        self.current_chare.map_or(0, encode_chare_ctx)
+    }
+
+    /// Route an asynchronous communication error: per-chare handler when the
+    /// send was stamped and the chare is local, else the PE-wide default,
+    /// else keep it visible in `unhandled_errors`.
+    fn deliver_error(&mut self, ctx: &mut MCtx, err: UcpError) {
+        if let Some(key) = decode_chare_ctx(err.ctx()) {
+            if let Some(h) = self.error_handlers.get(&key).cloned() {
+                if let Some(mut chare) = self.chares.remove(&key) {
+                    let prev = self.current_chare.replace(key);
+                    h(chare.as_mut(), &err, self, ctx);
+                    self.current_chare = prev;
+                    self.chares.insert(key, chare);
+                    return;
+                }
+            }
+        }
+        if let Some(h) = self.default_error_handler.clone() {
+            h(&err, self, ctx);
+            return;
+        }
+        let me = self.index as u32;
+        ctx.with_world(move |_, s| s.trace_instant("charm.error.unhandled", me, 0, 0));
+        self.unhandled_errors.push(err);
+    }
+
     /// One scheduler step; returns whether progress was made.
     pub fn try_step(&mut self, ctx: &mut MCtx) -> bool {
+        // 0) Asynchronous communication errors from the reliability layer.
+        let me = self.index;
+        let err = ctx.with_world(move |w, _| w.ucp.take_worker_error(me));
+        if let Some(err) = err {
+            self.deliver_error(ctx, err);
+            return true;
+        }
         // 1) Device-complete entry methods ready to run?
         if let Some(i) = self.find_ready_pending(ctx) {
             let p = self.pending_device.swap_remove(i);
@@ -1003,7 +1105,10 @@ impl Pe {
                 // dispatched on a later step (the real machine layer
                 // likewise overlaps the rendezvous with scheduling).
                 ctx.with_world(move |w, s| {
-                    rndv_fetch(
+                    // A failed fetch (rendezvous retired by the reliability
+                    // layer) already queued a typed error at this PE's
+                    // worker; `try_step` surfaces it to the error handler.
+                    let _ = rndv_fetch(
                         w,
                         s,
                         me,
@@ -1011,7 +1116,9 @@ impl Pe {
                         rts_id,
                         FetchDst::Bytes,
                         RecvCompletion::Bytes(Box::new(move |w, s, bytes, info| {
-                            rucx_ucp::inject_local(w, s, me, info.src, tag, bytes, info.size);
+                            if info.size > 0 {
+                                rucx_ucp::inject_local(w, s, me, info.src, tag, bytes, info.size);
+                            }
                         })),
                     );
                 });
@@ -1191,7 +1298,9 @@ impl Pe {
             .chares
             .remove(&key)
             .unwrap_or_else(|| panic!("chare ({}, {}) not on PE {}", key.0, key.1, self.index));
+        let prev = self.current_chare.replace(key);
         (entry.exec)(chare.as_mut(), msg, self, ctx);
+        self.current_chare = prev;
         // The entry method may have migrated the chare away; only reinsert
         // if it is still ours.
         if self.collections[key.0 as usize]

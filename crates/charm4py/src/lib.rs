@@ -21,7 +21,7 @@ use std::collections::{HashMap, VecDeque};
 use rucx_charm::{marshal, ChareRef, Collection, EpId, Msg, Pe};
 use rucx_gpu::{copy_async, stream_sync_trigger, MemRef, StreamId};
 use rucx_sim::time::{transfer_time, us, Duration};
-use rucx_ucp::{MCtx, MSim};
+use rucx_ucp::{MCtx, MSim, UcpError};
 
 /// Calibration constants for the Python/Cython layers.
 #[derive(Debug, Clone)]
@@ -82,6 +82,27 @@ enum ChanPayload {
 /// pickled result (fulfilling the caller's future).
 pub type PyMethod = Box<dyn FnMut(&[u8]) -> Option<Vec<u8>>>;
 
+/// A Python-style exception raised by the communication layer (what the
+/// real Charm4py would surface as a raised exception in the coroutine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PyExceptionRecord {
+    /// Python exception class, e.g. `"TimeoutError"`.
+    pub exc_type: &'static str,
+    /// `str(exc)` — the human-readable failure description.
+    pub message: String,
+}
+
+fn py_exception(err: &UcpError) -> PyExceptionRecord {
+    let exc_type = match err {
+        UcpError::EndpointTimeout { .. } => "TimeoutError",
+        _ => "RuntimeError",
+    };
+    PyExceptionRecord {
+        exc_type,
+        message: err.to_string(),
+    }
+}
+
 /// The chare behind one Charm4py process: per-peer channel inboxes,
 /// registered methods, and fulfilled futures.
 struct ChanState {
@@ -89,6 +110,9 @@ struct ChanState {
     barrier_epoch: u64,
     methods: HashMap<u16, PyMethod>,
     futures: HashMap<u64, Option<Vec<u8>>>,
+    /// Communication failures mapped into Python exceptions, awaiting
+    /// [`PyProc::take_exception`].
+    exceptions: VecDeque<PyExceptionRecord>,
 }
 
 /// A channel endpoint (paired with `peer`'s endpoint back to us).
@@ -254,8 +278,17 @@ impl PyProc {
                 barrier_epoch: 0,
                 methods: HashMap::new(),
                 futures: HashMap::new(),
+                exceptions: VecDeque::new(),
             }),
         );
+        // Reliability give-ups become Python exception records awaiting
+        // `take_exception` (as Charm4py would raise into the coroutine).
+        let idx = rank as u64;
+        pe.set_default_error_handler(Box::new(move |err, pe, _ctx| {
+            pe.chare_mut::<ChanState>(col, idx)
+                .exceptions
+                .push_back(py_exception(err));
+        }));
         PyProc {
             pe,
             rank,
@@ -347,6 +380,38 @@ impl PyProc {
             .futures
             .remove(&fut.0)
             .expect("future fulfilled")
+    }
+
+    /// Pop one pending communication exception (non-blocking). Drains
+    /// errors still sitting at the UCP worker first, so a failure surfaced
+    /// in the same event as a completion is not missed.
+    pub fn take_exception(&mut self, ctx: &mut MCtx) -> Option<PyExceptionRecord> {
+        let me = self.rank;
+        let (col, idx) = (self.col, self.rank as u64);
+        while let Some(e) = ctx.with_world(move |w, _| w.ucp.take_worker_error(me)) {
+            self.pe
+                .chare_mut::<ChanState>(col, idx)
+                .exceptions
+                .push_back(py_exception(&e));
+        }
+        self.pe
+            .chare_mut::<ChanState>(col, idx)
+            .exceptions
+            .pop_front()
+    }
+
+    /// Suspend until a communication exception is raised (used after a
+    /// send that is expected to fail; pairs with `take_exception` for
+    /// polling-style use).
+    pub fn wait_exception(&mut self, ctx: &mut MCtx) -> PyExceptionRecord {
+        let (col, idx) = (self.col, self.rank as u64);
+        let me = self.rank;
+        self.pe.pump_until(ctx, move |pe, ctx| {
+            !pe.chare_mut::<ChanState>(col, idx).exceptions.is_empty()
+                || ctx.with_world_ref(|w, _| w.ucp.worker(me).has_errors())
+        });
+        self.py_overhead(ctx, self.params.py_wake, 2);
+        self.take_exception(ctx).expect("exception present")
     }
 
     pub fn rank(&self) -> usize {
@@ -673,6 +738,45 @@ mod tests {
             lat > us(12.0) && lat < us(35.0),
             "charm4py small latency {}us out of expected band",
             as_us(lat)
+        );
+    }
+
+    #[test]
+    fn unreachable_peer_raises_timeout_error() {
+        // A permanently partitioned peer: the GPU-direct channel send is
+        // abandoned by the reliability layer and surfaces as a Python-style
+        // TimeoutError record instead of hanging the coroutine.
+        let mut spec = rucx_fault::FaultSpec::default();
+        spec.partitions.push(rucx_fault::PartitionWindow {
+            from: 0,
+            until: u64::MAX,
+        });
+        let mut cfg = MachineConfig::default();
+        cfg.ucp.max_retries = 2;
+        cfg.fault = Some(spec);
+        let mut sim = build_sim(Topology::summit(2), cfg);
+        let a = sim
+            .world_mut()
+            .gpu
+            .pool
+            .alloc_device(DeviceId(0), 1 << 20, false)
+            .unwrap();
+        let got = Arc::new(rucx_compat::sync::Mutex::new(None));
+        let got2 = got.clone();
+        launch(&mut sim, move |py, ctx| {
+            if py.rank() == 0 {
+                let ch = py.channel(6); // other node
+                py.send(ctx, ch, a);
+                *got2.lock() = Some(py.wait_exception(ctx));
+            }
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let exc = got.lock().take().expect("exception raised");
+        assert_eq!(exc.exc_type, "TimeoutError");
+        assert!(
+            exc.message.contains("gave up"),
+            "message should describe the retry exhaustion: {}",
+            exc.message
         );
     }
 

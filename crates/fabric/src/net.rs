@@ -71,6 +71,9 @@ impl NetParams {
 pub struct NetSubsystem {
     pub params: NetParams,
     pub counters: Counters,
+    /// Link bandwidth-degradation schedule from a loaded fault spec; `None`
+    /// on clean runs (the common case pays one `Option` check).
+    pub link_faults: Option<rucx_fault::LinkFaults>,
     nodes: usize,
     tx_busy: Vec<Time>,
     rx_busy: Vec<Time>,
@@ -84,6 +87,7 @@ impl NetSubsystem {
         NetSubsystem {
             params,
             counters: Counters::new(),
+            link_faults: None,
             nodes,
             tx_busy: vec![0; nodes * rails],
             rx_busy: vec![0; nodes * rails],
@@ -153,10 +157,13 @@ where
     let now = s.now();
     let net = w.net();
     let p = &net.params;
-    let bw = match kind {
+    let mut bw = match kind {
         WireKind::Host => p.nic_gbps,
         WireKind::Gdr => p.gdr_gbps,
     };
+    if let Some(lf) = &net.link_faults {
+        bw *= lf.bw_factor(src_node, dst_node, now);
+    }
     let serialize = transfer_time(size, bw);
     let pipe_latency = p.injection + p.hop_latency as Duration * p.hops as Duration;
     // TX and RX ports are decoupled (switches buffer in between): the
@@ -279,6 +286,38 @@ mod tests {
             let a1 = net_transfer(w, s, (0, 0), (1, 0), size, WireKind::Host, |_, _| {});
             let a2 = net_transfer(w, s, (2, 0), (3, 0), size, WireKind::Host, |_, _| {});
             assert_eq!(a1, a2);
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+    }
+
+    #[test]
+    fn degraded_link_halves_effective_bandwidth() {
+        let mut spec = rucx_fault::FaultSpec::default();
+        spec.degrade.push(rucx_fault::DegradeWindow {
+            from: 0,
+            until: u64::MAX,
+            factor: 0.5,
+        });
+        let lf = rucx_fault::FaultState::from_spec(spec)
+            .link_faults()
+            .unwrap();
+        let mut net = sys(2);
+        net.link_faults = Some(lf);
+        let mut sim = Simulation::new(net);
+        let size = 4u64 << 20;
+        sim.scheduler().schedule_at(0, move |w, s| {
+            let arrival = net_transfer(w, s, (0, 0), (1, 0), size, WireKind::Host, |_, _| {});
+            let p = &w.net().params;
+            let clean = p.wire_time(size, WireKind::Host);
+            let degraded = p.injection
+                + p.hop_latency as Duration * p.hops as Duration
+                + transfer_time(size, p.nic_gbps * 0.5);
+            assert!(arrival > clean, "degradation must slow the wire");
+            // Allow 1 ns of integer rounding.
+            assert!(
+                arrival.abs_diff(degraded) <= 1,
+                "arrival={arrival} want={degraded}"
+            );
         });
         assert_eq!(sim.run(), RunOutcome::Completed);
     }

@@ -1,0 +1,315 @@
+//! The fault specification: what to inject, where, and when — plus the
+//! compact text form the `--fault-spec` driver knob accepts.
+//!
+//! Text grammar (comma-separated `key=value` fields, times in virtual
+//! microseconds):
+//!
+//! ```text
+//! seed=42                  decision-RNG seed (default 1)
+//! drop=0.01                per-envelope drop probability
+//! dup=0.005                per-envelope duplication probability
+//! delay=0.05:20            delay probability : extra delay bound (us)
+//! corrupt=0.001            per-envelope detected-corruption probability
+//! link=0-1                 target only this node pair (repeatable; default all)
+//! degrade=0.5@100-500      bandwidth x0.5 between 100us and 500us (repeatable)
+//! partition=200-300        full partition window in us (repeatable)
+//! gpufail=0@250            device 0 loses GPU-direct paths at 250us (repeatable)
+//! maxfaults=100            stop injecting after this many faults
+//! ```
+//!
+//! Example: `drop=0.01,delay=0.02:15,corrupt=0.002,link=0-1,seed=7`.
+
+use rucx_sim::time::{us, Duration, Time};
+
+/// Which node-pair links the envelope/partition/degrade faults target.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum LinkFilter {
+    /// Every inter-node link.
+    #[default]
+    Any,
+    /// Only the listed unordered node pairs.
+    Pairs(Vec<(usize, usize)>),
+}
+
+impl LinkFilter {
+    /// Whether the `(a, b)` link is targeted (order-insensitive).
+    pub fn matches(&self, a: usize, b: usize) -> bool {
+        match self {
+            LinkFilter::Any => true,
+            LinkFilter::Pairs(ps) => ps
+                .iter()
+                .any(|&(x, y)| (x, y) == (a, b) || (y, x) == (a, b)),
+        }
+    }
+}
+
+/// A bandwidth-degradation window: the link runs at `factor` of nominal
+/// bandwidth for `[from, until)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradeWindow {
+    pub from: Time,
+    pub until: Time,
+    pub factor: f64,
+}
+
+/// A full-partition window: every envelope on targeted links is dropped
+/// for `[from, until)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionWindow {
+    pub from: Time,
+    pub until: Time,
+}
+
+/// A GPU copy-engine failure: device `device` permanently loses its
+/// GPU-direct paths (GDRCopy / CUDA IPC / GPUDirect RDMA) at time `at`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuFail {
+    pub device: u32,
+    pub at: Time,
+}
+
+/// Everything a chaos run injects. `Default` is the all-zero spec (no
+/// faults even if loaded), so tests can flip one field at a time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Seed of the decision RNG (and of the reliability layer's backoff
+    /// jitter, which derives its own stream from it).
+    pub seed: u64,
+    /// Per-envelope drop probability on targeted links.
+    pub drop_p: f64,
+    /// Per-envelope duplication probability.
+    pub dup_p: f64,
+    /// Per-envelope extra-delay probability.
+    pub delay_p: f64,
+    /// Extra-delay bound; the drawn delay is uniform in `(delay/2, delay]`.
+    pub delay: Duration,
+    /// Per-envelope detected-corruption probability (receiver checksums and
+    /// discards, so unlike a drop the loss is observed at arrival).
+    pub corrupt_p: f64,
+    /// Which links the envelope faults, partitions, and degradations hit.
+    pub links: LinkFilter,
+    /// Bandwidth-degradation windows.
+    pub degrade: Vec<DegradeWindow>,
+    /// Full-partition windows.
+    pub partitions: Vec<PartitionWindow>,
+    /// GPU copy-engine failures.
+    pub gpu_fail: Vec<GpuFail>,
+    /// Injection budget: stop injecting after this many faults.
+    pub max_faults: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 1,
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            delay: us(10.0),
+            corrupt_p: 0.0,
+            links: LinkFilter::Any,
+            degrade: Vec::new(),
+            partitions: Vec::new(),
+            gpu_fail: Vec::new(),
+            max_faults: u64::MAX,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// The canned lossy-link spec used by the CI chaos smoke gate: 1% drop
+    /// on every link, fixed seed.
+    pub fn canned_one_percent_drop() -> Self {
+        let mut s = FaultSpec::default();
+        s.seed = 7;
+        s.drop_p = 0.01;
+        s
+    }
+
+    /// Parse the `--fault-spec` text form. Returns a message naming the
+    /// offending field on error.
+    pub fn parse(text: &str) -> Result<FaultSpec, String> {
+        let mut spec = FaultSpec::default();
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for field in text.split(',') {
+            let field = field.trim();
+            if field.is_empty() {
+                continue;
+            }
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("fault-spec field `{field}` is not key=value"))?;
+            match key {
+                "seed" => spec.seed = parse_num(key, value)?,
+                "drop" => spec.drop_p = parse_prob(key, value)?,
+                "dup" => spec.dup_p = parse_prob(key, value)?,
+                "corrupt" => spec.corrupt_p = parse_prob(key, value)?,
+                "maxfaults" => spec.max_faults = parse_num(key, value)?,
+                "delay" => {
+                    let (p, d) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("delay=`{value}`: want PROB:US"))?;
+                    spec.delay_p = parse_prob(key, p)?;
+                    spec.delay = parse_us(key, d)?;
+                }
+                "link" => {
+                    let (a, b) = value
+                        .split_once('-')
+                        .ok_or_else(|| format!("link=`{value}`: want A-B node pair"))?;
+                    pairs.push((parse_num(key, a)? as usize, parse_num(key, b)? as usize));
+                }
+                "degrade" => {
+                    let (factor, window) = value
+                        .split_once('@')
+                        .ok_or_else(|| format!("degrade=`{value}`: want FACTOR@FROM-UNTIL"))?;
+                    let factor: f64 = factor
+                        .parse()
+                        .map_err(|_| format!("degrade factor `{factor}` is not a number"))?;
+                    if !(factor > 0.0 && factor <= 1.0) {
+                        return Err(format!("degrade factor {factor} outside (0, 1]"));
+                    }
+                    let (from, until) = parse_window(key, window)?;
+                    spec.degrade.push(DegradeWindow {
+                        from,
+                        until,
+                        factor,
+                    });
+                }
+                "partition" => {
+                    let (from, until) = parse_window(key, value)?;
+                    spec.partitions.push(PartitionWindow { from, until });
+                }
+                "gpufail" => {
+                    let (dev, at) = value
+                        .split_once('@')
+                        .ok_or_else(|| format!("gpufail=`{value}`: want DEV@US"))?;
+                    spec.gpu_fail.push(GpuFail {
+                        device: parse_num(key, dev)? as u32,
+                        at: parse_us(key, at)?,
+                    });
+                }
+                other => return Err(format!("unknown fault-spec key `{other}`")),
+            }
+        }
+        if !pairs.is_empty() {
+            spec.links = LinkFilter::Pairs(pairs);
+        }
+        let total = spec.drop_p + spec.dup_p + spec.delay_p + spec.corrupt_p;
+        if total > 1.0 {
+            return Err(format!("fault probabilities sum to {total} > 1"));
+        }
+        Ok(spec)
+    }
+}
+
+fn parse_num(key: &str, v: &str) -> Result<u64, String> {
+    v.parse()
+        .map_err(|_| format!("{key}=`{v}` is not an integer"))
+}
+
+fn parse_prob(key: &str, v: &str) -> Result<f64, String> {
+    let p: f64 = v
+        .parse()
+        .map_err(|_| format!("{key}=`{v}` is not a number"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("{key}={p} outside [0, 1]"));
+    }
+    Ok(p)
+}
+
+fn parse_us(key: &str, v: &str) -> Result<Duration, String> {
+    let x: f64 = v
+        .parse()
+        .map_err(|_| format!("{key} time `{v}` is not a number"))?;
+    if x < 0.0 {
+        return Err(format!("{key} time {x} is negative"));
+    }
+    Ok(us(x))
+}
+
+fn parse_window(key: &str, v: &str) -> Result<(Time, Time), String> {
+    let (from, until) = v
+        .split_once('-')
+        .ok_or_else(|| format!("{key} window `{v}`: want FROM-UNTIL (us)"))?;
+    let (from, until) = (parse_us(key, from)?, parse_us(key, until)?);
+    if until <= from {
+        return Err(format!("{key} window `{v}` is empty"));
+    }
+    Ok((from, until))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_spec() {
+        let s = FaultSpec::parse(
+            "seed=42,drop=0.01,dup=0.005,delay=0.05:20,corrupt=0.001,\
+             link=0-1,degrade=0.5@100-500,partition=200-300,gpufail=0@250,maxfaults=100",
+        )
+        .unwrap();
+        assert_eq!(s.seed, 42);
+        assert_eq!(s.drop_p, 0.01);
+        assert_eq!(s.dup_p, 0.005);
+        assert_eq!(s.delay_p, 0.05);
+        assert_eq!(s.delay, us(20.0));
+        assert_eq!(s.corrupt_p, 0.001);
+        assert_eq!(s.links, LinkFilter::Pairs(vec![(0, 1)]));
+        assert_eq!(
+            s.degrade,
+            vec![DegradeWindow {
+                from: us(100.0),
+                until: us(500.0),
+                factor: 0.5
+            }]
+        );
+        assert_eq!(
+            s.partitions,
+            vec![PartitionWindow {
+                from: us(200.0),
+                until: us(300.0)
+            }]
+        );
+        assert_eq!(
+            s.gpu_fail,
+            vec![GpuFail {
+                device: 0,
+                at: us(250.0)
+            }]
+        );
+        assert_eq!(s.max_faults, 100);
+    }
+
+    #[test]
+    fn empty_spec_is_default() {
+        assert_eq!(FaultSpec::parse("").unwrap(), FaultSpec::default());
+    }
+
+    #[test]
+    fn rejects_malformed_fields() {
+        for bad in [
+            "drop",
+            "drop=1.5",
+            "drop=x",
+            "delay=0.1",
+            "delay=0.1:abc",
+            "link=3",
+            "degrade=2.0@0-10",
+            "degrade=0.5@10-5",
+            "partition=5-5",
+            "gpufail=1",
+            "wat=1",
+            "drop=0.6,dup=0.6",
+        ] {
+            assert!(FaultSpec::parse(bad).is_err(), "`{bad}` should be rejected");
+        }
+    }
+
+    #[test]
+    fn canned_smoke_spec_is_one_percent_drop() {
+        let s = FaultSpec::canned_one_percent_drop();
+        assert_eq!(s.drop_p, 0.01);
+        assert_eq!(s.dup_p + s.delay_p + s.corrupt_p, 0.0);
+    }
+}

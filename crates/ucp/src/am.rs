@@ -120,7 +120,14 @@ pub fn am_send_nb(
         Some(buf) => {
             let size = buf.wire_size();
             let kind = match &buf {
-                SendBuf::Mem(r) => w.gpu.pool.kind(r.id).expect("am send from bad handle"),
+                SendBuf::Mem(r) => match w.gpu.pool.kind(r.id) {
+                    Ok(k) => k,
+                    // Freed-before-send is a caller error, not a crash:
+                    // surface it typed, same as the tagged path.
+                    Err(_) => {
+                        return crate::proto::reject_bad_handle(w, s, src, "am_send_nb", done)
+                    }
+                },
                 _ => MemKind::HostPinned {
                     node: w.topo.node_of(src),
                 },
@@ -138,6 +145,8 @@ pub fn am_send_nb(
                         0
                     };
                 let bytes = match &buf {
+                    // Invariant: the handle was validated by the `kind`
+                    // lookup above, so a materialized buffer always reads.
                     SendBuf::Mem(r) => w
                         .gpu
                         .pool

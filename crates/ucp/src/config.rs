@@ -50,6 +50,23 @@ pub struct UcpConfig {
     /// CPU cost of one `ucp_tag_send_nb`/`ucp_tag_recv_nb` call (modeled by
     /// calling layers via `ProcCtx::advance`).
     pub cpu_call: Duration,
+
+    // ---- Reliability protocol (active only when a fault spec is loaded) ----
+    /// Base retransmission timeout added on top of the estimated wire RTT.
+    pub rto_base: Duration,
+    /// Hard cap on any single retransmission timeout.
+    pub rto_max: Duration,
+    /// Multiplicative backoff applied per retransmission.
+    pub rto_backoff: f64,
+    /// Jitter fraction: each armed timer stretches by up to this fraction,
+    /// drawn from the seeded reliability RNG (decorrelates retry storms
+    /// without breaking determinism).
+    pub rto_jitter: f64,
+    /// Retransmissions after the original before the endpoint is declared
+    /// unreachable and the operation fails with a typed error.
+    pub max_retries: u32,
+    /// Wire size of a reliability ack.
+    pub ack_size: u64,
 }
 
 impl Default for UcpConfig {
@@ -71,6 +88,12 @@ impl Default for UcpConfig {
             rts_size: 64,
             ats_size: 32,
             cpu_call: us(0.30),
+            rto_base: us(50.0),
+            rto_max: us(5_000.0),
+            rto_backoff: 2.0,
+            rto_jitter: 0.25,
+            max_retries: 10,
+            ack_size: 16,
         }
     }
 }

@@ -12,14 +12,17 @@
 
 pub mod am;
 pub mod config;
+pub mod error;
 pub mod machine;
 pub mod metrics;
 pub mod proto;
+pub(crate) mod reliable;
 pub mod tag;
 pub mod worker;
 
 pub use am::{am_register, am_send_nb, AmHandler, AmId, AmMsg, AmPayload};
 pub use config::UcpConfig;
+pub use error::{Protocol, UcpError};
 pub use machine::{build_sim, build_sim_with, MCtx, MSim, Machine, MachineConfig, UcpSubsystem};
 pub use proto::{
     inject_local, probe_pop, rndv_fetch, tag_recv_nb, tag_send_nb, FetchDst, PoppedMsg, SendBuf,
@@ -71,6 +74,9 @@ pub mod blocking {
         ctx.advance(cost);
         ctx.wait(done);
         ctx.with_world(move |_, s| s.recycle_trigger(done));
+        // Invariant: the recv completion callback above stores `info`
+        // before firing the trigger `wait` blocks on, so after the wakeup
+        // the slot is always populated.
         let i = info.lock().take().expect("recv completed without info");
         i
     }
@@ -264,11 +270,10 @@ mod tests {
                 let r = probe_pop(w, 1, 0, MASK_NONE);
                 let seen = s.notify_epoch(w.ucp.worker(1).notify);
                 (
-                    r.map(|m| match m {
-                        PoppedMsg::Eager {
-                            bytes, tag, src, ..
-                        } => (bytes, tag, src),
-                        _ => panic!("expected eager"),
+                    r.map(|m| {
+                        let (src, tag, bytes, _) =
+                            m.into_eager().expect("small host message is eager");
+                        (bytes, tag, src)
                     }),
                     seen,
                 )
@@ -313,12 +318,9 @@ mod tests {
                     )
                 });
                 match popped {
-                    Some(PoppedMsg::Rndv {
-                        rts_id,
-                        size,
-                        src,
-                        tag,
-                    }) => {
+                    Some(m) => {
+                        let (src, tag, rts_id, size) =
+                            m.into_rndv().expect("100 KB message is rendezvous");
                         assert_eq!(size, 100_000);
                         assert_eq!(src, 0);
                         let done = ctx.with_world(move |w, s| {
@@ -335,13 +337,13 @@ mod tests {
                                     *got3.lock() = bytes;
                                     s.fire(t);
                                 })),
-                            );
+                            )
+                            .expect("announced rendezvous must fetch");
                             t
                         });
                         ctx.wait(done);
                         break;
                     }
-                    Some(_) => panic!("expected rndv"),
                     None => ctx.wait_notify(n, seen),
                 }
             }
@@ -566,6 +568,317 @@ mod tests {
             .unwrap();
         let t_phantom = p2p_roundtrip(&mut sim_b, a2, b2, 0, 6);
         assert_eq!(t_real, t_phantom);
+    }
+
+    // ---- Reliability protocol & fault injection -------------------------
+
+    fn chaos_sim(spec: rucx_fault::FaultSpec) -> MSim {
+        let mut cfg = MachineConfig::default();
+        cfg.fault = Some(spec);
+        build_sim(Topology::summit(2), cfg)
+    }
+
+    #[test]
+    fn into_eager_and_into_rndv_are_typed_not_panics() {
+        // Regression pin for the former `panic!("expected eager")` /
+        // `panic!("expected rndv")` paths: protocol mismatch is a value.
+        let eager = PoppedMsg::Eager {
+            src: 3,
+            tag: 7,
+            bytes: None,
+            wire_size: 8,
+        };
+        let rndv = PoppedMsg::Rndv {
+            src: 4,
+            tag: 9,
+            rts_id: 1,
+            size: 1 << 20,
+        };
+        assert_eq!(eager.protocol(), Protocol::Eager);
+        assert_eq!(rndv.protocol(), Protocol::Rndv);
+        match eager.into_rndv() {
+            Err(UcpError::ProtocolMismatch {
+                expected: Protocol::Rndv,
+                got: Protocol::Eager,
+                src: 3,
+                tag: 7,
+            }) => {}
+            other => panic!("want typed mismatch, got {other:?}"),
+        }
+        match rndv.into_eager() {
+            Err(UcpError::ProtocolMismatch {
+                expected: Protocol::Eager,
+                got: Protocol::Rndv,
+                src: 4,
+                tag: 9,
+            }) => {}
+            other => panic!("want typed mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_rendezvous_fetch_fails_without_hanging() {
+        let mut sim = sim2nodes();
+        let fired = std::sync::Arc::new(rucx_compat::sync::Mutex::new(None));
+        let fired2 = fired.clone();
+        let err = crate::machine::with_parts(&mut sim, |w, s| {
+            rndv_fetch(
+                w,
+                s,
+                1,
+                5,
+                999, // never announced
+                FetchDst::Bytes,
+                RecvCompletion::Callback(Box::new(move |_, _, info| {
+                    *fired2.lock() = Some(info);
+                })),
+            )
+        });
+        assert_eq!(err, Err(UcpError::UnknownRendezvous { rts_id: 999 }));
+        // The completion fired immediately with a zero-size status — no
+        // waiter can hang on a failed fetch.
+        let info = fired.lock().take().expect("completion must fire");
+        assert_eq!(info.size, 0);
+        assert_eq!(
+            sim.world_mut().ucp.worker_mut(1).take_error(),
+            Some(UcpError::UnknownRendezvous { rts_id: 999 })
+        );
+    }
+
+    #[test]
+    fn chaos_drops_recover_by_retransmission() {
+        // 20% drop on every link: eager and rendezvous traffic both arrive
+        // intact, paid for in retries, with no envelope leaked.
+        let mut spec = rucx_fault::FaultSpec::default();
+        spec.seed = 11;
+        spec.drop_p = 0.2;
+        let mut sim = chaos_sim(spec);
+        let n_eager = 16usize;
+        let eager_size = 4096u64;
+        let rndv_size = 1u64 << 20;
+        let mut srcs = Vec::new();
+        let mut dsts = Vec::new();
+        for i in 0..n_eager + 1 {
+            let size = if i < n_eager { eager_size } else { rndv_size };
+            let a = alloc_host(&mut sim, 0, size);
+            let b = alloc_host(&mut sim, 1, size);
+            let data = pattern(size as usize, i as u8);
+            sim.world_mut().gpu.pool.write(a, &data).unwrap();
+            srcs.push(a);
+            dsts.push((b, data));
+        }
+        let senders = srcs.clone();
+        sim.spawn("sender", 0, move |ctx| {
+            for (i, a) in senders.into_iter().enumerate() {
+                blocking::send(ctx, 0, 6, SendBuf::Mem(a), i as u64);
+            }
+        });
+        let n_msgs = dsts.len();
+        let recv_bufs: Vec<_> = dsts.iter().map(|(b, _)| *b).collect();
+        sim.spawn("receiver", 0, move |ctx| {
+            for (i, b) in recv_bufs.into_iter().enumerate() {
+                let info = blocking::recv(ctx, 6, b, i as u64, MASK_FULL);
+                assert!(!info.truncated);
+            }
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let m = sim.world();
+        for (i, (b, data)) in dsts.iter().enumerate() {
+            assert_eq!(&m.gpu.pool.read(*b).unwrap(), data, "message {i} corrupted");
+        }
+        let drops = m.ucp.counters.get("fault.drop");
+        let retries = m.ucp.counters.get("ucp.retry");
+        assert!(drops > 0, "seeded spec must actually drop");
+        assert!(retries > 0, "drops must be recovered by retries");
+        assert_eq!(m.ucp.counters.get("ucp.unreachable"), 0);
+        assert_eq!(m.ucp.inflight_tracked(), 0, "tracked envelopes leaked");
+        assert_eq!(m.ucp.inflight_rndv(), 0);
+        assert_eq!(n_msgs, n_eager + 1);
+    }
+
+    #[test]
+    fn chaos_duplicates_are_suppressed_exactly_once() {
+        // 40% duplication: every envelope may arrive twice, but each
+        // message is delivered to the matching engine exactly once.
+        let mut spec = rucx_fault::FaultSpec::default();
+        spec.seed = 5;
+        spec.dup_p = 0.4;
+        let mut sim = chaos_sim(spec);
+        let n = 12usize;
+        let mut bufs = Vec::new();
+        for i in 0..n {
+            let a = alloc_host(&mut sim, 0, 512);
+            let b = alloc_host(&mut sim, 1, 512);
+            let data = pattern(512, i as u8);
+            sim.world_mut().gpu.pool.write(a, &data).unwrap();
+            bufs.push((a, b, data));
+        }
+        let senders: Vec<_> = bufs.iter().map(|(a, _, _)| *a).collect();
+        sim.spawn("sender", 0, move |ctx| {
+            for (i, a) in senders.into_iter().enumerate() {
+                blocking::send(ctx, 0, 6, SendBuf::Mem(a), i as u64);
+            }
+        });
+        let recvs: Vec<_> = bufs.iter().map(|(_, b, _)| *b).collect();
+        sim.spawn("receiver", 0, move |ctx| {
+            for (i, b) in recvs.into_iter().enumerate() {
+                blocking::recv(ctx, 6, b, i as u64, MASK_FULL);
+            }
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let m = sim.world();
+        for (i, (_, b, data)) in bufs.iter().enumerate() {
+            assert_eq!(&m.gpu.pool.read(*b).unwrap(), data, "message {i}");
+        }
+        assert!(m.ucp.counters.get("fault.duplicate") > 0);
+        assert!(
+            m.ucp.counters.get("ucp.dup_drop") > 0,
+            "duplicated envelopes must be sequence-suppressed"
+        );
+        assert_eq!(m.ucp.inflight_tracked(), 0);
+    }
+
+    #[test]
+    fn partition_exhausts_retries_into_typed_error() {
+        // A permanent partition with a tiny retry budget: the rendezvous
+        // sender's request still completes (never hangs) and the typed
+        // endpoint-timeout error lands on its worker.
+        let mut spec = rucx_fault::FaultSpec::default();
+        spec.partitions.push(rucx_fault::PartitionWindow {
+            from: 0,
+            until: u64::MAX,
+        });
+        let mut cfg = MachineConfig::default();
+        cfg.ucp.max_retries = 2;
+        cfg.fault = Some(spec);
+        let mut sim = build_sim(Topology::summit(2), cfg);
+        let size = 1u64 << 20;
+        let a = alloc_host(&mut sim, 0, size);
+        sim.spawn("sender", 0, move |ctx| {
+            blocking::send(ctx, 0, 6, SendBuf::Mem(a), 1);
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let m = sim.world_mut();
+        assert!(m.ucp.counters.get("ucp.unreachable") >= 1);
+        assert_eq!(m.ucp.inflight_rndv(), 0, "failed rendezvous must retire");
+        assert_eq!(m.ucp.inflight_tracked(), 0);
+        match m.ucp.worker_mut(0).take_error() {
+            Some(UcpError::EndpointTimeout {
+                src: 0,
+                dst: 6,
+                tag: 1,
+                attempts,
+                ..
+            }) => assert_eq!(attempts, 3, "original + 2 retries"),
+            other => panic!("want endpoint timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gpu_copy_engine_failure_degrades_to_host_staging() {
+        // Device 0's copy engine fails at t=0: a small device message that
+        // would take the GDRCopy eager path degrades to rendezvous staging,
+        // and the data still arrives intact.
+        let mut spec = rucx_fault::FaultSpec::default();
+        spec.gpu_fail.push(rucx_fault::GpuFail { device: 0, at: 0 });
+        let mut sim = chaos_sim(spec);
+        let a = alloc_dev(&mut sim, 0, 2048);
+        let b = alloc_dev(&mut sim, 1, 2048);
+        let data = pattern(2048, 21);
+        sim.world_mut().gpu.pool.write(a, &data).unwrap();
+        sim.spawn("sender", 0, move |ctx| {
+            blocking::send(ctx, 0, 1, SendBuf::Mem(a), 2);
+        });
+        sim.spawn("receiver", 0, move |ctx| {
+            blocking::recv(ctx, 1, b, 2, MASK_FULL);
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let m = sim.world();
+        assert_eq!(m.gpu.pool.read(b).unwrap(), data);
+        assert_eq!(m.ucp.counters.get("ucp.eager"), 0, "eager GDRCopy refused");
+        assert!(m.ucp.counters.get("ucp.fallback.host_staged") >= 1);
+        assert!(m.ucp.counters.get("fault.gpu_degraded") >= 1);
+        assert_eq!(
+            m.ucp.counters.get("ucp.rndv.staged_intra"),
+            1,
+            "degraded device-device intra transfer takes the staged rung"
+        );
+    }
+
+    #[test]
+    fn chaos_replay_is_byte_identical() {
+        // Same seed + same spec => identical fault counters, retry counts,
+        // and virtual completion time.
+        let run = || {
+            let mut spec = rucx_fault::FaultSpec::default();
+            spec.seed = 77;
+            spec.drop_p = 0.1;
+            spec.dup_p = 0.05;
+            spec.delay_p = 0.1;
+            spec.corrupt_p = 0.05;
+            let mut sim = chaos_sim(spec);
+            let mut pairs = Vec::new();
+            for i in 0..10u64 {
+                let a = alloc_host(&mut sim, 0, 4096);
+                let b = alloc_host(&mut sim, 1, 4096);
+                let data = pattern(4096, i as u8);
+                sim.world_mut().gpu.pool.write(a, &data).unwrap();
+                pairs.push((a, b));
+            }
+            let srcs: Vec<_> = pairs.iter().map(|(a, _)| *a).collect();
+            sim.spawn("sender", 0, move |ctx| {
+                for (i, a) in srcs.into_iter().enumerate() {
+                    blocking::send(ctx, 0, 6, SendBuf::Mem(a), i as u64);
+                }
+            });
+            let dsts: Vec<_> = pairs.iter().map(|(_, b)| *b).collect();
+            let end = std::sync::Arc::new(rucx_compat::sync::Mutex::new(0u64));
+            let end2 = end.clone();
+            sim.spawn("receiver", 0, move |ctx| {
+                for (i, b) in dsts.into_iter().enumerate() {
+                    blocking::recv(ctx, 6, b, i as u64, MASK_FULL);
+                }
+                *end2.lock() = ctx.now();
+            });
+            assert_eq!(sim.run(), RunOutcome::Completed);
+            let m = sim.world();
+            let end_at = *end.lock();
+            (
+                end_at,
+                m.ucp.counters.get("fault.drop"),
+                m.ucp.counters.get("fault.duplicate"),
+                m.ucp.counters.get("fault.delay"),
+                m.ucp.counters.get("fault.corrupt"),
+                m.ucp.counters.get("ucp.retry"),
+                m.ucp.counters.get("ucp.timeout"),
+                m.faults.injected(),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "chaos run must replay identically from its seed");
+        assert!(a.7 > 0, "spec must inject something for the test to bite");
+    }
+
+    #[test]
+    fn send_from_freed_handle_surfaces_typed_error() {
+        let mut sim = sim2nodes();
+        let a = alloc_host(&mut sim, 0, 64);
+        sim.world_mut().gpu.pool.free(a.id).unwrap();
+        sim.spawn("s", 0, move |ctx| {
+            // Completes immediately with nothing sent — no panic, no hang.
+            blocking::send(ctx, 0, 6, SendBuf::Mem(a), 1);
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let m = sim.world_mut();
+        assert_eq!(m.ucp.counters.get("ucp.bad_handle"), 1);
+        match m.ucp.take_worker_error(0) {
+            Some(UcpError::InvalidHandle { op, proc }) => {
+                assert_eq!(op, "tag_send_nb");
+                assert_eq!(proc, 0);
+            }
+            other => panic!("expected InvalidHandle, got {other:?}"),
+        }
     }
 
     #[test]

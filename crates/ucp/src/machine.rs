@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use rucx_fabric::{HasNet, NetParams, NetSubsystem, Topology};
+use rucx_fault::{FaultSpec, FaultState};
 use rucx_gpu::{GpuParams, GpuSubsystem, HasGpu, MemRef, StreamId};
 use rucx_sim::sched::Scheduler;
 use rucx_sim::stats::Counters;
@@ -47,6 +48,14 @@ pub struct UcpSubsystem {
     /// Per-process pinned staging buffer (phantom, 2x pipeline chunk) for
     /// the pipelined host-staging rendezvous path.
     pub staging: Vec<MemRef>,
+    /// Reliability-protocol state (tracked envelopes, sequence windows,
+    /// parked ATS completions). Only exercised under a loaded fault spec.
+    pub(crate) reliable: crate::reliable::ReliableState,
+    /// Model-layer context register: set immediately before a send (only
+    /// when faults are enabled) and consumed by the reliability layer into
+    /// the tracked envelope, so give-up errors can be routed back to e.g.
+    /// the owning chare. 0 means unset.
+    pub(crate) send_ctx: u64,
 }
 
 impl UcpSubsystem {
@@ -63,6 +72,25 @@ impl UcpSubsystem {
     pub fn inflight_rndv(&self) -> usize {
         self.rts_table.len()
     }
+
+    /// Tracked reliability envelopes not yet acknowledged or abandoned
+    /// (for chaos leak tests; 0 when every fault was recovered).
+    pub fn inflight_tracked(&self) -> usize {
+        self.reliable.inflight_tracked()
+    }
+
+    /// Pop the oldest asynchronous error queued at process `p`'s worker
+    /// (reliability give-ups, failed fetches). `None` on clean runs.
+    pub fn take_worker_error(&mut self, p: usize) -> Option<crate::error::UcpError> {
+        self.workers[p].take_error()
+    }
+
+    /// Stamp the model-layer context for the next tracked send (routes
+    /// reliability give-up errors; see [`crate::UcpError::ctx`]). A no-op
+    /// burden-wise on clean runs — call only when faults are enabled.
+    pub fn set_send_ctx(&mut self, ctx: u64) {
+        self.send_ctx = ctx;
+    }
 }
 
 /// The simulated world: everything below the parallel programming models.
@@ -71,6 +99,8 @@ pub struct Machine {
     pub gpu: GpuSubsystem,
     pub net: NetSubsystem,
     pub ucp: UcpSubsystem,
+    /// Fault-injection state; [`FaultState::disabled`] on clean runs.
+    pub faults: FaultState,
 }
 
 impl HasGpu for Machine {
@@ -104,6 +134,9 @@ pub struct MachineConfig {
     pub ucp: UcpConfig,
     /// Device memory capacity per GPU (default 16 GiB, V100).
     pub device_mem: Option<u64>,
+    /// Fault-injection spec for chaos runs (`None` = clean run; the
+    /// `--fault-spec` driver knob parses into this).
+    pub fault: Option<FaultSpec>,
 }
 
 impl Machine {
@@ -133,7 +166,12 @@ pub fn build_sim_with(topo: Topology, cfg: MachineConfig, sim_cfg: SimConfig) ->
         device_mem,
         cfg.gpu,
     );
-    let net = NetSubsystem::new(topo.nodes, cfg.net);
+    let faults = match &cfg.fault {
+        Some(spec) => FaultState::from_spec(spec.clone()),
+        None => FaultState::disabled(),
+    };
+    let mut net = NetSubsystem::new(topo.nodes, cfg.net);
+    net.link_faults = faults.link_faults();
     let procs = topo.procs();
 
     let mut ucx_streams = Vec::with_capacity(procs);
@@ -148,6 +186,7 @@ pub fn build_sim_with(topo: Topology, cfg: MachineConfig, sim_cfg: SimConfig) ->
         staging.push(buf);
     }
 
+    let reliable = crate::reliable::ReliableState::new(cfg.fault.as_ref().map_or(0, |sp| sp.seed));
     let ucp = UcpSubsystem {
         config: cfg.ucp,
         counters: Counters::new(),
@@ -157,6 +196,8 @@ pub fn build_sim_with(topo: Topology, cfg: MachineConfig, sim_cfg: SimConfig) ->
         pair_busy: HashMap::new(),
         ucx_streams,
         staging,
+        reliable,
+        send_ctx: 0,
     };
 
     let machine = Machine {
@@ -164,6 +205,7 @@ pub fn build_sim_with(topo: Topology, cfg: MachineConfig, sim_cfg: SimConfig) ->
         gpu,
         net,
         ucp,
+        faults,
     };
     let mut sim = Simulation::with_config(machine, sim_cfg);
     // Workers need Notify handles, which only the scheduler can mint.

@@ -40,6 +40,26 @@ pub const RNDV_PIPELINE: Metric = Metric::counter("ucp.rndv.pipeline");
 /// Chunks issued by the pipelined path.
 pub const PIPELINE_CHUNKS: Metric = Metric::counter("ucp.pipeline_chunks");
 
+// ---- Reliability protocol (active only under a loaded fault spec) --------
+
+/// Retransmissions of tracked envelopes.
+pub const RETRY: Metric = Metric::counter("ucp.retry");
+/// Retransmission timers that fired (an ack did not arrive in time).
+pub const TIMEOUT: Metric = Metric::counter("ucp.timeout");
+/// Tracked envelopes acknowledged by the receiver.
+pub const ACKED: Metric = Metric::counter("ucp.acked");
+/// Duplicate tracked envelopes suppressed by sequence numbers.
+pub const DUP_DROP: Metric = Metric::counter("ucp.dup_drop");
+/// Envelopes abandoned after exhausting the retransmission budget; each one
+/// surfaces a typed `UcpError` at the owning worker.
+pub const UNREACHABLE: Metric = Metric::counter("ucp.unreachable");
+/// GPU-direct transfers degraded onto the host-staged path because a fault
+/// spec failed the device's copy engine.
+pub const FALLBACK_HOST_STAGED: Metric = Metric::counter("ucp.fallback.host_staged");
+/// Sends posted against a freed/unknown buffer handle; completed with
+/// nothing sent plus a typed `InvalidHandle` error at the worker.
+pub const BAD_HANDLE: Metric = Metric::counter("ucp.bad_handle");
+
 // ---- Active messages -----------------------------------------------------
 
 pub const AM_HEADER_ONLY: Metric = Metric::counter("ucp.am.header_only");

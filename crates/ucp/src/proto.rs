@@ -16,9 +16,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rucx_fabric::{net_transfer, WireKind};
+use rucx_fault::metrics as fm;
 use rucx_gpu::{CopyPath, MemKind, MemRef};
 use rucx_sim::time::Duration;
 
+use crate::error::{Protocol, UcpError};
 use crate::machine::{Machine, RtsState, SendPayload};
 use crate::metrics as m;
 use crate::tag::{Tag, TagMask};
@@ -84,19 +86,111 @@ pub enum PoppedMsg {
     },
 }
 
+impl PoppedMsg {
+    /// Which protocol this message arrived under.
+    pub fn protocol(&self) -> Protocol {
+        match self {
+            PoppedMsg::Eager { .. } => Protocol::Eager,
+            PoppedMsg::Rndv { .. } => Protocol::Rndv,
+        }
+    }
+
+    /// Consume as an eager message: `(src, tag, bytes, wire_size)`.
+    /// A rendezvous announcement yields a typed protocol-mismatch error
+    /// instead of panicking.
+    pub fn into_eager(self) -> Result<(usize, Tag, Option<Vec<u8>>, u64), UcpError> {
+        match self {
+            PoppedMsg::Eager {
+                src,
+                tag,
+                bytes,
+                wire_size,
+            } => Ok((src, tag, bytes, wire_size)),
+            PoppedMsg::Rndv { src, tag, .. } => Err(UcpError::ProtocolMismatch {
+                expected: Protocol::Eager,
+                got: Protocol::Rndv,
+                src,
+                tag,
+            }),
+        }
+    }
+
+    /// Consume as a rendezvous announcement: `(src, tag, rts_id, size)`.
+    /// An eager payload yields a typed protocol-mismatch error instead of
+    /// panicking.
+    pub fn into_rndv(self) -> Result<(usize, Tag, u64, u64), UcpError> {
+        match self {
+            PoppedMsg::Rndv {
+                src,
+                tag,
+                rts_id,
+                size,
+            } => Ok((src, tag, rts_id, size)),
+            PoppedMsg::Eager { src, tag, .. } => Err(UcpError::ProtocolMismatch {
+                expected: Protocol::Rndv,
+                got: Protocol::Eager,
+                src,
+                tag,
+            }),
+        }
+    }
+}
+
 /// NIC rail a process uses: its CPU socket (Summit: dual-rail, one port
 /// per socket).
-fn rail(w: &Machine, proc: usize) -> usize {
+pub(crate) fn rail(w: &Machine, proc: usize) -> usize {
     w.topo.socket_of(proc)
 }
 
-fn payload_kind(w: &Machine, buf: &SendBuf, src_proc: usize) -> MemKind {
-    match buf {
-        SendBuf::Mem(r) => w.gpu.pool.kind(r.id).expect("send from bad handle"),
-        SendBuf::Inline { .. } | SendBuf::Phantom { .. } => MemKind::HostPinned {
-            node: w.topo.node_of(src_proc),
-        },
+/// Whether `dev`'s GPU-direct paths (GDRCopy window, CUDA IPC mapping,
+/// GPUDirect RDMA) are usable, degrading onto the host-staged ladder rung
+/// when the fault spec has failed the device's copy engine. Each refusal is
+/// observable: metric bump plus a trace instant at the affected process.
+fn gpu_direct_ok(
+    w: &mut Machine,
+    s: &mut MSched,
+    dev: rucx_gpu::DeviceId,
+    proc: usize,
+    size: u64,
+) -> bool {
+    if w.faults.enabled() && w.faults.gpudirect_lost(dev.index() as u32, s.now()) {
+        w.ucp.counters.bump(fm::GPU_DEGRADED);
+        w.ucp.counters.bump(m::FALLBACK_HOST_STAGED);
+        s.trace_instant(
+            "ucp.fallback.host_staged",
+            proc as u32,
+            dev.index() as u64,
+            size,
+        );
+        return false;
     }
+    true
+}
+
+/// Memory kind of the payload; `None` when a `Mem` buffer names a handle
+/// the pool no longer knows (freed before the send was posted).
+fn payload_kind(w: &Machine, buf: &SendBuf, src_proc: usize) -> Option<MemKind> {
+    match buf {
+        SendBuf::Mem(r) => w.gpu.pool.kind(r.id).ok(),
+        SendBuf::Inline { .. } | SendBuf::Phantom { .. } => Some(MemKind::HostPinned {
+            node: w.topo.node_of(src_proc),
+        }),
+    }
+}
+
+/// Reject a send posted against a stale buffer handle: count it, queue a
+/// typed error at the sender's worker, and complete the operation with
+/// nothing sent — a user error must not take down the whole simulation.
+pub(crate) fn reject_bad_handle(
+    w: &mut Machine,
+    s: &mut MSched,
+    src: usize,
+    op: &'static str,
+    done: Completion,
+) {
+    w.ucp.counters.bump(m::BAD_HANDLE);
+    crate::reliable::push_error(w, s, src, crate::UcpError::InvalidHandle { op, proc: src });
+    complete(w, s, src, done);
 }
 
 /// Run a completion action for process `proc` and wake its worker.
@@ -142,11 +236,17 @@ fn send_wire(
     body: ArrivedBody,
 ) {
     let now = s.now();
-    let msg = ArrivedMsg { tag, src, body };
     if w.topo.same_node(src, dst) {
+        // Intra-node shared memory is a reliable medium: never tracked.
+        let msg = ArrivedMsg { tag, src, body };
         let arrival = shm_occupy(w, src, dst, now + local_delay, wire_size);
         s.schedule_at(arrival, move |w, s| deliver(w, s, dst, msg));
+    } else if w.faults.enabled() {
+        // The single branch the clean inter-node path pays: under a loaded
+        // fault spec, envelopes go through the reliability protocol.
+        crate::reliable::send_tracked(w, s, src, dst, wire_size, local_delay, tag, body);
     } else {
+        let msg = ArrivedMsg { tag, src, body };
         let src_port = (w.topo.node_of(src), rail(w, src));
         let dst_port = (w.topo.node_of(dst), rail(w, dst));
         s.schedule_at(now + local_delay, move |w, s| {
@@ -268,9 +368,16 @@ pub fn tag_send_nb(
 ) {
     let cfg_proto = w.ucp.config.proto_overhead;
     let size = buf.wire_size();
-    let kind = payload_kind(w, &buf, src);
-    let eager = if kind.is_device() {
-        w.ucp.config.gdrcopy_enabled && size <= w.ucp.config.eager_thresh_device
+    let Some(kind) = payload_kind(w, &buf, src) else {
+        return reject_bad_handle(w, s, src, "tag_send_nb", done);
+    };
+    let eager = if let MemKind::Device(dev) = kind {
+        // The GDRCopy bounce needs the sender's copy engine; a failed one
+        // degrades the message to rendezvous, whose fetch paths re-check
+        // per device and land on host staging.
+        w.ucp.config.gdrcopy_enabled
+            && size <= w.ucp.config.eager_thresh_device
+            && gpu_direct_ok(w, s, dev, src, size)
     } else {
         size <= w.ucp.config.eager_thresh_host
     };
@@ -287,6 +394,9 @@ pub fn tag_send_nb(
         let bytes = match &buf {
             SendBuf::Mem(r) => {
                 if w.gpu.pool.is_materialized(r.id).unwrap_or(false) {
+                    // Invariant: handle validity was checked by
+                    // `payload_kind` above and the pool is not touched in
+                    // between, so a materialized buffer always reads.
                     Some(w.gpu.pool.read(*r).expect("eager read"))
                 } else {
                     None
@@ -347,9 +457,11 @@ pub fn tag_send_nb(
 
 /// Arrival of a tagged wire message at `dst`'s worker: match a posted
 /// receive or park in the unexpected queue.
-fn deliver(w: &mut Machine, s: &mut MSched, dst: usize, msg: ArrivedMsg) {
+pub(crate) fn deliver(w: &mut Machine, s: &mut MSched, dst: usize, msg: ArrivedMsg) {
     let worker = w.ucp.worker_mut(dst);
     if let Some(i) = worker.find_expected(msg.tag) {
+        // Invariant: `i` came from `find_expected` on this same worker
+        // with no intervening mutation, so the slot is present.
         let exp = worker.expected.remove(i).expect("matched recv vanished");
         process_match(w, s, dst, exp, msg);
     } else {
@@ -371,9 +483,16 @@ fn process_match(
     match msg.body {
         ArrivedBody::Eager { bytes, wire_size } => {
             let dst_kind = w.gpu.pool.kind(exp.buf.id).expect("recv into bad handle");
-            let delay = if dst_kind.is_device() {
-                w.ucp.counters.bump(m::EAGER_GDRCOPY_WRITE);
-                w.ucp.config.gdrcopy_cost(wire_size)
+            let delay = if let MemKind::Device(dev) = dst_kind {
+                if gpu_direct_ok(w, s, dev, dst_proc, wire_size) {
+                    w.ucp.counters.bump(m::EAGER_GDRCOPY_WRITE);
+                    w.ucp.config.gdrcopy_cost(wire_size)
+                } else {
+                    // GDRCopy window gone on the receiver: land in pinned
+                    // host memory, then one staged CPU-GPU leg.
+                    w.ucp.config.eager_copy_cost(wire_size)
+                        + w.gpu.params.wire_time(CopyPath::HostPinnedLink, wire_size)
+                }
             } else {
                 w.ucp.config.eager_copy_cost(wire_size)
             };
@@ -406,7 +525,10 @@ fn process_match(
             });
         }
         ArrivedBody::Rts { rts_id, .. } => {
-            start_fetch(
+            // A missing RTS entry (e.g. the reliability layer already gave
+            // up on it) is surfaced by start_fetch as a completed-with-error
+            // receive plus a worker error record; nothing further to do.
+            let _ = start_fetch(
                 w,
                 s,
                 dst_proc,
@@ -498,6 +620,11 @@ pub fn inject_local(
 }
 
 /// Fetch the data of a rendezvous previously surfaced by [`probe_pop`].
+///
+/// An unknown `rts_id` (fetched twice, never announced, or already retired
+/// by the reliability layer giving up on its RTS) returns a typed error.
+/// `done` still completes — immediately, with a zero-size [`RecvInfo`] —
+/// so no waiter hangs, and the error is also queued at `proc`'s worker.
 pub fn rndv_fetch(
     w: &mut Machine,
     s: &mut MSched,
@@ -506,8 +633,8 @@ pub fn rndv_fetch(
     rts_id: u64,
     dst: FetchDst,
     done: RecvCompletion,
-) {
-    start_fetch(w, s, proc, tag, rts_id, dst, done);
+) -> Result<(), UcpError> {
+    start_fetch(w, s, proc, tag, rts_id, dst, done)
 }
 
 /// The rendezvous data path. Runs on the receiver (`recv_proc`).
@@ -519,12 +646,22 @@ fn start_fetch(
     rts_id: u64,
     dst: FetchDst,
     done: RecvCompletion,
-) {
-    let rts = w
-        .ucp
-        .rts_table
-        .remove(&rts_id)
-        .expect("rendezvous fetched twice or never announced");
+) -> Result<(), UcpError> {
+    let Some(rts) = w.ucp.rts_table.remove(&rts_id) else {
+        // Fail the receive visibly instead of panicking or hanging: the
+        // completion fires with a zero-size status and the typed error is
+        // queued at the receiver's worker.
+        let err = UcpError::UnknownRendezvous { rts_id };
+        crate::reliable::push_error(w, s, recv_proc, err.clone());
+        let info = RecvInfo {
+            src: recv_proc,
+            tag,
+            size: 0,
+            truncated: false,
+        };
+        complete_recv(w, s, recv_proc, done, None, info);
+        return Err(err);
+    };
     let src_proc = rts.src_proc;
     let size = rts.wire_size;
     let truncated = match &dst {
@@ -558,14 +695,19 @@ fn start_fetch(
     let payload = rts.payload;
 
     // After the data is in place: deliver bytes / run receive completion,
-    // then ack the sender (ATS) so its request completes.
+    // then ack the sender (ATS) so its request completes. Under a loaded
+    // fault spec the inter-node ATS is itself a tracked envelope.
     let finalize = move |w: &mut Machine, s: &mut MSched| {
         let bytes = finalize_data(w, &payload, &dst);
         complete_recv(w, s, recv_proc, done, bytes, info);
-        let ats = w.ucp.config.ats_size;
-        send_control(w, s, recv_proc, src_proc, ats, move |w, s| {
-            complete(w, s, src_proc, sender_done);
-        });
+        if !intra && w.faults.enabled() {
+            crate::reliable::send_tracked_ats(w, s, recv_proc, src_proc, rts_id, sender_done);
+        } else {
+            let ats = w.ucp.config.ats_size;
+            send_control(w, s, recv_proc, src_proc, ats, move |w, s| {
+                complete(w, s, src_proc, sender_done);
+            });
+        }
     };
 
     if intra {
@@ -577,6 +719,7 @@ fn start_fetch(
             w, s, src_kind, dst_kind, size, recv_proc, src_proc, finalize,
         );
     }
+    Ok(())
 }
 
 /// Move the actual bytes once the timing chain has completed, and return
@@ -628,27 +771,30 @@ fn fetch_intra<F>(
 {
     match (src_kind, dst_kind) {
         (MemKind::Device(sd), MemKind::Device(dd)) => {
-            // CUDA IPC: receiver-driven peer-to-peer DMA on the receiver's
-            // UCX-internal stream, contending on device ports / X-Bus.
-            w.ucp.counters.bump(m::RNDV_IPC);
-            let stream = w.ucp.ucx_streams[recv_proc];
-            let path = if sd == dd {
-                CopyPath::OnDevice
-            } else if w.gpu.device(sd).socket == w.gpu.device(dd).socket {
-                CopyPath::NvLink
+            if gpu_direct_ok(w, s, sd, src_proc, size) && gpu_direct_ok(w, s, dd, recv_proc, size) {
+                // CUDA IPC: receiver-driven peer-to-peer DMA on the
+                // receiver's UCX-internal stream, contending on device
+                // ports / X-Bus.
+                w.ucp.counters.bump(m::RNDV_IPC);
+                let stream = w.ucp.ucx_streams[recv_proc];
+                let path = if sd == dd {
+                    CopyPath::OnDevice
+                } else if w.gpu.device(sd).socket == w.gpu.device(dd).socket {
+                    CopyPath::NvLink
+                } else {
+                    CopyPath::XBus
+                };
+                let dur = w.ucp.config.ipc_sync + w.gpu.params.wire_time(path, size);
+                let end = rucx_gpu::ops::occupy_transfer(w, s, sd, dd, stream, dur, size);
+                s.schedule_at(end, finalize);
             } else {
-                CopyPath::XBus
-            };
-            let dur = w.ucp.config.ipc_sync + w.gpu.params.wire_time(path, size);
-            let end = rucx_gpu::ops::occupy_transfer(w, s, sd, dd, stream, dur, size);
-            s.schedule_at(end, finalize);
+                // The peer mapping needs both copy engines; a failed one
+                // degrades onto the staged path.
+                fetch_intra_staged(w, s, size, recv_proc, src_proc, finalize);
+            }
         }
         (MemKind::Device(_), _) | (_, MemKind::Device(_)) => {
-            // One staged leg over the CPU-GPU link plus the shm handoff.
-            let leg = w.gpu.params.wire_time(CopyPath::HostPinnedLink, size);
-            w.ucp.counters.bump(m::RNDV_STAGED_INTRA);
-            let end = shm_occupy(w, src_proc, recv_proc, s.now(), size) + leg;
-            s.schedule_at(end, finalize);
+            fetch_intra_staged(w, s, size, recv_proc, src_proc, finalize);
         }
         _ => {
             // Host-to-host: CMA single copy (serial per pair).
@@ -657,6 +803,24 @@ fn fetch_intra<F>(
             s.schedule_at(end, finalize);
         }
     }
+}
+
+/// Intra-node staged path: one leg over the CPU-GPU link plus the shm
+/// handoff. Both the mixed-pair rung and the degraded device-device rung.
+fn fetch_intra_staged<F>(
+    w: &mut Machine,
+    s: &mut MSched,
+    size: u64,
+    recv_proc: usize,
+    src_proc: usize,
+    finalize: F,
+) where
+    F: FnOnce(&mut Machine, &mut MSched) + Send + 'static,
+{
+    let leg = w.gpu.params.wire_time(CopyPath::HostPinnedLink, size);
+    w.ucp.counters.bump(m::RNDV_STAGED_INTRA);
+    let end = shm_occupy(w, src_proc, recv_proc, s.now(), size) + leg;
+    s.schedule_at(end, finalize);
 }
 
 /// Inter-node rendezvous.
@@ -675,16 +839,23 @@ fn fetch_inter<F>(
 {
     let src_port = (w.topo.node_of(src_proc), rail(w, src_proc));
     let dst_port = (w.topo.node_of(recv_proc), rail(w, recv_proc));
-    match (src_kind.is_device(), dst_kind.is_device()) {
-        (true, true) => {
-            if w.ucp.config.direct_gdr_rndv {
+    match (src_kind, dst_kind) {
+        (MemKind::Device(sd), MemKind::Device(dd)) => {
+            // Direct GPUDirect RDMA needs working copy engines on both
+            // ends; otherwise (or by default) the pipelined host-staging
+            // path carries the transfer — it is the fallback rung, so a
+            // mid-pipeline copy-engine failure degrades to it seamlessly.
+            if w.ucp.config.direct_gdr_rndv
+                && gpu_direct_ok(w, s, sd, src_proc, size)
+                && gpu_direct_ok(w, s, dd, recv_proc, size)
+            {
                 w.ucp.counters.bump(m::RNDV_GDR_DIRECT);
                 net_transfer(w, s, src_port, dst_port, size, WireKind::Gdr, finalize);
             } else {
                 pipeline_fetch(w, s, src_proc, recv_proc, size, finalize);
             }
         }
-        (true, false) => {
+        (MemKind::Device(_), _) => {
             // D2H on the sender, then RDMA.
             let leg = w.gpu.params.wire_time(CopyPath::HostPinnedLink, size);
             w.ucp.counters.bump(m::RNDV_STAGED_INTER);
@@ -692,7 +863,7 @@ fn fetch_inter<F>(
                 let _ = net_transfer(w, s, src_port, dst_port, size, WireKind::Host, finalize);
             });
         }
-        (false, true) => {
+        (_, MemKind::Device(_)) => {
             // RDMA, then H2D on the receiver.
             w.ucp.counters.bump(m::RNDV_STAGED_INTER);
             let leg = w.gpu.params.wire_time(CopyPath::HostPinnedLink, size);
@@ -709,7 +880,7 @@ fn fetch_inter<F>(
                 },
             );
         }
-        (false, false) => {
+        _ => {
             // Zero-copy RDMA get.
             w.ucp.counters.bump(m::RNDV_RDMA);
             net_transfer(w, s, src_port, dst_port, size, WireKind::Host, finalize);

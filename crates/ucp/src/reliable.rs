@@ -1,0 +1,460 @@
+//! The UCP reliability protocol: per-endpoint tracking of inter-node
+//! envelopes with virtual-time timeouts, bounded retransmission with
+//! exponential backoff and seeded jitter, and duplicate suppression via
+//! per-(src, dst) sequence numbers.
+//!
+//! Scope. Only *envelopes* — eager payloads, rendezvous RTS announcements,
+//! and rendezvous ATS acks — are tracked, and only between nodes, and only
+//! when a [`rucx_fault::FaultSpec`] is loaded: on clean runs the send path
+//! pays exactly one `enabled()` branch and the timing is byte-identical to
+//! the unprotected stack. Intra-node shared memory is a reliable medium, and
+//! the rendezvous bulk-data paths (RDMA get, pipelined staging) ride the
+//! transport-level reliability real IB HCAs provide, so neither is subject
+//! to the envelope lottery (bandwidth degradation from the fault spec still
+//! applies to them in the fabric).
+//!
+//! Protocol. Each tracked envelope gets a per-(src, dst) sequence number
+//! and a machine-global id. Transmission runs the fault lottery
+//! ([`rucx_fault::FaultState::wire_fault`]) and arms a retransmission timer
+//! for `rto(attempt)`; arrival always (re-)acks — acks themselves travel
+//! unreliably — then delivers exactly once, suppressing duplicates by
+//! sequence number. A timer firing with the envelope still unacked
+//! retransmits with backoff; after [`crate::UcpConfig::max_retries`]
+//! retransmissions the sender gives up: the envelope's operation is
+//! completed (never left hanging) and a typed
+//! [`UcpError::EndpointTimeout`] is queued at the owning worker.
+//!
+//! Determinism. All timers live in virtual time; jitter comes from a
+//! dedicated [`SimRng`] stream derived from the fault-spec seed, so a chaos
+//! run replays byte-identically.
+
+use std::collections::{BTreeSet, HashMap};
+
+use rucx_fabric::{net_transfer, WireKind};
+use rucx_fault::{metrics as fm, WireFault};
+use rucx_sim::time::Duration;
+use rucx_sim::SimRng;
+
+use crate::error::UcpError;
+use crate::machine::Machine;
+use crate::metrics as m;
+use crate::proto::{complete, deliver, rail};
+use crate::tag::Tag;
+use crate::worker::{ArrivedBody, ArrivedMsg, Completion, MSched};
+
+/// What a tracked envelope carries.
+#[derive(Clone)]
+pub(crate) enum TrackedBody {
+    /// Tag-matched traffic: an eager payload or a rendezvous RTS.
+    Tagged(ArrivedBody),
+    /// Rendezvous ATS: completes the (remote) rendezvous sender whose
+    /// completion is parked in [`ReliableState::ats_table`].
+    Ats { rts_id: u64 },
+}
+
+/// Sender-side state of one tracked envelope.
+pub(crate) struct PendingSend {
+    pub src: usize,
+    pub dst: usize,
+    pub tag: Tag,
+    pub wire_size: u64,
+    pub seq: u64,
+    /// Transmissions so far (1 = original only).
+    pub attempts: u32,
+    pub body: TrackedBody,
+    /// Model-layer context stamped at send time (routes give-up errors to
+    /// e.g. the owning chare); 0 when unset.
+    pub ctx: u64,
+}
+
+/// Receiver-side duplicate suppression for one directed (src, dst) pair:
+/// the contiguous delivered prefix plus the out-of-order set ahead of it,
+/// compressed on insert so memory stays proportional to reordering depth.
+#[derive(Default)]
+struct SeqSeen {
+    upto: u64,
+    ahead: BTreeSet<u64>,
+}
+
+impl SeqSeen {
+    /// Record `seq` (sequences start at 1); false if already seen.
+    fn insert(&mut self, seq: u64) -> bool {
+        if seq <= self.upto || !self.ahead.insert(seq) {
+            return false;
+        }
+        while self.ahead.remove(&(self.upto + 1)) {
+            self.upto += 1;
+        }
+        true
+    }
+}
+
+/// Machine-wide reliability state. Every map is keyed, never iterated, so
+/// `HashMap` ordering cannot leak into the schedule.
+pub(crate) struct ReliableState {
+    /// Backoff-jitter stream, derived from the fault-spec seed but salted so
+    /// it does not correlate with the injection lottery.
+    rng: SimRng,
+    next_id: u64,
+    next_seq: HashMap<(u32, u32), u64>,
+    seen: HashMap<(u32, u32), SeqSeen>,
+    inflight: HashMap<u64, PendingSend>,
+    /// Rendezvous-sender completions parked until the tracked ATS arrives.
+    ats_table: HashMap<u64, Completion>,
+}
+
+impl ReliableState {
+    pub(crate) fn new(seed: u64) -> Self {
+        ReliableState {
+            rng: SimRng::new(seed ^ 0x9E37_79B9_7F4A_7C15),
+            next_id: 1,
+            next_seq: HashMap::new(),
+            seen: HashMap::new(),
+            inflight: HashMap::new(),
+            ats_table: HashMap::new(),
+        }
+    }
+
+    /// Tracked envelopes not yet acknowledged or abandoned. Zero at the end
+    /// of every run that recovered all faults (leak check for chaos tests).
+    pub(crate) fn inflight_tracked(&self) -> usize {
+        self.inflight.len() + self.ats_table.len()
+    }
+}
+
+/// Queue an asynchronous error at `proc`'s worker and wake it.
+pub(crate) fn push_error(w: &mut Machine, s: &mut MSched, proc: usize, err: UcpError) {
+    let worker = w.ucp.worker_mut(proc);
+    worker.errors.push_back(err);
+    let n = worker.notify;
+    s.notify(n);
+}
+
+/// Entry point from `send_wire` for inter-node tagged envelopes under a
+/// loaded fault spec. `local_delay` models sender-side staging, after which
+/// the first transmission (and its timer) starts.
+pub(crate) fn send_tracked(
+    w: &mut Machine,
+    s: &mut MSched,
+    src: usize,
+    dst: usize,
+    wire_size: u64,
+    local_delay: Duration,
+    tag: Tag,
+    body: ArrivedBody,
+) {
+    let ctx = std::mem::take(&mut w.ucp.send_ctx);
+    enqueue(
+        w,
+        s,
+        src,
+        dst,
+        wire_size,
+        local_delay,
+        tag,
+        TrackedBody::Tagged(body),
+        ctx,
+    );
+}
+
+/// Entry point from the rendezvous finalizer: park the remote sender's
+/// completion and send the ATS as a tracked envelope.
+pub(crate) fn send_tracked_ats(
+    w: &mut Machine,
+    s: &mut MSched,
+    src: usize,
+    dst: usize,
+    rts_id: u64,
+    sender_done: Completion,
+) {
+    let size = w.ucp.config.ack_size.max(w.ucp.config.ats_size);
+    w.ucp.reliable.ats_table.insert(rts_id, sender_done);
+    enqueue(w, s, src, dst, size, 0, 0, TrackedBody::Ats { rts_id }, 0);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enqueue(
+    w: &mut Machine,
+    s: &mut MSched,
+    src: usize,
+    dst: usize,
+    wire_size: u64,
+    local_delay: Duration,
+    tag: Tag,
+    body: TrackedBody,
+    ctx: u64,
+) {
+    let r = &mut w.ucp.reliable;
+    let id = r.next_id;
+    r.next_id += 1;
+    let seq_slot = r.next_seq.entry((src as u32, dst as u32)).or_insert(1);
+    let seq = *seq_slot;
+    *seq_slot += 1;
+    r.inflight.insert(
+        id,
+        PendingSend {
+            src,
+            dst,
+            tag,
+            wire_size,
+            seq,
+            attempts: 1,
+            body,
+            ctx,
+        },
+    );
+    if local_delay == 0 {
+        transmit(w, s, id);
+    } else {
+        s.schedule_in(local_delay, move |w, s| transmit(w, s, id));
+    }
+}
+
+/// One transmission attempt: run the fault lottery, put the envelope on the
+/// wire accordingly, and arm the retransmission timer for this attempt.
+fn transmit(w: &mut Machine, s: &mut MSched, id: u64) {
+    let Some(p) = w.ucp.reliable.inflight.get(&id) else {
+        return; // acked between scheduling and execution
+    };
+    let (src, dst, seq, tag, wire_size, attempt) =
+        (p.src, p.dst, p.seq, p.tag, p.wire_size, p.attempts);
+    let body = p.body.clone();
+    let rto = rto_for(w, wire_size, attempt);
+    s.schedule_in(rto, move |w, s| on_timeout(w, s, id, attempt));
+
+    let now = s.now();
+    let (src_node, dst_node) = (w.topo.node_of(src), w.topo.node_of(dst));
+    let src_port = (src_node, rail(w, src));
+    let dst_port = (dst_node, rail(w, dst));
+    match w.faults.wire_fault(src_node, dst_node, now) {
+        WireFault::None => {
+            net_transfer(w, s, src_port, dst_port, wire_size, WireKind::Host, {
+                move |w, s| arrive(w, s, id, src, dst, seq, tag, body)
+            });
+        }
+        WireFault::Drop => {
+            // Lost in the fabric: the TX port is still occupied, nothing
+            // arrives; the timer recovers it.
+            w.ucp.counters.bump(fm::DROP);
+            s.trace_instant("fault.drop", src as u32, id, wire_size);
+            net_transfer(
+                w,
+                s,
+                src_port,
+                dst_port,
+                wire_size,
+                WireKind::Host,
+                |_, _| {},
+            );
+        }
+        WireFault::Corrupt => {
+            // Delivered, but the receiver's checksum rejects it: observable
+            // at arrival (unlike a drop), recovered by retransmission.
+            net_transfer(
+                w,
+                s,
+                src_port,
+                dst_port,
+                wire_size,
+                WireKind::Host,
+                move |w, s| {
+                    w.ucp.counters.bump(fm::CORRUPT);
+                    s.trace_instant("fault.corrupt", dst as u32, id, wire_size);
+                },
+            );
+        }
+        WireFault::Duplicate => {
+            w.ucp.counters.bump(fm::DUPLICATE);
+            s.trace_instant("fault.duplicate", src as u32, id, wire_size);
+            let twin = body.clone();
+            net_transfer(w, s, src_port, dst_port, wire_size, WireKind::Host, {
+                move |w, s| arrive(w, s, id, src, dst, seq, tag, body)
+            });
+            net_transfer(w, s, src_port, dst_port, wire_size, WireKind::Host, {
+                move |w, s| arrive(w, s, id, src, dst, seq, tag, twin)
+            });
+        }
+        WireFault::Delay(d) => {
+            w.ucp.counters.bump(fm::DELAY);
+            s.trace_instant("fault.delay", src as u32, id, d);
+            s.schedule_in(d, move |w, s| {
+                net_transfer(w, s, src_port, dst_port, wire_size, WireKind::Host, {
+                    move |w, s| arrive(w, s, id, src, dst, seq, tag, body)
+                });
+            });
+        }
+    }
+}
+
+/// Retransmission timeout for transmission number `attempt` (1-based):
+/// `(rto_base + 2·wire-RTT-estimate) · backoff^(attempt-1) · (1 + jitter)`,
+/// capped at `rto_max`.
+fn rto_for(w: &mut Machine, wire_size: u64, attempt: u32) -> Duration {
+    let rtt_est = w.net.params.wire_time(wire_size, WireKind::Host)
+        + w.net
+            .params
+            .wire_time(w.ucp.config.ack_size, WireKind::Host);
+    let cfg = &w.ucp.config;
+    let base = (cfg.rto_base + 2 * rtt_est) as f64;
+    let (backoff, jitter, cap) = (cfg.rto_backoff, cfg.rto_jitter, cfg.rto_max);
+    let scaled = base * backoff.powi(attempt.saturating_sub(1) as i32);
+    let jittered = scaled * (1.0 + jitter * w.ucp.reliable.rng.next_f64());
+    (jittered as Duration).min(cap)
+}
+
+/// A tracked envelope reached `dst`: always (re-)ack — the sender may be
+/// retransmitting because a previous ack was lost — then deliver exactly
+/// once per sequence number.
+fn arrive(
+    w: &mut Machine,
+    s: &mut MSched,
+    id: u64,
+    src: usize,
+    dst: usize,
+    seq: u64,
+    tag: Tag,
+    body: TrackedBody,
+) {
+    send_ack(w, s, dst, src, id);
+    let fresh = w
+        .ucp
+        .reliable
+        .seen
+        .entry((src as u32, dst as u32))
+        .or_default()
+        .insert(seq);
+    if !fresh {
+        w.ucp.counters.bump(m::DUP_DROP);
+        return;
+    }
+    match body {
+        TrackedBody::Tagged(b) => deliver(w, s, dst, ArrivedMsg { tag, src, body: b }),
+        TrackedBody::Ats { rts_id } => {
+            if let Some(done) = w.ucp.reliable.ats_table.remove(&rts_id) {
+                complete(w, s, dst, done);
+            }
+        }
+    }
+}
+
+/// Ack envelope `id` back to its sender. Acks are unreliable and idempotent:
+/// they are subject to the same fault lottery, and a lost ack is recovered
+/// by the data retransmission triggering a fresh one.
+fn send_ack(w: &mut Machine, s: &mut MSched, from: usize, to: usize, id: u64) {
+    let size = w.ucp.config.ack_size;
+    let (src_node, dst_node) = (w.topo.node_of(from), w.topo.node_of(to));
+    let src_port = (src_node, rail(w, from));
+    let dst_port = (dst_node, rail(w, to));
+    // Captures only `id`, so the closure is `Copy` and one definition serves
+    // the duplicate branch.
+    let deliver_ack = move |w: &mut Machine, _s: &mut MSched| {
+        if w.ucp.reliable.inflight.remove(&id).is_some() {
+            w.ucp.counters.bump(m::ACKED);
+        }
+    };
+    match w.faults.wire_fault(src_node, dst_node, s.now()) {
+        WireFault::None => {
+            net_transfer(w, s, src_port, dst_port, size, WireKind::Host, deliver_ack);
+        }
+        WireFault::Drop => {
+            w.ucp.counters.bump(fm::DROP);
+            s.trace_instant("fault.drop", from as u32, id, size);
+            net_transfer(w, s, src_port, dst_port, size, WireKind::Host, |_, _| {});
+        }
+        WireFault::Corrupt => {
+            net_transfer(
+                w,
+                s,
+                src_port,
+                dst_port,
+                size,
+                WireKind::Host,
+                move |w, s| {
+                    w.ucp.counters.bump(fm::CORRUPT);
+                    s.trace_instant("fault.corrupt", to as u32, id, size);
+                },
+            );
+        }
+        WireFault::Duplicate => {
+            w.ucp.counters.bump(fm::DUPLICATE);
+            s.trace_instant("fault.duplicate", from as u32, id, size);
+            net_transfer(w, s, src_port, dst_port, size, WireKind::Host, deliver_ack);
+            net_transfer(w, s, src_port, dst_port, size, WireKind::Host, deliver_ack);
+        }
+        WireFault::Delay(d) => {
+            w.ucp.counters.bump(fm::DELAY);
+            s.trace_instant("fault.delay", from as u32, id, d);
+            s.schedule_in(d, move |w, s| {
+                net_transfer(w, s, src_port, dst_port, size, WireKind::Host, deliver_ack);
+            });
+        }
+    }
+}
+
+/// The retransmission timer for transmission `attempt` of envelope `id`
+/// fired.
+fn on_timeout(w: &mut Machine, s: &mut MSched, id: u64, attempt: u32) {
+    let max_retries = w.ucp.config.max_retries;
+    let Some(p) = w.ucp.reliable.inflight.get_mut(&id) else {
+        return; // acked; stale timer
+    };
+    if p.attempts != attempt {
+        // Defensive: exactly one timer is live per envelope (each attempt
+        // arms one, and only its firing starts the next attempt), so a
+        // mismatch means this timer's attempt was already superseded.
+        return;
+    }
+    let src = p.src as u32;
+    w.ucp.counters.bump(m::TIMEOUT);
+    s.trace_instant("ucp.timeout", src, id, attempt as u64);
+    if p.attempts > max_retries {
+        give_up(w, s, id);
+        return;
+    }
+    p.attempts += 1;
+    let n = p.attempts;
+    w.ucp.counters.bump(m::RETRY);
+    s.trace_instant("ucp.retry", src, id, n as u64);
+    transmit(w, s, id);
+}
+
+/// Retransmission budget exhausted: declare the endpoint unreachable for
+/// this envelope, complete whatever operation it carried (no request is
+/// ever left hanging at the *sender*), and queue a typed error.
+fn give_up(w: &mut Machine, s: &mut MSched, id: u64) {
+    let Some(p) = w.ucp.reliable.inflight.remove(&id) else {
+        return;
+    };
+    w.ucp.counters.bump(m::UNREACHABLE);
+    s.trace_instant("ucp.unreachable", p.src as u32, id, p.attempts as u64);
+    let err = UcpError::EndpointTimeout {
+        src: p.src,
+        dst: p.dst,
+        tag: p.tag,
+        attempts: p.attempts,
+        ctx: p.ctx,
+    };
+    match &p.body {
+        TrackedBody::Tagged(ArrivedBody::Rts { rts_id, .. }) => {
+            // The announcement never made it: retire the rendezvous so the
+            // payload entry cannot leak, and release the sender's request.
+            if let Some(rts) = w.ucp.rts_table.remove(rts_id) {
+                complete(w, s, p.src, rts.sender_done);
+            }
+        }
+        TrackedBody::Ats { rts_id } => {
+            // The data was delivered but the ack cannot get back: release
+            // the remote sender's request directly (in a real network it
+            // would run its own timeout; the simulation shortcuts that
+            // deterministically) and surface the error at the originator.
+            if let Some(done) = w.ucp.reliable.ats_table.remove(rts_id) {
+                complete(w, s, p.dst, done);
+            }
+        }
+        TrackedBody::Tagged(ArrivedBody::Eager { .. }) => {
+            // Eager sends complete locally at staging time (buffered
+            // semantics); only the error record remains to surface.
+        }
+    }
+    push_error(w, s, p.src, err);
+}

@@ -57,7 +57,9 @@ pub(crate) struct ExpectedRecv {
     pub done: RecvCompletion,
 }
 
-/// Body of a message that arrived at a worker.
+/// Body of a message that arrived at a worker. `Clone` because the
+/// reliability layer retransmits envelopes from a kept copy.
+#[derive(Clone)]
 pub(crate) enum ArrivedBody {
     /// Full eager payload (bytes present when materialized at the sender).
     Eager {
@@ -81,6 +83,11 @@ pub struct Worker {
     pub(crate) unexpected: VecDeque<ArrivedMsg>,
     /// Active-message handlers and pending arrivals.
     pub(crate) am: crate::am::AmState,
+    /// Asynchronous errors surfaced by the reliability layer (endpoint
+    /// timeouts, failed rendezvous), in occurrence order. Model layers
+    /// drain this via [`Worker::take_error`] and map each record onto
+    /// their own semantics.
+    pub(crate) errors: VecDeque<crate::error::UcpError>,
     /// Bumped on every unexpected arrival and every local completion;
     /// PE scheduler loops park on this.
     pub notify: Notify,
@@ -92,8 +99,19 @@ impl Worker {
             expected: VecDeque::new(),
             unexpected: VecDeque::new(),
             am: crate::am::AmState::new(),
+            errors: VecDeque::new(),
             notify,
         }
+    }
+
+    /// Pop the oldest pending asynchronous error, if any.
+    pub fn take_error(&mut self) -> Option<crate::error::UcpError> {
+        self.errors.pop_front()
+    }
+
+    /// Whether asynchronous errors are pending.
+    pub fn has_errors(&self) -> bool {
+        !self.errors.is_empty()
     }
 
     /// Find (without removing) the first unexpected message matching

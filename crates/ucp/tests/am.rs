@@ -106,7 +106,7 @@ fn device_payload_eager_and_rndv() {
                             // GPU payload fetch starts right here, from the
                             // handler — no second message to wait for.
                             let got3 = got2.clone();
-                            rndv_fetch(
+                            let _ = rndv_fetch(
                                 w,
                                 s,
                                 1,
@@ -176,7 +176,9 @@ fn am_flow_beats_two_message_flow() {
                             panic!("expected rndv")
                         };
                         let done3 = done2.clone();
-                        rndv_fetch(
+                        // rts_id came straight from the AM envelope, so the
+                        // fetch cannot fail with UnknownRendezvous.
+                        let _ = rndv_fetch(
                             w,
                             s,
                             1,

@@ -1,15 +1,33 @@
 //! The Jacobi3D proxy application (paper §IV-C) on a small cluster: compare
 //! host-staging vs GPU-direct halo exchange for every programming model.
 //!
-//! Run: `cargo run --release --example jacobi3d [nodes]`
+//! Run: `cargo run --release --example jacobi3d [nodes] [--fault-spec SPEC]`
+//! (e.g. `--fault-spec seed=7,drop=0.01` for a lossy-fabric run).
 
+use rucx::fault::FaultSpec;
 use rucx::jacobi::{run, JacobiConfig, JacobiModel, Mode};
 
 fn main() {
-    let nodes: usize = std::env::args()
-        .nth(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2);
+    let mut nodes: usize = 2;
+    let mut fault: Option<FaultSpec> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--fault-spec" {
+            let spec = args.next().unwrap_or_else(|| {
+                eprintln!("--fault-spec needs a value (e.g. seed=7,drop=0.01)");
+                std::process::exit(2);
+            });
+            fault = Some(FaultSpec::parse(&spec).unwrap_or_else(|e| {
+                eprintln!("bad --fault-spec: {e}");
+                std::process::exit(2);
+            }));
+        } else if let Ok(n) = a.parse() {
+            nodes = n;
+        } else {
+            eprintln!("usage: jacobi3d [nodes] [--fault-spec SPEC]");
+            std::process::exit(2);
+        }
+    }
     assert!(nodes.is_power_of_two(), "node count must be a power of two");
 
     println!(
@@ -31,6 +49,8 @@ fn main() {
         let mut cd = JacobiConfig::weak(nodes, Mode::Device);
         ch.iters = 3;
         cd.iters = 3;
+        ch.machine.fault = fault.clone();
+        cd.machine.fault = fault.clone();
         let h = run(model, &ch);
         let d = run(model, &cd);
         println!(

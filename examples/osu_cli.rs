@@ -6,14 +6,17 @@
 //! cargo run --release --example osu_cli -- bw       --model charm   --mode h --place intra
 //! cargo run --release --example osu_cli -- bibw     --model openmpi --place inter
 //! cargo run --release --example osu_cli -- latency  --model openmpi --mode d --no-gdrcopy
+//! cargo run --release --example osu_cli -- latency  --model ampi --place inter \
+//!     --fault-spec seed=7,drop=0.01
 //! ```
 
+use rucx::fault::FaultSpec;
 use rucx::osu::{bandwidth, bibw, latency, mpi_like, Mode, Model, OsuConfig, Placement, Series};
 
 fn usage() -> ! {
     eprintln!(
         "usage: osu_cli <latency|bw|bibw> [--model charm|ampi|openmpi|charm4py] \
-         [--mode d|h] [--place intra|inter] [--no-gdrcopy] [--quick]"
+         [--mode d|h] [--place intra|inter] [--no-gdrcopy] [--quick] [--fault-spec SPEC]"
     );
     std::process::exit(2)
 }
@@ -55,6 +58,13 @@ fn main() {
                 }
             }
             "--no-gdrcopy" => cfg.machine.ucp.gdrcopy_enabled = false,
+            "--fault-spec" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                cfg.machine.fault = Some(FaultSpec::parse(spec).unwrap_or_else(|e| {
+                    eprintln!("bad --fault-spec: {e}");
+                    std::process::exit(2);
+                }));
+            }
             "--quick" => {
                 let machine = cfg.machine.clone();
                 cfg = OsuConfig::quick();

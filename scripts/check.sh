@@ -60,6 +60,28 @@ fi
 echo "ok: all metric call sites use typed registries"
 
 # ---------------------------------------------------------------------------
+# Gate: no panics on the UCP communication paths.
+#
+# The fault-injection subsystem makes "impossible" wire states reachable;
+# crates/ucp must surface them as typed `UcpError`s, never `panic!` /
+# `unreachable!`. Test modules (everything from `#[cfg(test)]` down) and
+# comments are exempt.
+# ---------------------------------------------------------------------------
+echo "== ucp panic-free gate =="
+bad=$(awk '
+    /#\[cfg\(test\)\]/ { intest[FILENAME] = 1 }
+    !intest[FILENAME] && $0 !~ /^[[:space:]]*\/\// && /panic!|unreachable!/ {
+        print FILENAME ": " $0
+    }
+' crates/ucp/src/*.rs)
+if [ -n "$bad" ]; then
+    echo "panic!/unreachable! on a UCP communication path (use UcpError):"
+    echo "$bad"
+    exit 1
+fi
+echo "ok: crates/ucp surfaces errors as values"
+
+# ---------------------------------------------------------------------------
 # Formatting gate.
 # ---------------------------------------------------------------------------
 echo "== cargo fmt --check =="
@@ -110,5 +132,25 @@ echo "ok: traced run + Chrome trace + attribution table"
 echo "== trace: determinism test =="
 cargo test -q --offline --test determinism trace_output_is_byte_identical
 echo "ok: byte-identical trace across same-seed runs"
+
+# ---------------------------------------------------------------------------
+# Chaos smoke: the OSU latency path must complete under the canned 1%-drop
+# spec with every loss retried or surfaced (tests/fault_injection.rs), and
+# a seeded chaos run must replay byte-identically (tests/determinism.rs).
+# ---------------------------------------------------------------------------
+echo "== chaos smoke: OSU under canned 1% drop + seeded replay =="
+cargo test -q --offline --test fault_injection
+cargo test -q --offline --test determinism chaos
+echo "ok: chaos runs complete, lose nothing silently, replay identically"
+
+# ---------------------------------------------------------------------------
+# Fault-machinery overhead: resume hot path unregressed and the clean send
+# path pays only the one `faults.enabled()` branch (asserted inside the
+# bench; smoke iterations keep it fast).
+# ---------------------------------------------------------------------------
+echo "== fault overhead bench smoke =="
+RUCX_BENCH_ITERS=20 RUCX_BENCH_WARMUP=2 \
+    cargo bench -q --offline -p rucx-bench --bench fault_overhead
+echo "ok: fault machinery is free when unused"
 
 echo "ALL CHECKS PASSED"

@@ -11,7 +11,8 @@
 //! | Discrete-event engine (virtual time, simulated processes) | [`sim`] |
 //! | CUDA-like GPU substrate (memory, streams, copies, kernels) | [`gpu`] |
 //! | Cluster fabric (topology, EDR InfiniBand model) | [`fabric`] |
-//! | UCX-style UCP layer (tag matching, eager/rendezvous, GPU transports) | [`ucp`] |
+//! | Deterministic fault injection (drop/dup/delay/corrupt, partitions, GPU failures) | [`fault`] |
+//! | UCX-style UCP layer (tag matching, eager/rendezvous, GPU transports, reliability) | [`ucp`] |
 //! | Charm++ runtime + GPU-aware UCX machine layer | [`charm`] |
 //! | Adaptive MPI on Charm++ | [`ampi`] |
 //! | OpenMPI-style baseline directly on UCP | [`ompi`] |
@@ -51,6 +52,7 @@ pub use rucx_charm as charm;
 pub use rucx_charm4py as charm4py;
 pub use rucx_compat as compat;
 pub use rucx_fabric as fabric;
+pub use rucx_fault as fault;
 pub use rucx_gpu as gpu;
 pub use rucx_jacobi as jacobi;
 pub use rucx_ompi as ompi;

@@ -161,6 +161,90 @@ fn trace_output_is_byte_identical_across_runs() {
     );
 }
 
+/// A chaos run is as replayable as a clean one: the same `(seed, fault
+/// spec, config)` triple must reproduce the OSU latency JSON byte for byte,
+/// drops, retransmissions, backoff jitter and all. This is what makes a
+/// failing chaos case a bug report instead of an anecdote.
+#[test]
+fn chaos_osu_run_is_byte_identical() {
+    use rucx::fault::FaultSpec;
+    use rucx::osu::{latency, Mode, Model, OsuConfig, Placement};
+    use rucx_compat::json::ToJson;
+
+    let run_once = || {
+        let mut cfg = OsuConfig::quick();
+        cfg.sizes = vec![8, 4 * 1024, 1 << 20];
+        let mut spec = FaultSpec::canned_one_percent_drop();
+        spec.seed = 77;
+        spec.drop_p = 0.05;
+        spec.dup_p = 0.02;
+        cfg.machine.fault = Some(spec);
+        latency(&cfg, Model::Ampi, Mode::Device, Placement::InterNode)
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a, b, "chaos OSU results must replay identically");
+    assert_eq!(a.to_json(), b.to_json());
+    // And the faults genuinely perturbed the run: same sweep without the
+    // spec must differ (otherwise this test would pass vacuously).
+    let mut clean = OsuConfig::quick();
+    clean.sizes = vec![8, 4 * 1024, 1 << 20];
+    let c = latency(&clean, Model::Ampi, Mode::Device, Placement::InterNode);
+    assert_ne!(a.points, c.points, "fault spec must actually change timing");
+}
+
+/// The serialized Chrome trace of a chaos run — injections, retransmission
+/// spans, duplicate suppressions — is also a pure function of
+/// `(seed, spec, config)`: two identical lossy runs emit byte-identical
+/// trace JSON.
+#[test]
+fn chaos_trace_is_byte_identical() {
+    use rucx::fabric::Topology;
+    use rucx::fault::FaultSpec;
+    use rucx::sim::RunOutcome;
+    use rucx::ucp::{blocking, build_sim, MachineConfig, SendBuf, MASK_FULL};
+
+    let traced_run = || {
+        let mut cfg = MachineConfig::default();
+        let mut spec = FaultSpec::canned_one_percent_drop();
+        spec.seed = 9;
+        spec.drop_p = 0.15;
+        spec.delay_p = 0.10;
+        spec.delay = rucx::sim::time::us(20.0);
+        cfg.fault = Some(spec);
+        let mut sim = build_sim(Topology::summit(2), cfg);
+        sim.scheduler().trace.enable(0);
+        let mut pairs = Vec::new();
+        for _ in 0..6 {
+            let m = sim.world_mut();
+            let s = m.gpu.pool.alloc_host(0, 4096, true, true);
+            let d = m.gpu.pool.alloc_host(1, 4096, true, true);
+            pairs.push((s, d));
+        }
+        for (i, (s, d)) in pairs.into_iter().enumerate() {
+            let tag = i as u64;
+            sim.spawn("snd", 0, move |ctx| {
+                blocking::send(ctx, 0, 6, SendBuf::Mem(s), tag);
+            });
+            sim.spawn("rcv", 6, move |ctx| {
+                blocking::recv(ctx, 6, d, tag, MASK_FULL);
+            });
+        }
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert!(
+            sim.world().ucp.counters.get("fault.drop") > 0
+                || sim.world().ucp.counters.get("fault.delay") > 0,
+            "spec must inject something for this test to mean anything"
+        );
+        sim.scheduler().trace.to_chrome_json()
+    };
+    assert_eq!(
+        traced_run(),
+        traced_run(),
+        "chaos Chrome trace must be byte-identical for identical seeds"
+    );
+}
+
 #[test]
 fn config_changes_actually_change_results() {
     // Guard against accidentally ignoring configuration: flipping GDRCopy
