@@ -13,9 +13,14 @@ pub mod config;
 pub mod decomp;
 pub mod mpi_run;
 pub mod py_run;
+pub mod sharded;
 
 pub use config::{JacobiConfig, JacobiResult, Mode};
 pub use decomp::{decompose, Block, BlockGrid, Domain};
+pub use sharded::{
+    run_sharded, run_sharded_full, sharded_strong_series, sharded_weak_series, ShardedOpts,
+    ShardedRun,
+};
 
 use rucx_osu::mpi_like::{AmpiFactory, OmpiFactory};
 

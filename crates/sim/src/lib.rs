@@ -37,19 +37,38 @@
 //! and worker reuse carries no state between processes, so neither pooling
 //! nor the baton handoffs perturb traces.
 
+//!
+//! ## Scale
+//!
+//! Two mechanisms keep 1536-PE sweeps tractable. The event queue is a
+//! [`calendar::CalendarQueue`] (amortized O(1) push/pop; the original
+//! `BinaryHeap` stays behind the same [`calendar::SchedulerBackend`] trait
+//! as the determinism oracle, selectable via [`SimConfig::backend`] or
+//! `RUCX_SCHED_BACKEND=oracle`). And [`shard::ShardedEngine`] advances
+//! several independent simulations on OS threads under conservative
+//! lookahead windows, exchanging cross-shard envelopes at barriers —
+//! deterministic for any shard count.
+
+pub mod calendar;
 pub mod pool;
 pub mod process;
 pub mod rng;
 pub mod sched;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use calendar::{Backend, SchedulerBackend};
 pub use pool::ProcessPool;
 pub use process::ProcCtx;
 pub use rng::SimRng;
-pub use sched::{Notify, ProcId, Scheduler, Trigger};
+pub use sched::{EventKey, Notify, ProcId, Scheduler, Trigger};
+pub use shard::{
+    Envelope, EnvelopeLease, EnvelopePool, Outbox, RouteDecision, RouteHook, RouteInfo, ShardStats,
+    ShardedEngine, ShardedOutcome,
+};
 pub use sim::{RunOutcome, SimConfig, Simulation};
 pub use stats::{Counters, DurationStats, Metric, MetricKind};
 pub use time::{Duration, Time};

@@ -8,9 +8,9 @@
 #![allow(clippy::type_complexity)]
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::collections::VecDeque;
 
+use crate::calendar::{Backend, QueueImpl};
 use crate::process::ProcCtx;
 use crate::time::{Duration, Time};
 use crate::trace::TraceSink;
@@ -64,10 +64,41 @@ pub(crate) enum EventPayload<W> {
     WakeProc(ProcId),
 }
 
-pub(crate) struct EventEntry<W> {
+/// A queued event: a `(time, seq)` key (unique; `seq` breaks timestamp
+/// ties FIFO) plus its payload. Public so queue backends
+/// ([`crate::calendar::SchedulerBackend`]) can be implemented; the payload
+/// itself stays crate-private.
+pub struct EventEntry<W> {
     pub time: Time,
     pub seq: u64,
-    pub payload: EventPayload<W>,
+    pub(crate) payload: EventPayload<W>,
+}
+
+/// Opaque handle for a cancellable event, returned by
+/// [`Scheduler::schedule_cancellable_at`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventKey {
+    time: Time,
+    seq: u64,
+}
+
+impl EventKey {
+    /// The virtual time the event will run at (unless cancelled).
+    pub fn time(&self) -> Time {
+        self.time
+    }
+}
+
+/// Result of [`Scheduler::pop_due`]: one queue probe answers "is there an
+/// event at or before `limit`, and if so hand it over" — the dispatch loop
+/// shape that replaces the old peek-then-pop double heap access.
+pub(crate) enum Due<W> {
+    /// Minimum event was at or before the limit; it has been popped.
+    Event(EventEntry<W>),
+    /// The queue is non-empty but its minimum lies after the limit.
+    Later(#[allow(dead_code)] Time),
+    /// The queue is empty.
+    Empty,
 }
 
 impl<W> PartialEq for EventEntry<W> {
@@ -113,7 +144,7 @@ pub struct Scheduler<W> {
     now: Time,
     seq: u64,
     events_executed: u64,
-    queue: BinaryHeap<EventEntry<W>>,
+    queue: QueueImpl<W>,
     triggers: Vec<TriggerState>,
     free_triggers: Vec<u32>,
     notifies: Vec<NotifyState>,
@@ -133,12 +164,19 @@ impl<W> Default for Scheduler<W> {
 }
 
 impl<W> Scheduler<W> {
+    /// Scheduler on the default queue backend (the calendar queue, unless
+    /// `RUCX_SCHED_BACKEND=oracle` selects the heap oracle).
     pub fn new() -> Self {
+        Self::with_backend(Backend::from_env())
+    }
+
+    /// Scheduler on an explicit queue backend.
+    pub fn with_backend(backend: Backend) -> Self {
         Scheduler {
             now: 0,
             seq: 0,
             events_executed: 0,
-            queue: BinaryHeap::new(),
+            queue: QueueImpl::new(backend),
             triggers: Vec::new(),
             free_triggers: Vec::new(),
             notifies: Vec::new(),
@@ -147,6 +185,11 @@ impl<W> Scheduler<W> {
             stopped: false,
             trace: TraceSink::new(),
         }
+    }
+
+    /// Which queue backend this scheduler runs on.
+    pub fn backend(&self) -> Backend {
+        self.queue.backend()
     }
 
     /// Current virtual time.
@@ -240,6 +283,32 @@ impl<W> Scheduler<W> {
         self.schedule_at(self.now.saturating_add(dt), f);
     }
 
+    /// Like [`Scheduler::schedule_at`], but returns a key that can later be
+    /// passed to [`Scheduler::cancel`] to withdraw the event (timeouts,
+    /// retransmission timers).
+    pub fn schedule_cancellable_at(
+        &mut self,
+        t: Time,
+        f: impl FnOnce(&mut W, &mut Scheduler<W>) + Send + 'static,
+    ) -> EventKey {
+        let t = t.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(EventEntry {
+            time: t,
+            seq,
+            payload: EventPayload::Closure(Box::new(f)),
+        });
+        EventKey { time: t, seq }
+    }
+
+    /// Withdraw a previously scheduled cancellable event. Returns `true` if
+    /// the event was still queued (and is now dropped), `false` if it
+    /// already ran or was already cancelled.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        self.queue.cancel(key.time, key.seq).is_some()
+    }
+
     pub(crate) fn schedule_wake(&mut self, t: Time, p: ProcId) {
         let t = t.max(self.now);
         let seq = self.seq;
@@ -251,6 +320,7 @@ impl<W> Scheduler<W> {
         });
     }
 
+    #[cfg(test)]
     pub(crate) fn pop_event(&mut self) -> Option<EventEntry<W>> {
         let e = self.queue.pop();
         if e.is_some() {
@@ -259,8 +329,21 @@ impl<W> Scheduler<W> {
         e
     }
 
-    pub(crate) fn peek_time(&self) -> Option<Time> {
-        self.queue.peek().map(|e| e.time)
+    /// Pop the minimum event only if it is due at or before `limit`; one
+    /// queue probe for the whole dispatch decision.
+    pub(crate) fn pop_due(&mut self, limit: Time) -> Due<W> {
+        match self.queue.pop_le(limit) {
+            Ok(e) => {
+                self.events_executed += 1;
+                Due::Event(e)
+            }
+            Err(Some(t)) => Due::Later(t),
+            Err(None) => Due::Empty,
+        }
+    }
+
+    pub(crate) fn peek_time(&mut self) -> Option<Time> {
+        self.queue.min_key().map(|(t, _)| t)
     }
 
     pub(crate) fn set_now(&mut self, t: Time) {
@@ -419,6 +502,46 @@ mod tests {
         s.schedule_at(50, |w, _| w.push(1));
         let e = s.pop_event().unwrap();
         assert_eq!(e.time, 100);
+    }
+
+    #[test]
+    fn cancellable_events_cancel_once_and_skip_execution() {
+        let mut s = S::new();
+        s.schedule_at(5, |w, _| w.push(1));
+        let k = s.schedule_cancellable_at(6, |w, _| w.push(2));
+        let k2 = s.schedule_cancellable_at(7, |w, _| w.push(3));
+        assert!(s.cancel(k));
+        assert!(!s.cancel(k), "second cancel is a no-op");
+        let mut world = Vec::new();
+        while let Some(e) = s.pop_event() {
+            s.set_now(e.time);
+            match e.payload {
+                EventPayload::Closure(f) => f(&mut world, &mut s),
+                EventPayload::WakeProc(_) => unreachable!(),
+            }
+        }
+        assert_eq!(world, vec![1, 3], "cancelled event must not run");
+        assert!(!s.cancel(k2), "cancel after execution reports false");
+    }
+
+    #[test]
+    fn pop_due_respects_the_limit() {
+        let mut s = S::new();
+        s.schedule_at(5, |w, _| w.push(1));
+        s.schedule_at(20, |w, _| w.push(2));
+        match s.pop_due(10) {
+            Due::Event(e) => assert_eq!(e.time, 5),
+            _ => panic!("event at 5 is due by 10"),
+        }
+        match s.pop_due(10) {
+            Due::Later(t) => assert_eq!(t, 20),
+            _ => panic!("event at 20 is beyond 10"),
+        }
+        match s.pop_due(20) {
+            Due::Event(e) => assert_eq!(e.time, 20),
+            _ => panic!("event at 20 is due by 20"),
+        }
+        assert!(matches!(s.pop_due(u64::MAX), Due::Empty));
     }
 
     #[test]

@@ -11,9 +11,10 @@ use std::sync::Arc;
 
 use rucx_compat::channel::{unbounded, Receiver, Sender};
 
+use crate::calendar::Backend;
 use crate::pool::ProcessPool;
 use crate::process::{lease_process, Body, ProcCtx, ProcSlot, ProcState};
-use crate::sched::{EventPayload, ProcId, Scheduler};
+use crate::sched::{Due, EventPayload, ProcId, Scheduler};
 use crate::time::Time;
 
 /// Why [`Simulation::run_until`] returned.
@@ -42,6 +43,9 @@ pub struct SimConfig {
     /// instead of spawning ~1536 fresh ones each time. Point this at a
     /// private pool for exact thread accounting in tests.
     pub pool: Arc<ProcessPool>,
+    /// Event-queue backend: the calendar queue, or the `BinaryHeap`
+    /// determinism oracle. Defaults to [`Backend::from_env`].
+    pub backend: Backend,
 }
 
 impl Default for SimConfig {
@@ -49,6 +53,7 @@ impl Default for SimConfig {
         SimConfig {
             stack_size: 512 * 1024,
             pool: ProcessPool::global(),
+            backend: Backend::from_env(),
         }
     }
 }
@@ -139,8 +144,8 @@ pub(crate) fn dispatch<W: Send + 'static>(
             }
             return Dispatch::HandedOff;
         }
-        match core.sched.peek_time() {
-            None => {
+        match core.sched.pop_due(core.limit) {
+            Due::Empty => {
                 let kind = if core.all_finished() {
                     VerdictKind::Completed
                 } else {
@@ -148,10 +153,9 @@ pub(crate) fn dispatch<W: Send + 'static>(
                 };
                 return Dispatch::Ended(kind, core);
             }
-            Some(t) if t > core.limit => return Dispatch::Ended(VerdictKind::TimeLimit, core),
-            Some(t) => {
-                core.sched.set_now(t);
-                let ev = core.sched.pop_event().expect("peeked event vanished");
+            Due::Later(_) => return Dispatch::Ended(VerdictKind::TimeLimit, core),
+            Due::Event(ev) => {
+                core.sched.set_now(ev.time);
                 match ev.payload {
                     EventPayload::Closure(f) => {
                         f(&mut core.world, &mut core.sched);
@@ -239,10 +243,11 @@ impl<W: Send + 'static> Simulation<W> {
     /// Create a simulation with an explicit driver configuration.
     pub fn with_config(world: W, config: SimConfig) -> Self {
         let (done_tx, done_rx) = unbounded();
+        let sched = Scheduler::with_backend(config.backend);
         Simulation {
             core: Some(Box::new(Core {
                 world,
-                sched: Scheduler::new(),
+                sched,
                 procs: Vec::new(),
                 config,
                 limit: Time::MAX,
@@ -273,6 +278,30 @@ impl<W: Send + 'static> Simulation<W> {
     /// Access the scheduler (to create triggers, schedule setup events…).
     pub fn scheduler(&mut self) -> &mut Scheduler<W> {
         &mut self.core_mut().sched
+    }
+
+    /// Immutable access to the scheduler (between runs).
+    pub fn scheduler_ref(&self) -> &Scheduler<W> {
+        &self.core().sched
+    }
+
+    /// Virtual time of the earliest queued event, if any — what a
+    /// conservative parallel driver needs to compute the global window
+    /// bound (see [`crate::shard`]).
+    pub fn next_event_time(&mut self) -> Option<Time> {
+        self.core_mut().sched.peek_time()
+    }
+
+    /// True when every spawned process has finished (vacuously true for
+    /// pure event-closure simulations).
+    pub fn all_processes_finished(&self) -> bool {
+        self.core().all_finished()
+    }
+
+    /// `(process name, blocked-on)` pairs for every unfinished process —
+    /// the same report [`RunOutcome::Deadlock`] carries.
+    pub fn blocked_processes(&self) -> Vec<(String, String)> {
+        self.core().blocked_report()
     }
 
     /// Spawn a simulated process whose body starts at virtual time `start`.

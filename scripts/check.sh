@@ -100,14 +100,48 @@ echo "== cargo test -q --offline --workspace (all crates) =="
 cargo test -q --offline --workspace
 
 # ---------------------------------------------------------------------------
-# Engine microbenchmark smoke: one iteration, no warmup — proves the bench
-# harness runs end to end and regenerates BENCH_engine.json. Perf numbers
-# from smoke mode are meaningless; run without the env overrides for those.
+# Engine microbenchmarks + perf regression gate. Run at reduced (but real)
+# iteration counts, then parse BENCH_engine.json and fail on a regression
+# of either gated median:
+#   - resume_hop: the advance(1) round trip, budget 90 ns (baseline ~76);
+#   - sim_dispatch_100k_events: the calendar-queue drain, budget 6 ms
+#     (measures ~2 ms; the heap oracle is ~9.7 ms, and the calendar's
+#     acceptance bar is >=2.5x over that baseline, i.e. <=3.9 ms, so 6 ms
+#     still catches any fall-back-to-heap-class regression through CI
+#     noise on a shared vCPU).
 # ---------------------------------------------------------------------------
-echo "== engine bench smoke (RUCX_BENCH_ITERS=1) =="
-RUCX_BENCH_ITERS=1 RUCX_BENCH_WARMUP=0 cargo bench -q --offline -p rucx-bench --bench engine
+echo "== engine bench + perf regression gate =="
+RUCX_BENCH_ITERS=15 RUCX_BENCH_WARMUP=2 \
+    cargo bench -q --offline -p rucx-bench --bench engine
 test -s BENCH_engine.json || { echo "FAIL: BENCH_engine.json not written"; exit 1; }
-echo "ok: engine bench smoke + BENCH_engine.json"
+hop=$(grep -o '"name": "resume_hop"[^}]*' BENCH_engine.json \
+    | grep -o '"median_ns": [0-9]*' | awk '{print $2}')
+disp=$(grep -o '"name": "sim_dispatch_100k_events"[^}]*' BENCH_engine.json \
+    | grep -o '"median_ns": [0-9]*' | awk '{print $2}')
+[ -n "$hop" ] && [ -n "$disp" ] \
+    || { echo "FAIL: BENCH_engine.json is missing a gated benchmark"; exit 1; }
+echo "   resume_hop median ${hop} ns (budget 90), dispatch median ${disp} ns (budget 6000000)"
+[ "$hop" -le 90 ] \
+    || { echo "FAIL: resume_hop median ${hop} ns exceeds the 90 ns budget"; exit 1; }
+[ "$disp" -le 6000000 ] \
+    || { echo "FAIL: sim_dispatch_100k_events median ${disp} ns exceeds the 6 ms budget"; exit 1; }
+echo "ok: resume hot path and calendar dispatch within budget"
+
+# ---------------------------------------------------------------------------
+# Sharded engine: the conformance contract. Results and traces must be
+# byte-identical across shard counts {1,2,8} and across the calendar /
+# heap-oracle backends (tests/determinism.rs), and the full-size scaling
+# sweep must run end to end (capped at 8 nodes for CI wall-clock; unset
+# RUCX_MAX_NODES for the paper-scale 256-node curves).
+# ---------------------------------------------------------------------------
+echo "== sharded engine: sequential-oracle conformance =="
+cargo test -q --offline --test determinism sharded
+echo "ok: sharded runs byte-identical across shard counts and backends"
+
+echo "== sharded scaling bench smoke (RUCX_MAX_NODES=8) =="
+RUCX_MAX_NODES=8 RUCX_BENCH_ITERS=2 RUCX_BENCH_WARMUP=0 \
+    cargo bench -q --offline -p rucx-bench --bench parallel_scaling >/dev/null
+echo "ok: sharded weak/strong sweep runs end to end"
 
 # ---------------------------------------------------------------------------
 # Trace subsystem: the zero-cost-when-disabled claim must also hold at

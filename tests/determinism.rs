@@ -267,3 +267,99 @@ fn config_changes_actually_change_results() {
     );
     assert_ne!(a.at(8), b.at(8));
 }
+
+/// Satellite: sequential-oracle conformance of the sharded engine. The
+/// figure JSON a sharded run produces must be byte-identical across shard
+/// counts {1, 2, 8} — shard 1 *is* the sequential schedule, so this pins
+/// the parallel runs to the oracle bit-for-bit.
+#[test]
+fn sharded_jacobi_json_is_byte_identical_across_shard_counts() {
+    use rucx_compat::json::ToJson;
+
+    let slice = |shards: usize| {
+        let mut rows: Vec<(usize, f64, f64, f64, f64)> = Vec::new();
+        for nodes in [1usize, 2, 8] {
+            let mut ch = JacobiConfig::weak(nodes, Mode::HostStaging);
+            let mut cd = JacobiConfig::weak(nodes, Mode::Device);
+            ch.iters = 2;
+            cd.iters = 2;
+            let h = rucx::jacobi::run_sharded(JacobiModel::Charm, &ch, shards);
+            let d = rucx::jacobi::run_sharded(JacobiModel::Charm, &cd, shards);
+            rows.push((nodes, h.overall_ms, d.overall_ms, h.comm_ms, d.comm_ms));
+        }
+        rows.to_json()
+    };
+    let oracle = slice(1);
+    assert!(
+        oracle.starts_with("[[1, ") && oracle.contains("[8, "),
+        "{oracle}"
+    );
+    for shards in [2usize, 8] {
+        assert_eq!(
+            slice(shards),
+            oracle,
+            "shards={shards} diverged from the oracle"
+        );
+    }
+}
+
+/// Satellite: the merged Chrome trace of a sharded run is also invariant
+/// across shard counts (per-shard sinks, deterministically merged).
+#[test]
+fn sharded_trace_is_byte_identical_across_shard_counts() {
+    use rucx::jacobi::{run_sharded_full, ShardedOpts};
+
+    let trace = |shards: usize| {
+        let mut cfg = JacobiConfig::weak(4, Mode::Device);
+        cfg.iters = 2;
+        let run = run_sharded_full(
+            JacobiModel::Ampi,
+            &cfg,
+            &ShardedOpts {
+                shards,
+                trace: true,
+                ..Default::default()
+            },
+        );
+        assert!(run.completed);
+        let json = run.trace_json.expect("trace requested");
+        // The ring must not have wrapped, or invariance is accidental.
+        assert!(json.ends_with(r#""dropped": 0}"#), "trace ring overflowed");
+        json
+    };
+    let oracle = trace(1);
+    if cfg!(feature = "trace") {
+        assert!(oracle.contains("jacobi.halo.recv"), "{oracle}");
+        assert!(oracle.contains("jacobi.iter.comm"));
+    }
+    for shards in [2usize, 8] {
+        assert_eq!(trace(shards), oracle, "shards={shards} trace diverged");
+    }
+}
+
+/// Satellite: both event-queue backends (calendar queue vs the BinaryHeap
+/// oracle) drive the sharded model to bitwise-equal results.
+#[test]
+fn sharded_backends_agree_with_heap_oracle() {
+    use rucx::jacobi::{run_sharded_full, ShardedOpts};
+    use rucx::sim::Backend;
+
+    let mut cfg = JacobiConfig::strong(4, Mode::HostStaging);
+    cfg.iters = 2;
+    let mk = |backend| {
+        run_sharded_full(
+            JacobiModel::Ompi,
+            &cfg,
+            &ShardedOpts {
+                shards: 4,
+                backend,
+                ..Default::default()
+            },
+        )
+    };
+    let cal = mk(Backend::Calendar);
+    let heap = mk(Backend::Oracle);
+    assert_eq!(cal.result, heap.result);
+    assert_eq!(cal.stats.envelopes, heap.stats.envelopes);
+    assert_eq!(cal.stats.windows, heap.stats.windows);
+}
