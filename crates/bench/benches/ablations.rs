@@ -16,12 +16,84 @@ use rucx_bench::{fmt_size, print_table, write_json};
 use rucx_osu::{bandwidth, latency, Mode, Model, OsuConfig, Placement};
 
 fn main() {
-    gdrcopy_ablation();
-    pipeline_ablation();
-    ampi_overhead();
-    eager_threshold_ablation();
-    overdecomposition_ablation();
-    active_message_ablation();
+    // `RUCX_ABLATION=<substring>` runs a single ablation (CI smoke runs
+    // gate on `autotune` without paying for the full figure set).
+    let filter = std::env::var("RUCX_ABLATION").unwrap_or_default();
+    let want = |name: &str| filter.is_empty() || name.contains(filter.as_str());
+    if want("gdrcopy") {
+        gdrcopy_ablation();
+    }
+    if want("pipeline") {
+        pipeline_ablation();
+    }
+    if want("ampi") {
+        ampi_overhead();
+    }
+    if want("eager") {
+        eager_threshold_ablation();
+    }
+    if want("overdecomposition") {
+        overdecomposition_ablation();
+    }
+    if want("active_messages") {
+        active_message_ablation();
+    }
+    if want("autotune") {
+        autotune_ablation();
+    }
+}
+
+/// The protocol engine's acceptance figure: static thresholds vs the
+/// online autotuner vs striped multi-path rendezvous, intra-node device
+/// latency. Asserts the two bars the engine must clear — autotuning never
+/// loses to the static table at any size, and striping beats the single
+/// NVLink path for 16 MiB transfers.
+fn autotune_ablation() {
+    let sizes: Vec<u64> = vec![4 << 10, 8 << 10, 64 << 10, 1 << 20, 16 << 20];
+    let run = |autotune: bool, multipath: bool| {
+        let mut cfg = OsuConfig {
+            sizes: sizes.clone(),
+            ..OsuConfig::default()
+        };
+        cfg.machine.ucp.autotune = autotune;
+        cfg.machine.ucp.multipath = multipath;
+        latency(&cfg, Model::Ompi, Mode::Device, Placement::IntraNode)
+    };
+    let stat = run(false, false);
+    let tuned = run(true, false);
+    let striped = run(false, true);
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for &s in &sizes {
+        let (a, b, c) = (
+            stat.at(s).unwrap(),
+            tuned.at(s).unwrap(),
+            striped.at(s).unwrap(),
+        );
+        assert!(
+            b <= a + 0.01,
+            "autotune regressed at {}: {b:.2} vs {a:.2} us",
+            fmt_size(s)
+        );
+        rows.push(vec![
+            fmt_size(s),
+            format!("{a:.2}"),
+            format!("{b:.2}"),
+            format!("{c:.2}"),
+        ]);
+        json.push((s, a, b, c));
+    }
+    let (a16, c16) = (stat.at(16 << 20).unwrap(), striped.at(16 << 20).unwrap());
+    assert!(
+        c16 < a16,
+        "striping must beat single-path NVLink at 16 MiB: {c16:.1} vs {a16:.1} us"
+    );
+    print_table(
+        "Ablation: protocol engine (intra-node OpenMPI-D latency, us)",
+        &["size", "static", "autotuned", "multi-path"],
+        &rows,
+    );
+    write_json("ablation_autotune", &json);
 }
 
 /// §VI: "GPU support in the active messages API of UCX ... could better fit

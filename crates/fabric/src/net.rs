@@ -114,6 +114,20 @@ impl NetSubsystem {
         node * rails + rail % rails
     }
 
+    /// How long the TX port of `(node, rail)` is already committed past
+    /// `now` — the serialization backlog a new injection on that rail would
+    /// queue behind. Zero when the rail is idle. This is the link-occupancy
+    /// signal the protocol engine reads when balancing pipeline chunks
+    /// across a node's rails.
+    pub fn tx_backlog(&self, node: usize, rail: usize, now: Time) -> Duration {
+        self.tx_busy[self.port(node, rail)].saturating_sub(now)
+    }
+
+    /// RX-side analogue of [`Self::tx_backlog`].
+    pub fn rx_backlog(&self, node: usize, rail: usize, now: Time) -> Duration {
+        self.rx_busy[self.port(node, rail)].saturating_sub(now)
+    }
+
     /// Total payload bytes ever injected.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent

@@ -63,12 +63,15 @@ impl Topology {
     /// `[1, nodes]`). Contiguity along node boundaries is what lets a
     /// conservative parallel driver use the *inter-node* minimum latency
     /// ([`crate::NetParams::min_latency`]) as its lookahead: every
-    /// cross-shard message necessarily crosses a node boundary.
-    pub fn shard_plan(&self, shards: usize) -> ShardPlan {
+    /// cross-shard message necessarily crosses a node boundary. That floor
+    /// is computed once here and cached on the plan — the sharded runner
+    /// consults it per envelope exchange.
+    pub fn shard_plan(&self, shards: usize, net: &crate::NetParams) -> ShardPlan {
         ShardPlan {
             shards: shards.clamp(1, self.nodes),
             nodes: self.nodes,
             gpus_per_node: self.gpus_per_node,
+            min_latency: net.min_latency(),
         }
     }
 
@@ -87,6 +90,10 @@ pub struct ShardPlan {
     pub shards: usize,
     pub nodes: usize,
     pub gpus_per_node: usize,
+    /// Conservative lookahead floor ([`crate::NetParams::min_latency`]),
+    /// cached at plan construction so the per-envelope hot path never
+    /// recomputes it.
+    pub min_latency: rucx_sim::time::Duration,
 }
 
 impl ShardPlan {
@@ -124,8 +131,10 @@ mod tests {
         for nodes in [1usize, 2, 3, 7, 8, 256] {
             for shards in [1usize, 2, 3, 8, 300] {
                 let t = Topology::summit(nodes);
-                let plan = t.shard_plan(shards);
+                let net = crate::NetParams::default();
+                let plan = t.shard_plan(shards, &net);
                 assert!(plan.shards >= 1 && plan.shards <= nodes);
+                assert_eq!(plan.min_latency, net.min_latency());
                 // Ranges tile the node set exactly, in order.
                 let mut next = 0;
                 for s in 0..plan.shards {

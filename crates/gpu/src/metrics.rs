@@ -28,3 +28,22 @@ pub const fn copy_path(path: CopyPath) -> Metric {
         CopyPath::HostMem => COPY_HOST_MEM,
     }
 }
+
+/// Device-to-device transfer-path choices made by the communication layer
+/// (CUDA-IPC rendezvous, striped multi-path legs). `resolve_path` silently
+/// choosing the X-Bus over NVLink — or a transfer degrading to host
+/// staging — used to be invisible; these make the choice observable.
+pub const PATH_NVLINK: Metric = Metric::counter("gpu.path.nvlink");
+pub const PATH_XBUS: Metric = Metric::counter("gpu.path.xbus");
+pub const PATH_HOST_STAGED: Metric = Metric::counter("gpu.path.host_staged");
+
+/// The path-choice counter for a peer-to-peer path; `None` for paths that
+/// are not a device-to-device link decision (on-device, host legs — the
+/// staged rung is counted by its caller via [`PATH_HOST_STAGED`]).
+pub const fn transfer_path(path: CopyPath) -> Option<Metric> {
+    match path {
+        CopyPath::NvLink => Some(PATH_NVLINK),
+        CopyPath::XBus => Some(PATH_XBUS),
+        _ => None,
+    }
+}

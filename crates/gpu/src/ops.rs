@@ -163,6 +163,16 @@ pub fn occupy_transfer<W: HasGpu>(
     let gpu = w.gpu();
     let cross = gpu.device(src_dev).socket != gpu.device(dst_dev).socket;
     let node = gpu.device(src_dev).node;
+    if src_dev != dst_dev {
+        let path = if cross {
+            CopyPath::XBus
+        } else {
+            CopyPath::NvLink
+        };
+        if let Some(m) = crate::metrics::transfer_path(path) {
+            gpu.counters.bump(m);
+        }
+    }
     let mut start = now
         .max(gpu.stream_busy(stream))
         .max(gpu.egress_busy(src_dev))
@@ -180,6 +190,76 @@ pub fn occupy_transfer<W: HasGpu>(
         gpu.set_port_busy(PortRef::XBus(node), occ);
     }
     end
+}
+
+/// One leg of a striped multi-path device-to-device transfer: the path it
+/// rides and the bytes assigned to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripedLeg {
+    pub path: CopyPath,
+    pub bytes: u64,
+}
+
+/// Occupy the resources of a *striped* peer-to-peer transfer: the legs run
+/// concurrently over distinct links (NVLink + X-Bus, or X-Bus + a pinned
+/// host bounce), each carrying its share of the bytes. Unlike
+/// [`occupy_transfer`], the legs do not serialize against each other — the
+/// whole point of striping is driving both links at once with separate copy
+/// engines — but the transfer as a whole still waits for the driving
+/// stream, the source egress and destination ingress ports, and each leg's
+/// own shared-link state.
+///
+/// Returns `(leg_starts, end)`: per-leg start times (after `setup`, in the
+/// order given) and the overall completion time. Stream and both device
+/// ports are held until `end`; an X-Bus leg additionally occupies the
+/// node's aggregate X-Bus for its share.
+pub fn occupy_striped<W: HasGpu>(
+    w: &mut W,
+    s: &mut Scheduler<W>,
+    src_dev: crate::device::DeviceId,
+    dst_dev: crate::device::DeviceId,
+    stream: StreamId,
+    setup: rucx_sim::time::Duration,
+    legs: &[StripedLeg],
+) -> (Vec<Time>, Time) {
+    let now = s.now();
+    let gpu = w.gpu();
+    let node = gpu.device(src_dev).node;
+    let base = now
+        .max(gpu.stream_busy(stream))
+        .max(gpu.egress_busy(src_dev))
+        .max(gpu.ingress_busy(dst_dev))
+        + setup;
+    let mut starts = Vec::with_capacity(legs.len());
+    let mut end = base;
+    for leg in legs {
+        let start = if leg.path == CopyPath::XBus {
+            base.max(gpu.xbus_busy(node))
+        } else {
+            base
+        };
+        let dur = match leg.path {
+            // Degraded secondary leg: a pinned-host bounce pays the
+            // CPU-GPU link twice (D2H then H2D).
+            CopyPath::HostPinnedLink => 2 * gpu.params.wire_time(leg.path, leg.bytes),
+            _ => gpu.params.wire_time(leg.path, leg.bytes),
+        };
+        let leg_end = start + dur;
+        if leg.path == CopyPath::XBus {
+            let occ =
+                start + rucx_sim::time::transfer_time(leg.bytes, gpu.params.xbus_aggregate_gbps);
+            gpu.set_port_busy(PortRef::XBus(node), occ);
+        }
+        if let Some(m) = crate::metrics::transfer_path(leg.path) {
+            gpu.counters.bump(m);
+        }
+        starts.push(start);
+        end = end.max(leg_end);
+    }
+    gpu.set_stream_busy(stream, end);
+    gpu.set_port_busy(PortRef::Egress(src_dev), end);
+    gpu.set_port_busy(PortRef::Ingress(dst_dev), end);
+    (starts, end)
 }
 
 /// Occupy a device's egress port and a stream for `dur` (device-to-host

@@ -128,7 +128,7 @@ impl Params {
             let sharers = self.nic_sharers[self.socket_slot(src)]
                 .max(self.nic_sharers[self.socket_slot(dst)])
                 .max(1);
-            self.net.min_latency() + transfer_time(fb, bw / sharers as f64)
+            self.plan.min_latency + transfer_time(fb, bw / sharers as f64)
         };
         let mut unpack = self.gpu.sync_overhead + pack_cost(fb).duration(&self.gpu);
         if self.mode == Mode::HostStaging {
@@ -440,7 +440,7 @@ pub fn run_sharded(model: JacobiModel, cfg: &JacobiConfig, shards: usize) -> Jac
 /// Run the sharded Jacobi3D model.
 pub fn run_sharded_full(model: JacobiModel, cfg: &JacobiConfig, opts: &ShardedOpts) -> ShardedRun {
     let topo = Topology::summit(cfg.nodes);
-    let plan = topo.shard_plan(opts.shards);
+    let plan = topo.shard_plan(opts.shards, &cfg.machine.net);
     let grid = decompose(cfg.domain, cfg.ranks() as u64);
     let gpu = cfg.machine.gpu.clone();
     let net = cfg.machine.net.clone();
@@ -470,7 +470,7 @@ pub fn run_sharded_full(model: JacobiModel, cfg: &JacobiConfig, opts: &ShardedOp
     // halo: the wire α term plus the unshared transfer of the smallest
     // face at the faster of the two NIC paths. Everything the model adds
     // on top (pack, unpack, staging copies, sharing) only increases it.
-    let lookahead = net.min_latency()
+    let lookahead = plan.min_latency
         + min_cross_face.map_or(0, |fb| transfer_time(fb, net.nic_gbps.max(net.gdr_gbps)));
 
     let params = Arc::new(Params {

@@ -663,6 +663,41 @@ mod tests {
     }
 
     #[test]
+    fn resize_with_all_equal_timestamps_collapses_to_single_time_buckets() {
+        let mut q = CalendarQueue::<W>::new();
+        // More than 2x MIN_BUCKETS pushes at one timestamp force a growth
+        // resize whose strided gap samples are all ties: every gap is zero,
+        // and the width estimator must degrade to its 1 ns floor (shift 0)
+        // rather than underflow in the leading-zeros shift computation.
+        let n = (MIN_BUCKETS * 2 + 1) as u64;
+        for s in 0..n {
+            q.push(entry(1 << 20, s));
+        }
+        assert!(q.heads.len() > MIN_BUCKETS, "growth must have triggered");
+        assert_eq!(q.shift, 0, "all-tie samples pick single-time buckets");
+        let keys = drain_keys(&mut q);
+        assert_eq!(keys.len(), n as usize);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(*k, (1 << 20, i as u64), "ties must drain in seq order");
+        }
+    }
+
+    #[test]
+    fn resize_with_fewer_than_two_samples_keeps_the_width() {
+        let mut q = CalendarQueue::<W>::new();
+        let before = q.shift;
+        // Zero entries: no gap samples at all.
+        q.resize();
+        assert_eq!(q.shift, before, "empty resize must keep the width");
+        // One entry: a single sampled time still yields no gaps.
+        q.push(entry(42, 0));
+        q.resize();
+        assert_eq!(q.shift, before, "one-sample resize must keep the width");
+        assert_eq!(q.min_key(), Some((42, 0)));
+        assert_eq!(drain_keys(&mut q), vec![(42, 0)]);
+    }
+
+    #[test]
     fn cancel_removes_exactly_one_key() {
         let mut q = CalendarQueue::<W>::new();
         for s in 0..10 {

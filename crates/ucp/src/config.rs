@@ -25,6 +25,16 @@ pub struct UcpConfig {
     /// the pipelined host-staging path (off by default, matching the paper's
     /// observed UCX behaviour on Summit; the ablation bench enables it).
     pub direct_gdr_rndv: bool,
+    /// Let the protocol engine adapt eager thresholds and pipeline chunk
+    /// size per endpoint from observed completions (off by default: the
+    /// static table above then applies verbatim, as in the paper's runs).
+    pub autotune: bool,
+    /// Stripe large intra-node device-to-device rendezvous across NVLink
+    /// and the X-Bus concurrently instead of riding a single resolved path.
+    pub multipath: bool,
+    /// Smallest transfer the multi-path striping applies to; below this the
+    /// per-leg DMA setup outweighs the added bandwidth.
+    pub multipath_min: u64,
     /// Intra-node shared-memory transport: per-message latency.
     pub shm_latency: Duration,
     /// Intra-node shared-memory / CMA copy bandwidth (GB/s).
@@ -77,6 +87,9 @@ impl Default for UcpConfig {
             gdrcopy_enabled: true,
             pipeline_chunk: 512 * 1024,
             direct_gdr_rndv: false,
+            autotune: false,
+            multipath: true,
+            multipath_min: 8 << 20,
             shm_latency: us(0.30),
             shm_gbps: 5.2,
             gdrcopy_base: us(0.45),

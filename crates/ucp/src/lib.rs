@@ -12,6 +12,7 @@
 
 pub mod am;
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod machine;
 pub mod metrics;
@@ -22,6 +23,7 @@ pub mod worker;
 
 pub use am::{am_register, am_send_nb, AmHandler, AmId, AmMsg, AmPayload};
 pub use config::UcpConfig;
+pub use engine::{PathPlan, ProtocolEngine, Stripe};
 pub use error::{Protocol, UcpError};
 pub use machine::{build_sim, build_sim_with, MCtx, MSim, Machine, MachineConfig, UcpSubsystem};
 pub use proto::{

@@ -28,6 +28,9 @@ pub(crate) struct RtsState {
     pub payload: SendPayload,
     pub wire_size: u64,
     pub sender_done: Completion,
+    /// When the sender posted the rendezvous — the protocol engine measures
+    /// observed completion latency against this.
+    pub sent_at: Time,
 }
 
 /// World component: UCP framework state.
@@ -51,6 +54,10 @@ pub struct UcpSubsystem {
     /// Reliability-protocol state (tracked envelopes, sequence windows,
     /// parked ATS completions). Only exercised under a loaded fault spec.
     pub(crate) reliable: crate::reliable::ReliableState,
+    /// The protocol engine: per-endpoint observed state (RTT, rendezvous
+    /// lag) and the autotuned knobs derived from it. Pure bookkeeping
+    /// unless [`UcpConfig::autotune`] is set.
+    pub engine: crate::engine::ProtocolEngine,
     /// Model-layer context register: set immediately before a send (only
     /// when faults are enabled) and consumed by the reliability layer into
     /// the tracked envelope, so give-up errors can be routed back to e.g.
@@ -186,7 +193,8 @@ pub fn build_sim_with(topo: Topology, cfg: MachineConfig, sim_cfg: SimConfig) ->
         staging.push(buf);
     }
 
-    let reliable = crate::reliable::ReliableState::new(cfg.fault.as_ref().map_or(0, |sp| sp.seed));
+    let seed = cfg.fault.as_ref().map_or(0, |sp| sp.seed);
+    let reliable = crate::reliable::ReliableState::new(seed);
     let ucp = UcpSubsystem {
         config: cfg.ucp,
         counters: Counters::new(),
@@ -197,6 +205,7 @@ pub fn build_sim_with(topo: Topology, cfg: MachineConfig, sim_cfg: SimConfig) ->
         ucx_streams,
         staging,
         reliable,
+        engine: crate::engine::ProtocolEngine::new(seed),
         send_ctx: 0,
     };
 

@@ -39,6 +39,21 @@ pub const RNDV_RDMA: Metric = Metric::counter("ucp.rndv.rdma");
 pub const RNDV_PIPELINE: Metric = Metric::counter("ucp.rndv.pipeline");
 /// Chunks issued by the pipelined path.
 pub const PIPELINE_CHUNKS: Metric = Metric::counter("ucp.pipeline_chunks");
+/// Striped multi-path transfers (intra-node device-device, NVLink + X-Bus
+/// driven concurrently).
+pub const RNDV_MULTIPATH: Metric = Metric::counter("ucp.rndv.multipath");
+/// Chunks issued across all legs of striped multi-path transfers.
+pub const MULTIPATH_CHUNKS: Metric = Metric::counter("ucp.multipath_chunks");
+
+// ---- Protocol engine -----------------------------------------------------
+
+/// Clean RTT observations fed to the engine (first-transmission acks only).
+pub const RTT_SAMPLE: Metric = Metric::counter("ucp.rtt_sample");
+/// Acks excluded from RTT estimation by Karn's rule (the envelope had been
+/// retransmitted, so the sample would be ambiguous).
+pub const RTT_SKIPPED: Metric = Metric::counter("ucp.rtt_skipped");
+/// Autotuner re-solves that changed at least one endpoint knob.
+pub const TUNE_ADJUST: Metric = Metric::counter("ucp.tune_adjust");
 
 // ---- Reliability protocol (active only under a loaded fault spec) --------
 

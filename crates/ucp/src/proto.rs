@@ -12,14 +12,11 @@
 //! | device   | ≤ eager_thresh_device, GDRCopy on | eager via GDRCopy bounce |
 //! | device   | larger or GDRCopy off | rendezvous: CUDA IPC (intra), pipelined host-staging (inter) |
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-
 use rucx_fabric::{net_transfer, WireKind};
-use rucx_fault::metrics as fm;
 use rucx_gpu::{CopyPath, MemKind, MemRef};
 use rucx_sim::time::Duration;
 
+use crate::engine::{self, gpu_direct_ok, rail};
 use crate::error::{Protocol, UcpError};
 use crate::machine::{Machine, RtsState, SendPayload};
 use crate::metrics as m;
@@ -136,37 +133,6 @@ impl PoppedMsg {
     }
 }
 
-/// NIC rail a process uses: its CPU socket (Summit: dual-rail, one port
-/// per socket).
-pub(crate) fn rail(w: &Machine, proc: usize) -> usize {
-    w.topo.socket_of(proc)
-}
-
-/// Whether `dev`'s GPU-direct paths (GDRCopy window, CUDA IPC mapping,
-/// GPUDirect RDMA) are usable, degrading onto the host-staged ladder rung
-/// when the fault spec has failed the device's copy engine. Each refusal is
-/// observable: metric bump plus a trace instant at the affected process.
-fn gpu_direct_ok(
-    w: &mut Machine,
-    s: &mut MSched,
-    dev: rucx_gpu::DeviceId,
-    proc: usize,
-    size: u64,
-) -> bool {
-    if w.faults.enabled() && w.faults.gpudirect_lost(dev.index() as u32, s.now()) {
-        w.ucp.counters.bump(fm::GPU_DEGRADED);
-        w.ucp.counters.bump(m::FALLBACK_HOST_STAGED);
-        s.trace_instant(
-            "ucp.fallback.host_staged",
-            proc as u32,
-            dev.index() as u64,
-            size,
-        );
-        return false;
-    }
-    true
-}
-
 /// Memory kind of the payload; `None` when a `Mem` buffer names a handle
 /// the pool no longer knows (freed before the send was posted).
 fn payload_kind(w: &Machine, buf: &SendBuf, src_proc: usize) -> Option<MemKind> {
@@ -268,7 +234,7 @@ fn send_wire(
 /// The channel is a serial resource (a CPU-driven copy), so back-to-back
 /// transfers between a pair queue behind each other — this bounds windowed
 /// intra-node throughput to the CMA bandwidth and preserves ordering.
-fn shm_occupy(
+pub(crate) fn shm_occupy(
     w: &mut Machine,
     src: usize,
     dst: usize,
@@ -371,18 +337,9 @@ pub fn tag_send_nb(
     let Some(kind) = payload_kind(w, &buf, src) else {
         return reject_bad_handle(w, s, src, "tag_send_nb", done);
     };
-    let eager = if let MemKind::Device(dev) = kind {
-        // The GDRCopy bounce needs the sender's copy engine; a failed one
-        // degrades the message to rendezvous, whose fetch paths re-check
-        // per device and land on host staging.
-        w.ucp.config.gdrcopy_enabled
-            && size <= w.ucp.config.eager_thresh_device
-            && gpu_direct_ok(w, s, dev, src, size)
-    } else {
-        size <= w.ucp.config.eager_thresh_host
-    };
+    let plan = engine::plan_send(w, s, src, dst, kind, size);
 
-    if eager {
+    if plan.protocol == Protocol::Eager {
         // Sender-side staging: GDRCopy read for device payloads.
         let local_delay = cfg_proto
             + if kind.is_device() {
@@ -437,6 +394,7 @@ pub fn tag_send_nb(
                 payload,
                 wire_size: size,
                 sender_done: done,
+                sent_at: s.now(),
             },
         );
         w.ucp.counters.bump(m::RNDV);
@@ -490,6 +448,7 @@ fn process_match(
                 } else {
                     // GDRCopy window gone on the receiver: land in pinned
                     // host memory, then one staged CPU-GPU leg.
+                    w.gpu.counters.bump(rucx_gpu::metrics::PATH_HOST_STAGED);
                     w.ucp.config.eager_copy_cost(wire_size)
                         + w.gpu.params.wire_time(CopyPath::HostPinnedLink, wire_size)
                 }
@@ -693,11 +652,14 @@ fn start_fetch(
     let intra = w.topo.same_node(src_proc, recv_proc);
     let sender_done = rts.sender_done;
     let payload = rts.payload;
+    let sent_at = rts.sent_at;
+    let device_class = src_kind.is_device();
 
     // After the data is in place: deliver bytes / run receive completion,
     // then ack the sender (ATS) so its request completes. Under a loaded
     // fault spec the inter-node ATS is itself a tracked envelope.
     let finalize = move |w: &mut Machine, s: &mut MSched| {
+        engine::observe_rndv(w, s, src_proc, recv_proc, device_class, size, sent_at);
         let bytes = finalize_data(w, &payload, &dst);
         complete_recv(w, s, recv_proc, done, bytes, info);
         if !intra && w.faults.enabled() {
@@ -711,11 +673,11 @@ fn start_fetch(
     };
 
     if intra {
-        fetch_intra(
+        engine::fetch_intra(
             w, s, src_kind, dst_kind, size, recv_proc, src_proc, finalize,
         );
     } else {
-        fetch_inter(
+        engine::fetch_inter(
             w, s, src_kind, dst_kind, size, recv_proc, src_proc, finalize,
         );
     }
@@ -751,212 +713,5 @@ fn finalize_data(w: &mut Machine, payload: &SendPayload, dst: &FetchDst) -> Opti
         }
         (SendPayload::Bytes(b), FetchDst::Bytes) => Some(b.clone()),
         (SendPayload::Phantom, _) => None,
-    }
-}
-
-/// Intra-node rendezvous: CUDA IPC DMA when both sides are devices, a
-/// staged CPU-GPU leg for mixed pairs, CMA for host-to-host.
-#[allow(clippy::too_many_arguments)]
-fn fetch_intra<F>(
-    w: &mut Machine,
-    s: &mut MSched,
-    src_kind: MemKind,
-    dst_kind: MemKind,
-    size: u64,
-    recv_proc: usize,
-    src_proc: usize,
-    finalize: F,
-) where
-    F: FnOnce(&mut Machine, &mut MSched) + Send + 'static,
-{
-    match (src_kind, dst_kind) {
-        (MemKind::Device(sd), MemKind::Device(dd)) => {
-            if gpu_direct_ok(w, s, sd, src_proc, size) && gpu_direct_ok(w, s, dd, recv_proc, size) {
-                // CUDA IPC: receiver-driven peer-to-peer DMA on the
-                // receiver's UCX-internal stream, contending on device
-                // ports / X-Bus.
-                w.ucp.counters.bump(m::RNDV_IPC);
-                let stream = w.ucp.ucx_streams[recv_proc];
-                let path = if sd == dd {
-                    CopyPath::OnDevice
-                } else if w.gpu.device(sd).socket == w.gpu.device(dd).socket {
-                    CopyPath::NvLink
-                } else {
-                    CopyPath::XBus
-                };
-                let dur = w.ucp.config.ipc_sync + w.gpu.params.wire_time(path, size);
-                let end = rucx_gpu::ops::occupy_transfer(w, s, sd, dd, stream, dur, size);
-                s.schedule_at(end, finalize);
-            } else {
-                // The peer mapping needs both copy engines; a failed one
-                // degrades onto the staged path.
-                fetch_intra_staged(w, s, size, recv_proc, src_proc, finalize);
-            }
-        }
-        (MemKind::Device(_), _) | (_, MemKind::Device(_)) => {
-            fetch_intra_staged(w, s, size, recv_proc, src_proc, finalize);
-        }
-        _ => {
-            // Host-to-host: CMA single copy (serial per pair).
-            w.ucp.counters.bump(m::RNDV_CMA);
-            let end = shm_occupy(w, src_proc, recv_proc, s.now(), size);
-            s.schedule_at(end, finalize);
-        }
-    }
-}
-
-/// Intra-node staged path: one leg over the CPU-GPU link plus the shm
-/// handoff. Both the mixed-pair rung and the degraded device-device rung.
-fn fetch_intra_staged<F>(
-    w: &mut Machine,
-    s: &mut MSched,
-    size: u64,
-    recv_proc: usize,
-    src_proc: usize,
-    finalize: F,
-) where
-    F: FnOnce(&mut Machine, &mut MSched) + Send + 'static,
-{
-    let leg = w.gpu.params.wire_time(CopyPath::HostPinnedLink, size);
-    w.ucp.counters.bump(m::RNDV_STAGED_INTRA);
-    let end = shm_occupy(w, src_proc, recv_proc, s.now(), size) + leg;
-    s.schedule_at(end, finalize);
-}
-
-/// Inter-node rendezvous.
-#[allow(clippy::too_many_arguments)]
-fn fetch_inter<F>(
-    w: &mut Machine,
-    s: &mut MSched,
-    src_kind: MemKind,
-    dst_kind: MemKind,
-    size: u64,
-    recv_proc: usize,
-    src_proc: usize,
-    finalize: F,
-) where
-    F: FnOnce(&mut Machine, &mut MSched) + Send + 'static,
-{
-    let src_port = (w.topo.node_of(src_proc), rail(w, src_proc));
-    let dst_port = (w.topo.node_of(recv_proc), rail(w, recv_proc));
-    match (src_kind, dst_kind) {
-        (MemKind::Device(sd), MemKind::Device(dd)) => {
-            // Direct GPUDirect RDMA needs working copy engines on both
-            // ends; otherwise (or by default) the pipelined host-staging
-            // path carries the transfer — it is the fallback rung, so a
-            // mid-pipeline copy-engine failure degrades to it seamlessly.
-            if w.ucp.config.direct_gdr_rndv
-                && gpu_direct_ok(w, s, sd, src_proc, size)
-                && gpu_direct_ok(w, s, dd, recv_proc, size)
-            {
-                w.ucp.counters.bump(m::RNDV_GDR_DIRECT);
-                net_transfer(w, s, src_port, dst_port, size, WireKind::Gdr, finalize);
-            } else {
-                pipeline_fetch(w, s, src_proc, recv_proc, size, finalize);
-            }
-        }
-        (MemKind::Device(_), _) => {
-            // D2H on the sender, then RDMA.
-            let leg = w.gpu.params.wire_time(CopyPath::HostPinnedLink, size);
-            w.ucp.counters.bump(m::RNDV_STAGED_INTER);
-            s.schedule_in(leg, move |w, s| {
-                let _ = net_transfer(w, s, src_port, dst_port, size, WireKind::Host, finalize);
-            });
-        }
-        (_, MemKind::Device(_)) => {
-            // RDMA, then H2D on the receiver.
-            w.ucp.counters.bump(m::RNDV_STAGED_INTER);
-            let leg = w.gpu.params.wire_time(CopyPath::HostPinnedLink, size);
-            net_transfer(
-                w,
-                s,
-                src_port,
-                dst_port,
-                size,
-                WireKind::Host,
-                move |w, s| {
-                    let _ = w;
-                    s.schedule_in(leg, finalize);
-                },
-            );
-        }
-        _ => {
-            // Zero-copy RDMA get.
-            w.ucp.counters.bump(m::RNDV_RDMA);
-            net_transfer(w, s, src_port, dst_port, size, WireKind::Host, finalize);
-        }
-    }
-}
-
-/// The pipelined host-staging path for large inter-node device transfers:
-/// chunks are staged D2H on the sender, sent over the wire, and staged H2D
-/// on the receiver, all overlapped (§IV-B1).
-fn pipeline_fetch<F>(
-    w: &mut Machine,
-    s: &mut MSched,
-    src_proc: usize,
-    recv_proc: usize,
-    size: u64,
-    finalize: F,
-) where
-    F: FnOnce(&mut Machine, &mut MSched) + Send + 'static,
-{
-    let chunk = w.ucp.config.pipeline_chunk.max(1);
-    let nchunks = size.div_ceil(chunk);
-    w.ucp.counters.add(m::PIPELINE_CHUNKS, nchunks);
-    w.ucp.counters.bump(m::RNDV_PIPELINE);
-    let src_port = (w.topo.node_of(src_proc), rail(w, src_proc));
-    let dst_port = (w.topo.node_of(recv_proc), rail(w, recv_proc));
-    let src_dev = w.topo.device_of(src_proc);
-    let dst_dev = w.topo.device_of(recv_proc);
-    let src_stream = w.ucp.ucx_streams[src_proc];
-    let dst_stream = w.ucp.ucx_streams[recv_proc];
-
-    // Shared across chunk completions, which may run on whichever thread
-    // holds the execution core at the time — hence Arc, not Rc.
-    let remaining = Arc::new(AtomicU64::new(nchunks));
-    let finalize = Arc::new(Mutex::new(Some(finalize)));
-
-    for i in 0..nchunks {
-        let len = chunk.min(size - i * chunk);
-        // Sender-side D2H staging (serializes on the sender's UCX stream).
-        let path = CopyPath::HostPinnedLink;
-        let dur = w.gpu.params.wire_time(path, len);
-        let d2h_end = rucx_gpu::ops::occupy_egress(w, s, src_dev, src_stream, dur);
-        // The sender-side D2H staging window of this chunk.
-        s.trace_span(
-            "ucp.pipeline.chunk",
-            d2h_end.saturating_sub(dur),
-            d2h_end,
-            src_proc as u32,
-            i,
-            len,
-        );
-        let remaining = remaining.clone();
-        let finalize = finalize.clone();
-        s.schedule_at(d2h_end, move |w, s| {
-            net_transfer(
-                w,
-                s,
-                src_port,
-                dst_port,
-                len,
-                WireKind::Host,
-                move |w, s| {
-                    let h2d_dur = w.gpu.params.wire_time(CopyPath::HostPinnedLink, len);
-                    let h2d_end = rucx_gpu::ops::occupy_ingress(w, s, dst_dev, dst_stream, h2d_dur);
-                    s.schedule_at(h2d_end, move |w, s| {
-                        if remaining.fetch_sub(1, Ordering::Relaxed) == 1 {
-                            let f = finalize
-                                .lock()
-                                .unwrap()
-                                .take()
-                                .expect("pipeline finalized twice");
-                            f(w, s);
-                        }
-                    });
-                },
-            );
-        });
     }
 }

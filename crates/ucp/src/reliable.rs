@@ -32,13 +32,14 @@ use std::collections::{BTreeSet, HashMap};
 
 use rucx_fabric::{net_transfer, WireKind};
 use rucx_fault::{metrics as fm, WireFault};
-use rucx_sim::time::Duration;
+use rucx_sim::time::{Duration, Time};
 use rucx_sim::SimRng;
 
+use crate::engine::rail;
 use crate::error::UcpError;
 use crate::machine::Machine;
 use crate::metrics as m;
-use crate::proto::{complete, deliver, rail};
+use crate::proto::{complete, deliver};
 use crate::tag::Tag;
 use crate::worker::{ArrivedBody, ArrivedMsg, Completion, MSched};
 
@@ -61,6 +62,10 @@ pub(crate) struct PendingSend {
     pub seq: u64,
     /// Transmissions so far (1 = original only).
     pub attempts: u32,
+    /// When the *original* transmission hit the wire. Only acks of
+    /// never-retransmitted envelopes yield RTT samples (Karn's rule), so
+    /// this never needs re-stamping.
+    pub sent_at: Time,
     pub body: TrackedBody,
     /// Model-layer context stamped at send time (routes give-up errors to
     /// e.g. the owning chare); 0 when unset.
@@ -199,6 +204,7 @@ fn enqueue(
             wire_size,
             seq,
             attempts: 1,
+            sent_at: 0,
             body,
             ctx,
         },
@@ -213,16 +219,18 @@ fn enqueue(
 /// One transmission attempt: run the fault lottery, put the envelope on the
 /// wire accordingly, and arm the retransmission timer for this attempt.
 fn transmit(w: &mut Machine, s: &mut MSched, id: u64) {
-    let Some(p) = w.ucp.reliable.inflight.get(&id) else {
+    let now = s.now();
+    let Some(p) = w.ucp.reliable.inflight.get_mut(&id) else {
         return; // acked between scheduling and execution
     };
+    if p.attempts == 1 {
+        p.sent_at = now;
+    }
     let (src, dst, seq, tag, wire_size, attempt) =
         (p.src, p.dst, p.seq, p.tag, p.wire_size, p.attempts);
     let body = p.body.clone();
     let rto = rto_for(w, wire_size, attempt);
     s.schedule_in(rto, move |w, s| on_timeout(w, s, id, attempt));
-
-    let now = s.now();
     let (src_node, dst_node) = (w.topo.node_of(src), w.topo.node_of(dst));
     let src_port = (src_node, rail(w, src));
     let dst_port = (dst_node, rail(w, dst));
@@ -347,9 +355,20 @@ fn send_ack(w: &mut Machine, s: &mut MSched, from: usize, to: usize, id: u64) {
     let dst_port = (dst_node, rail(w, to));
     // Captures only `id`, so the closure is `Copy` and one definition serves
     // the duplicate branch.
-    let deliver_ack = move |w: &mut Machine, _s: &mut MSched| {
-        if w.ucp.reliable.inflight.remove(&id).is_some() {
+    let deliver_ack = move |w: &mut Machine, s: &mut MSched| {
+        if let Some(p) = w.ucp.reliable.inflight.remove(&id) {
             w.ucp.counters.bump(m::ACKED);
+            if p.attempts == 1 {
+                // Clean sample: the ack unambiguously answers the original
+                // transmission.
+                w.ucp.counters.bump(m::RTT_SAMPLE);
+                let rtt = s.now().saturating_sub(p.sent_at);
+                w.ucp.engine.observe_rtt((p.src as u32, p.dst as u32), rtt);
+            } else {
+                // Karn's rule: a retransmitted envelope's ack could answer
+                // any attempt — never feed it to the estimator.
+                w.ucp.counters.bump(m::RTT_SKIPPED);
+            }
         }
     };
     match w.faults.wire_fault(src_node, dst_node, s.now()) {

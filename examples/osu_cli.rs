@@ -23,7 +23,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: osu_cli <latency|bw|bibw> [--model charm|ampi|openmpi|charm4py] \
          [--mode d|h] [--place intra|inter] [--no-gdrcopy] [--quick] [--fault-spec SPEC] \
-         [--shards N]"
+         [--shards N] [--tune] [--json]"
     );
     std::process::exit(2)
 }
@@ -75,6 +75,7 @@ fn main() {
     let mut place = Placement::IntraNode;
     let mut cfg = OsuConfig::default();
     let mut shards = 1usize;
+    let mut json = false;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -102,6 +103,8 @@ fn main() {
                 }
             }
             "--no-gdrcopy" => cfg.machine.ucp.gdrcopy_enabled = false,
+            "--tune" => cfg.machine.ucp.autotune = true,
+            "--json" => json = true,
             "--shards" => {
                 shards = it
                     .next()
@@ -125,6 +128,12 @@ fn main() {
         }
     }
 
+    // `RUCX_AUTOTUNE=1` turns the protocol engine's autotuner on without
+    // touching the invocation (CI determinism gates flip it per run).
+    if std::env::var("RUCX_AUTOTUNE").as_deref() == Ok("1") {
+        cfg.machine.ucp.autotune = true;
+    }
+
     let series: Series = match bench.as_str() {
         "latency" => run_sharded_sweep(&cfg, shards, |c| latency(c, model, mode, place)),
         "bw" => run_sharded_sweep(&cfg, shards, |c| bandwidth(c, model, mode, place)),
@@ -143,6 +152,11 @@ fn main() {
         _ => usage(),
     };
 
+    if json {
+        use rucx::compat::json::ToJson;
+        println!("{}", series.to_json());
+        return;
+    }
     println!("# {} ({})", series.label, series.unit);
     println!("{:>10}  {:>14}", "size", series.unit);
     for (size, v) in &series.points {

@@ -144,6 +144,32 @@ RUCX_MAX_NODES=8 RUCX_BENCH_ITERS=2 RUCX_BENCH_WARMUP=0 \
 echo "ok: sharded weak/strong sweep runs end to end"
 
 # ---------------------------------------------------------------------------
+# Protocol engine: autotune determinism + ablation acceptance. The OSU JSON
+# with the autotuner enabled must be byte-identical across two runs and
+# across shard counts (per-endpoint engine state is seeded and driven by
+# virtual time, never by the wall clock), and the engine ablation must clear
+# the bars asserted inside it: autotuned never loses to the static table at
+# any size, and striping beats single-path NVLink at 16 MiB.
+# ---------------------------------------------------------------------------
+echo "== protocol engine: autotune determinism gate =="
+cargo build -q --offline --release --example osu_cli
+osu=./target/release/examples/osu_cli
+a=$(RUCX_AUTOTUNE=1 "$osu" latency --quick --json)
+b=$(RUCX_AUTOTUNE=1 "$osu" latency --quick --json)
+c=$(RUCX_AUTOTUNE=1 "$osu" latency --quick --json --shards 2)
+d=$("$osu" latency --quick --json --tune)
+[ "$a" = "$b" ] || { echo "FAIL: autotuned OSU JSON differs across runs"; exit 1; }
+[ "$a" = "$c" ] || { echo "FAIL: autotuned OSU JSON differs across shard counts"; exit 1; }
+[ "$a" = "$d" ] || { echo "FAIL: --tune and RUCX_AUTOTUNE=1 disagree"; exit 1; }
+echo "ok: autotuned OSU JSON byte-identical across runs and shard counts"
+
+echo "== protocol engine: ablation smoke =="
+RUCX_ABLATION=autotune cargo bench -q --offline -p rucx-bench --bench ablations >/dev/null
+test -s target/rucx-results/ablation_autotune.json \
+    || { echo "FAIL: ablation_autotune.json not written"; exit 1; }
+echo "ok: engine ablation clears its acceptance asserts"
+
+# ---------------------------------------------------------------------------
 # Trace subsystem: the zero-cost-when-disabled claim must also hold at
 # compile time (no-default-features strips the `trace` feature), a traced
 # run must emit the Chrome JSON and attribution outputs, and identical

@@ -337,6 +337,73 @@ fn sharded_trace_is_byte_identical_across_shard_counts() {
     }
 }
 
+/// Satellite: striped multi-path rendezvous (>= 8 MiB intra-node D2D,
+/// NVLink and X-Bus legs driven concurrently) completes deterministically.
+/// The Chrome trace pins the full interleaving — every per-leg chunk
+/// completion (`ucp.mp.chunk`) and the merged finalize — and must be
+/// byte-identical across reruns and across the calendar / heap-oracle
+/// scheduler backends, the same invariance the sharded suite pins for the
+/// jacobi engine.
+#[test]
+fn sharded_style_multipath_chunk_trace_is_backend_invariant() {
+    use rucx::fabric::Topology;
+    use rucx::gpu::DeviceId;
+    use rucx::sim::{Backend, RunOutcome, SimConfig};
+    use rucx::ucp::{blocking, build_sim_with, MachineConfig, SendBuf, MASK_FULL};
+
+    let traced_run = |backend| {
+        let mut sim_cfg = SimConfig::default();
+        sim_cfg.backend = backend;
+        let mut sim = build_sim_with(Topology::summit(1), MachineConfig::default(), sim_cfg);
+        sim.scheduler().trace.enable(0);
+        // Concurrent 16 MiB device-to-device fetches over several pairs:
+        // same-socket (NVLink + X-Bus stripes) and cross-socket (X-Bus +
+        // host-bounce stripes), all in flight at once so leg completions
+        // genuinely interleave.
+        let size = 16u64 << 20;
+        let pairs = [(0usize, 1usize), (2, 3), (1, 4), (0, 5)];
+        let mut bufs = Vec::new();
+        for &(s, d) in &pairs {
+            let m = sim.world_mut();
+            let src = m
+                .gpu
+                .pool
+                .alloc_device(DeviceId(s as u32), size, false)
+                .unwrap();
+            let dst = m
+                .gpu
+                .pool
+                .alloc_device(DeviceId(d as u32), size, false)
+                .unwrap();
+            bufs.push((src, dst));
+        }
+        for (i, (&(sp, dp), (src, dst))) in pairs.iter().zip(bufs).enumerate() {
+            let tag = i as u64;
+            sim.spawn("snd", sp as u64, move |ctx| {
+                blocking::send(ctx, sp, dp, SendBuf::Mem(src), tag);
+            });
+            sim.spawn("rcv", dp as u64, move |ctx| {
+                blocking::recv(ctx, dp, dst, tag, MASK_FULL);
+            });
+        }
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let c = &sim.world().ucp.counters;
+        assert_eq!(
+            c.get("ucp.rndv.multipath"),
+            pairs.len() as u64,
+            "every transfer must take the striped path"
+        );
+        assert!(c.get("ucp.multipath_chunks") > 0);
+        sim.scheduler().trace.to_chrome_json()
+    };
+    let a = traced_run(Backend::Calendar);
+    if cfg!(feature = "trace") {
+        assert!(a.contains("ucp.mp.chunk"), "chunk completions traced");
+    }
+    assert_eq!(traced_run(Backend::Calendar), a, "rerun diverged");
+    assert_eq!(traced_run(Backend::Oracle), a, "oracle backend diverged");
+}
+
 /// Satellite: both event-queue backends (calendar queue vs the BinaryHeap
 /// oracle) drive the sharded model to bitwise-equal results.
 #[test]
