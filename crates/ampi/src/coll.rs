@@ -1,138 +1,61 @@
-//! AMPI collectives over GPU buffers, translated to the GPU-aware
-//! point-to-point path (the paper's §VI direction). Algorithms: binomial
-//! tree broadcast and recursive-doubling allreduce (with fold-in/fold-out
-//! for non-power-of-two rank counts).
+//! AMPI collectives over GPU buffers, routed through the shared
+//! topology-aware collective engine ([`rucx_coll`]). The engine owns the
+//! algorithms (binomial tree, recursive doubling, ring, hierarchical
+//! NVLink-aware) and their selection; this module only adapts `MpiRank`'s
+//! point-to-point surface to [`CollComm`].
 
-use rucx_gpu::{KernelCost, MemRef};
-use rucx_sim::time::us;
+use rucx_coll::CollComm;
+use rucx_gpu::MemRef;
 use rucx_ucp::MCtx;
 
 use crate::mpi::MpiRank;
 
-/// Reserved tag space for collectives.
-const COLL_TAG: i32 = (1 << 20) + 7_000;
-
 /// Element-wise reduction operators over `f64` payloads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MpiOp {
-    Sum,
-    Max,
-    Min,
+pub use rucx_coll::ReduceOp as MpiOp;
+
+impl CollComm for MpiRank {
+    fn rank(&self) -> usize {
+        MpiRank::rank(self)
+    }
+
+    fn nranks(&self) -> usize {
+        self.size()
+    }
+
+    fn send(&mut self, ctx: &mut MCtx, buf: MemRef, dst: usize, tag: i32) {
+        MpiRank::send(self, ctx, buf, dst, tag)
+    }
+
+    fn recv(&mut self, ctx: &mut MCtx, buf: MemRef, src: usize, tag: i32) {
+        MpiRank::recv(self, ctx, buf, src as i32, tag);
+    }
+
+    fn sendrecv(
+        &mut self,
+        ctx: &mut MCtx,
+        sbuf: MemRef,
+        dst: usize,
+        stag: i32,
+        rbuf: MemRef,
+        src: usize,
+        rtag: i32,
+    ) {
+        // Nonblocking pair: AMPI's blocking send is rendezvous-gated, so a
+        // symmetric exchange must post the receive first.
+        MpiRank::sendrecv(self, ctx, sbuf, dst, stag, rbuf, src as i32, rtag);
+    }
 }
 
 impl MpiRank {
     /// `MPI_Bcast` of a (possibly device-resident) buffer from `root`.
     pub fn bcast(&mut self, ctx: &mut MCtx, buf: MemRef, root: usize) {
-        let n = self.size();
-        let me = self.rank();
-        let vrank = (me + n - root) % n;
-        let mut mask = 1usize;
-        while mask < n {
-            if vrank & mask != 0 {
-                let parent = (vrank - mask + root) % n;
-                self.recv(ctx, buf, parent as i32, COLL_TAG);
-                break;
-            }
-            mask <<= 1;
-        }
-        let mut child = mask >> 1;
-        while child > 0 {
-            let vchild = vrank + child;
-            if vchild < n {
-                let dst = (vchild + root) % n;
-                self.send(ctx, buf, dst, COLL_TAG);
-            }
-            child >>= 1;
-        }
+        rucx_coll::bcast(self, ctx, buf, root)
     }
 
-    /// `MPI_Allreduce` over `f64` elements with recursive doubling.
-    /// `scratch` must be a same-size buffer on the same device.
+    /// `MPI_Allreduce` over `f64` elements; the engine picks the schedule
+    /// per (size, placement). `scratch` must be a same-size buffer on the
+    /// same device.
     pub fn allreduce(&mut self, ctx: &mut MCtx, buf: MemRef, scratch: MemRef, op: MpiOp) {
-        assert_eq!(buf.len, scratch.len);
-        assert_eq!(buf.len % 8, 0, "f64 payload");
-        let n = self.size();
-        let me = self.rank();
-        let dev = ctx.with_world_ref(|w, _| w.topo.device_of(me));
-        let stream = ctx.with_world_ref(|w, _| w.gpu.default_stream(dev));
-        let p2 = n.next_power_of_two() / if n.is_power_of_two() { 1 } else { 2 };
-        let extra = n - p2;
-        if me >= p2 {
-            self.send(ctx, buf, me - p2, COLL_TAG + 1);
-        } else if me < extra {
-            self.recv(ctx, scratch, (me + p2) as i32, COLL_TAG + 1);
-            combine(ctx, buf, scratch, op, stream);
-        }
-        if me < p2 {
-            let mut mask = 1usize;
-            while mask < p2 {
-                let partner = me ^ mask;
-                let r = self.irecv(ctx, scratch, partner as i32, COLL_TAG + 2);
-                let s = self.isend(ctx, buf, partner, COLL_TAG + 2);
-                self.waitall(ctx, &[r, s]);
-                combine(ctx, buf, scratch, op, stream);
-                mask <<= 1;
-            }
-        }
-        if me < extra {
-            self.send(ctx, buf, me + p2, COLL_TAG + 3);
-        } else if me >= p2 {
-            self.recv(ctx, buf, (me - p2) as i32, COLL_TAG + 3);
-        }
+        rucx_coll::allreduce(self, ctx, buf, scratch, op)
     }
-}
-
-/// Local reduction kernel (memory-bound) plus the actual element-wise math
-/// on the backing bytes.
-fn combine(ctx: &mut MCtx, mine: MemRef, other: MemRef, op: MpiOp, stream: rucx_gpu::StreamId) {
-    // Launch + kernel + sync, like any small CUDA reduction.
-    let (launch, sync) =
-        ctx.with_world_ref(|w, _| (w.gpu.params.kernel_launch, w.gpu.params.sync_overhead));
-    ctx.advance(launch);
-    let done = ctx.with_world(move |w, s| {
-        let t = s.new_trigger();
-        rucx_gpu::kernel_async(
-            w,
-            s,
-            stream,
-            KernelCost {
-                fixed: us(3.0),
-                bytes: mine.len * 3,
-            },
-            Some(t),
-        );
-        t
-    });
-    ctx.wait(done);
-    ctx.with_world(move |_, s| s.recycle_trigger(done));
-    ctx.advance(sync);
-    ctx.with_world(move |w, _| {
-        if !w.gpu.pool.is_materialized(mine.id).unwrap_or(false) {
-            return;
-        }
-        // Invariant: both handles are the collective's own live,
-        // materialized buffers (checked just above for `mine`; `other`
-        // was just written by the transfer that completed `done`).
-        let a = w.gpu.pool.read(mine).expect("combine lhs");
-        let b = w.gpu.pool.read(other).expect("combine rhs");
-        let mut out = Vec::with_capacity(a.len());
-        for (ca, cb) in a.chunks_exact(8).zip(b.chunks_exact(8)) {
-            // Invariant: chunks_exact(8) yields exactly 8 bytes.
-            let x = f64::from_le_bytes(ca.try_into().unwrap());
-            let y = f64::from_le_bytes(cb.try_into().unwrap());
-            let r = match op {
-                MpiOp::Sum => x + y,
-                MpiOp::Max => x.max(y),
-                MpiOp::Min => x.min(y),
-            };
-            out.extend_from_slice(&r.to_le_bytes());
-        }
-        let len = out.len() as u64;
-        w.gpu
-            .pool
-            // Invariant: `out` is at most `mine.len` bytes (element-wise
-            // combine of a read of `mine`), into a live handle.
-            .write(mine.slice(0, len), &out)
-            .expect("combine write");
-    });
 }

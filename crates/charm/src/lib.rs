@@ -260,6 +260,49 @@ mod tests {
     }
 
     #[test]
+    fn reduction_over_topology_tree() {
+        // Same reduction, but climbing the NVLink-aware spanning tree from
+        // the collective engine (one leader per node crosses the network).
+        let mut sim = sim(2);
+        let result = Arc::new(AtomicU64::new(0));
+        let result2 = result.clone();
+        launch(&mut sim, move |pe, ctx| {
+            let tree = ctx.with_world_ref(|w, _| rucx_coll::Tree::topology(&w.topo, 12));
+            pe.set_reduction_tree(tree);
+            let n = pe.n_pes as u64;
+            let col = pe.register_collection(n, move |i| i as usize % n as usize);
+            let result3 = result2.clone();
+            let ep_done = pe.register_ep(
+                col,
+                None,
+                Box::new(move |_chare, msg: &Msg, pe, ctx| {
+                    let mut r = marshal::Reader(&msg.params);
+                    let sum = r.f64();
+                    assert_eq!(r.u64(), pe.n_pes as u64);
+                    result3.store(sum as u64, Ordering::SeqCst);
+                    pe.exit_all(ctx);
+                }),
+            );
+            struct Unit;
+            for &i in pe.local_indices(col).to_vec().iter() {
+                pe.insert_chare(col, i, Box::new(Unit));
+            }
+            let me = pe.index as f64;
+            pe.contribute(
+                ctx,
+                col,
+                pe.index as u64,
+                RedOp::Sum,
+                me,
+                RedTarget::Chare(ChareRef { col, index: 0 }, ep_done),
+            );
+            pe.run(ctx);
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(result.load(Ordering::SeqCst), 66);
+    }
+
+    #[test]
     fn self_send_via_local_queue() {
         let mut sim = sim(1);
         let hits = Arc::new(AtomicU64::new(0));

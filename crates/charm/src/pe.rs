@@ -11,6 +11,7 @@ use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
+use rucx_coll::Tree;
 use rucx_gpu::MemRef;
 use rucx_sim::sched::Trigger;
 use rucx_ucp::{
@@ -161,6 +162,9 @@ pub struct Pe {
     pub scheme: TagScheme,
     /// Runtime cost model.
     pub params: CharmParams,
+    /// The PE tree reductions climb. Defaults to the historical binary
+    /// tree; [`Pe::set_reduction_tree`] swaps in a topology-aware one.
+    red_tree: Rc<Tree>,
     device_cnt: u64,
     collections: Vec<CollectionData>,
     chares: HashMap<(u16, u64), Box<dyn Any>>,
@@ -234,6 +238,7 @@ impl Pe {
             n_pes,
             scheme,
             params,
+            red_tree: Rc::new(Tree::binary(n_pes)),
             device_cnt: 0,
             collections: Vec::new(),
             chares: HashMap::new(),
@@ -254,6 +259,19 @@ impl Pe {
 
     // ---- Registration -------------------------------------------------
 
+    /// Replace the reduction spanning tree (e.g. with
+    /// [`Tree::topology`], which keeps contributions on NVLink until one
+    /// leader per node crosses the network). Must be called identically on
+    /// every PE, before any collection is registered.
+    pub fn set_reduction_tree(&mut self, tree: Tree) {
+        assert_eq!(tree.len(), self.n_pes, "tree must span every PE");
+        assert!(
+            self.collections.is_empty(),
+            "set the reduction tree before registering collections"
+        );
+        self.red_tree = Rc::new(tree);
+    }
+
     /// Register a chare collection with `num_elements` elements and an
     /// index→PE placement map. Must be called identically on every PE
     /// (SPMD registration, as in the real runtime).
@@ -263,18 +281,14 @@ impl Pe {
         map: impl Fn(u64) -> usize + 'static,
     ) -> Collection {
         let map: Rc<dyn Fn(u64) -> usize> = Rc::new(map);
-        // Elements per PE, then per-subtree (binary tree) totals.
+        // Elements per PE, then per-subtree totals along the reduction tree.
         let mut per_pe = vec![0u64; self.n_pes];
         for i in 0..num_elements {
             let pe = map(i);
             assert!(pe < self.n_pes, "map({i}) = {pe} out of range");
             per_pe[pe] += 1;
         }
-        let mut subtree = per_pe.clone();
-        for p in (1..self.n_pes).rev() {
-            let parent = (p - 1) / 2;
-            subtree[parent] += subtree[p];
-        }
+        let subtree = self.red_tree.subtree_weights(&per_pe);
         let local_indices: Vec<u64> = (0..num_elements)
             .filter(|&i| map(i) == self.index)
             .collect();
@@ -815,8 +829,10 @@ impl Pe {
             }
             entry.acc = combine(op, entry.acc, value);
             entry.count += count;
-            // Children of this PE in the binary tree that have elements.
-            let expected_children = expected_child_count(self.index, self.n_pes, &c.subtree_elems);
+            // Children of this PE in the reduction tree that have elements.
+            let expected_children = self
+                .red_tree
+                .expected_children(self.index, &c.subtree_elems);
             let done = entry.local_got == n_local && entry.children_got == expected_children;
             (done, entry.acc, entry.count)
         };
@@ -828,19 +844,8 @@ impl Pe {
             let e = c.red.entries.remove(&seq).expect("reduction entry");
             e.target
         };
-        if self.index == 0 {
-            // Root: deliver.
-            let t = target.expect("reduction completed at root without a target");
-            let mut params = Vec::new();
-            crate::wire::marshal::put_f64(&mut params, acc);
-            crate::wire::marshal::put_u64(&mut params, total);
-            match t {
-                RedTarget::Broadcast(c2, ep) => self.broadcast(ctx, c2, ep, params),
-                RedTarget::Chare(cr, ep) => self.send(ctx, cr, ep, params, 0, vec![]),
-            }
-        } else {
-            // Forward to parent.
-            let parent = (self.index - 1) / 2;
+        if let Some(parent) = self.red_tree.parent(self.index) {
+            // Forward to the parent PE in the reduction tree.
             let mut params = Vec::new();
             {
                 use crate::wire::marshal::*;
@@ -860,6 +865,16 @@ impl Pe {
                 device: vec![],
             };
             self.post_envelope(ctx, parent, env);
+        } else {
+            // Root: deliver.
+            let t = target.expect("reduction completed at root without a target");
+            let mut params = Vec::new();
+            crate::wire::marshal::put_f64(&mut params, acc);
+            crate::wire::marshal::put_u64(&mut params, total);
+            match t {
+                RedTarget::Broadcast(c2, ep) => self.broadcast(ctx, c2, ep, params),
+                RedTarget::Chare(cr, ep) => self.send(ctx, cr, ep, params, 0, vec![]),
+            }
         }
     }
 
@@ -1434,37 +1449,9 @@ fn op_from(v: u64) -> RedOp {
     }
 }
 
-/// Number of children of `pe` in the binary PE tree whose subtrees contain
-/// any elements (only those will send contributions).
-fn expected_child_count(pe: usize, n_pes: usize, subtree_elems: &[u64]) -> usize {
-    let mut n = 0;
-    for c in [2 * pe + 1, 2 * pe + 2] {
-        if c < n_pes && subtree_elems[c] > 0 {
-            n += 1;
-        }
-    }
-    n
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn expected_children_skips_empty_subtrees() {
-        // 7 PEs, elements only on PEs 0..3 (subtree sums computed by hand).
-        //        0
-        //      1   2
-        //     3 4 5 6
-        let per_pe = [1u64, 1, 1, 1, 0, 0, 0];
-        let mut subtree = per_pe;
-        for p in (1..7).rev() {
-            subtree[(p - 1) / 2] += subtree[p];
-        }
-        assert_eq!(expected_child_count(0, 7, &subtree), 2); // both subtrees have elems
-        assert_eq!(expected_child_count(1, 7, &subtree), 1); // only child 3
-        assert_eq!(expected_child_count(2, 7, &subtree), 0); // 5,6 empty
-    }
 
     #[test]
     fn red_identities() {

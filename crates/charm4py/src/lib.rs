@@ -16,7 +16,10 @@
 //! exposed via [`PyProc::cuda_dtoh`]/[`PyProc::cuda_htod`] wrappers that add
 //! the Python call overhead on top of the simulated CUDA costs.
 
-use std::collections::{HashMap, VecDeque};
+pub mod coll;
+pub use coll::ReduceOp;
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use rucx_charm::{marshal, ChareRef, Collection, EpId, Msg, Pe};
 use rucx_gpu::{copy_async, stream_sync_trigger, MemRef, StreamId};
@@ -103,10 +106,37 @@ fn py_exception(err: &UcpError) -> PyExceptionRecord {
     }
 }
 
+/// Per-peer channel delivery state. Charm4py channels are ordered even
+/// though the underlying runtime's message delivery is not: each message
+/// carries a per-pair sequence number, and arrivals the network reordered
+/// are stashed until their turn (the real Channel class does the same
+/// buffering with its internal seqnum).
+#[derive(Default)]
+struct PeerInbox {
+    next_seq: u64,
+    ready: VecDeque<ChanPayload>,
+    stashed: BTreeMap<u64, ChanPayload>,
+}
+
+impl PeerInbox {
+    fn deliver(&mut self, seq: u64, payload: ChanPayload) {
+        if seq == self.next_seq {
+            self.next_seq += 1;
+            self.ready.push_back(payload);
+            while let Some(p) = self.stashed.remove(&self.next_seq) {
+                self.next_seq += 1;
+                self.ready.push_back(p);
+            }
+        } else {
+            self.stashed.insert(seq, payload);
+        }
+    }
+}
+
 /// The chare behind one Charm4py process: per-peer channel inboxes,
 /// registered methods, and fulfilled futures.
 struct ChanState {
-    inbox: HashMap<u32, VecDeque<ChanPayload>>,
+    inbox: HashMap<u32, PeerInbox>,
     barrier_epoch: u64,
     methods: HashMap<u16, PyMethod>,
     futures: HashMap<u64, Option<Vec<u8>>>,
@@ -131,6 +161,8 @@ pub struct PyProc {
     ep_barrier: EpId,
     ep_invoke: EpId,
     next_future: u64,
+    /// Next per-peer channel sequence number on the send side.
+    chan_seq: HashMap<usize, u64>,
     pub params: PyParams,
 }
 
@@ -144,9 +176,10 @@ thread_local! {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PyFuture(u64);
 
-fn encode_chan(src: u32, payload: &ChanPayload) -> Vec<u8> {
+fn encode_chan(src: u32, seq: u64, payload: &ChanPayload) -> Vec<u8> {
     let mut b = Vec::new();
     marshal::put_u32(&mut b, src);
+    marshal::put_u64(&mut b, seq);
     match payload {
         ChanPayload::Inline { bytes, size } => {
             marshal::put_u8(&mut b, 0);
@@ -168,9 +201,10 @@ fn encode_chan(src: u32, payload: &ChanPayload) -> Vec<u8> {
     b
 }
 
-fn decode_chan(params: &[u8]) -> (u32, ChanPayload) {
+fn decode_chan(params: &[u8]) -> (u32, u64, ChanPayload) {
     let mut r = marshal::Reader(params);
     let src = r.u32();
+    let seq = r.u64();
     let payload = match r.u8() {
         0 => {
             let size = r.u64();
@@ -186,7 +220,7 @@ fn decode_chan(params: &[u8]) -> (u32, ChanPayload) {
         },
         k => panic!("bad channel payload kind {k}"),
     };
-    (src, payload)
+    (src, seq, payload)
 }
 
 impl PyProc {
@@ -200,8 +234,8 @@ impl PyProc {
             None,
             Box::new(|chare, msg: &Msg, _pe, _ctx| {
                 let st = chare.downcast_mut::<ChanState>().expect("chan state");
-                let (src, payload) = decode_chan(&msg.params);
-                st.inbox.entry(src).or_default().push_back(payload);
+                let (src, seq, payload) = decode_chan(&msg.params);
+                st.inbox.entry(src).or_default().deliver(seq, payload);
             }),
         );
         let ep_barrier = pe.register_ep(
@@ -298,8 +332,16 @@ impl PyProc {
             ep_barrier,
             ep_invoke,
             next_future: 1,
+            chan_seq: HashMap::new(),
             params,
         }
+    }
+
+    fn next_chan_seq(&mut self, peer: usize) -> u64 {
+        let s = self.chan_seq.entry(peer).or_insert(0);
+        let v = *s;
+        *s += 1;
+        v
     }
 
     /// Register a remotely-invocable method (a Python method of this
@@ -438,7 +480,8 @@ impl PyProc {
             ml_tag,
             size: buf.len,
         };
-        let bytes = encode_chan(self.rank as u32, &payload);
+        let seq = self.next_chan_seq(ch.peer);
+        let bytes = encode_chan(self.rank as u32, seq, &payload);
         let (col, ep) = (self.col, self.ep_chan);
         self.pe.send(
             ctx,
@@ -473,7 +516,8 @@ impl PyProc {
         // Unmaterialized payloads still occupy `size` bytes on the wire.
         let phantom = if bytes.is_none() { size } else { 0 };
         let payload = ChanPayload::Inline { bytes, size };
-        let bytes = encode_chan(self.rank as u32, &payload);
+        let seq = self.next_chan_seq(ch.peer);
+        let bytes = encode_chan(self.rank as u32, seq, &payload);
         let (col, ep) = (self.col, self.ep_chan);
         self.pe.send(
             ctx,
@@ -543,13 +587,14 @@ impl PyProc {
             pe.chare_mut::<ChanState>(col, idx)
                 .inbox
                 .get(&(peer as u32))
-                .is_some_and(|q| !q.is_empty())
+                .is_some_and(|q| !q.ready.is_empty())
         });
         self.pe
             .chare_mut::<ChanState>(col, idx)
             .inbox
             .get_mut(&(peer as u32))
             .unwrap()
+            .ready
             .pop_front()
             .unwrap()
     }

@@ -1,0 +1,180 @@
+//! Reduction/broadcast tree schedules.
+//!
+//! A [`Tree`] is an explicit parent/children table over participants
+//! `0..n`, with node 0 as the root. The Charm++ runtime's section
+//! reductions route contributions along one of these (historically a
+//! hardcoded `parent = (p - 1) / 2` scattered through `pe.rs`); the
+//! hierarchical collective algorithms use the topology-aware variant.
+//!
+//! Invariant: `parent(p) < p` for every non-root `p`. Both constructors
+//! guarantee it, which keeps subtree accumulation a single reverse sweep
+//! and, for the Charm++ runtime, keeps message flow acyclic.
+
+use rucx_fabric::Topology;
+
+/// An explicit tree over participants `0..n`, rooted at 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tree {
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+}
+
+impl Tree {
+    fn from_parents(parent: Vec<Option<usize>>) -> Tree {
+        let n = parent.len();
+        let mut children = vec![Vec::new(); n];
+        for p in 0..n {
+            if let Some(q) = parent[p] {
+                assert!(q < p, "tree parent must precede child ({q} !< {p})");
+                children[q].push(p);
+            } else {
+                assert_eq!(p, 0, "only participant 0 may be the root");
+            }
+        }
+        Tree { parent, children }
+    }
+
+    /// The classic complete binary tree: `parent(p) = (p - 1) / 2`. This is
+    /// the Charm++ runtime's historical default; keeping it the default
+    /// preserves byte-identical reduction traffic.
+    pub fn binary(n: usize) -> Tree {
+        assert!(n > 0, "empty tree");
+        let parent = (0..n)
+            .map(|p| if p == 0 { None } else { Some((p - 1) / 2) })
+            .collect();
+        Tree::from_parents(parent)
+    }
+
+    /// Topology-aware tree: within each node, participants form a binary
+    /// tree rooted at the node leader (lowest participant on the node);
+    /// node leaders form a binary tree over nodes. Cross-node edges carry
+    /// one message per node instead of one per participant.
+    ///
+    /// Participant `p` is process `p` of `topo` (the SPMD identity mapping
+    /// every model layer uses); `n` may cover a prefix of the machine.
+    pub fn topology(topo: &Topology, n: usize) -> Tree {
+        assert!(n > 0 && n <= topo.procs(), "participants exceed topology");
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for p in 0..n {
+            let node = topo.node_of(p);
+            if node >= groups.len() {
+                groups.resize(node + 1, Vec::new());
+            }
+            groups[node].push(p);
+        }
+        groups.retain(|g| !g.is_empty());
+        let mut parent = vec![None; n];
+        for (k, g) in groups.iter().enumerate() {
+            // Leaders in a binary tree over nodes; node (k-1)/2's leader
+            // has a smaller rank than node k's, preserving the invariant.
+            if k > 0 {
+                parent[g[0]] = Some(groups[(k - 1) / 2][0]);
+            }
+            // Members in a binary tree under their leader (local indices).
+            for (l, &p) in g.iter().enumerate().skip(1) {
+                parent[p] = Some(g[(l - 1) / 2]);
+            }
+        }
+        Tree::from_parents(parent)
+    }
+
+    /// Number of participants.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Parent of `p` (`None` for the root).
+    pub fn parent(&self, p: usize) -> Option<usize> {
+        self.parent[p]
+    }
+
+    /// Children of `p`.
+    pub fn children(&self, p: usize) -> &[usize] {
+        &self.children[p]
+    }
+
+    /// Per-participant subtree totals of `weight` (e.g. chare elements per
+    /// PE): `out[p]` sums `weight` over `p`'s whole subtree. Single reverse
+    /// sweep, valid because parents precede children.
+    pub fn subtree_weights(&self, weight: &[u64]) -> Vec<u64> {
+        assert_eq!(weight.len(), self.len());
+        let mut sub = weight.to_vec();
+        for p in (1..self.len()).rev() {
+            // Invariant: non-root participants always have a parent.
+            let q = self.parent[p].expect("non-root without parent");
+            sub[q] += sub[p];
+        }
+        sub
+    }
+
+    /// Number of children of `p` whose subtrees have nonzero weight (only
+    /// those will send contributions up the tree).
+    pub fn expected_children(&self, p: usize, subtree: &[u64]) -> usize {
+        self.children[p].iter().filter(|&&c| subtree[c] > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_matches_historical_charm_tree() {
+        let t = Tree::binary(7);
+        for p in 1..7 {
+            assert_eq!(t.parent(p), Some((p - 1) / 2));
+        }
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.children(0), &[1, 2]);
+        assert_eq!(t.children(1), &[3, 4]);
+    }
+
+    #[test]
+    fn expected_children_skips_empty_subtrees() {
+        // 7 PEs, elements only on PEs 0..3.
+        //        0
+        //      1   2
+        //     3 4 5 6
+        let t = Tree::binary(7);
+        let per_pe = [1u64, 1, 1, 1, 0, 0, 0];
+        let sub = t.subtree_weights(&per_pe);
+        assert_eq!(t.expected_children(0, &sub), 2); // both subtrees have elems
+        assert_eq!(t.expected_children(1, &sub), 1); // only child 3
+        assert_eq!(t.expected_children(2, &sub), 0); // 5,6 empty
+    }
+
+    #[test]
+    fn topology_tree_crosses_nodes_once_per_node() {
+        let topo = Topology::summit(2); // 12 procs, 6 per node
+        let t = Tree::topology(&topo, 12);
+        // Exactly one cross-node edge: node 1's leader (6) under rank 0.
+        let cross: Vec<usize> = (1..12)
+            .filter(|&p| !topo.same_node(p, t.parent(p).unwrap()))
+            .collect();
+        assert_eq!(cross, vec![6]);
+        // All members hang under their node leader's subtree.
+        for p in [1, 2, 3, 4, 5] {
+            let mut q = p;
+            while let Some(par) = t.parent(q) {
+                q = par;
+            }
+            assert_eq!(q, 0);
+        }
+        for p in [7, 8, 9, 10, 11] {
+            assert!(topo.same_node(p, t.parent(p).unwrap()));
+        }
+    }
+
+    #[test]
+    fn subtree_weights_total_at_root() {
+        let topo = Topology::summit(4);
+        let t = Tree::topology(&topo, 24);
+        let w = vec![2u64; 24];
+        let sub = t.subtree_weights(&w);
+        assert_eq!(sub[0], 48);
+    }
+}

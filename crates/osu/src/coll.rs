@@ -3,107 +3,96 @@
 //! communication of GPU data, using this work as the basis to translate
 //! collective communication primitives to point-to-point calls").
 //!
-//! Implemented generically over the [`crate::mpi_like::P2p`] surface, so
-//! the same algorithms run on AMPI and OpenMPI. GPU payloads ride the
-//! GPU-aware point-to-point path; local combining is modeled as a GPU
-//! kernel (memory-bound) plus the actual element-wise operation on the
-//! backing bytes, so results are verifiable.
+//! The algorithms and their selection live in the shared topology-aware
+//! engine ([`rucx_coll`]); this module adapts the generic
+//! [`crate::mpi_like::P2p`] surface to [`CollComm`], so the same schedules
+//! run on AMPI and OpenMPI. GPU payloads ride the GPU-aware point-to-point
+//! path per hop.
 
-use rucx_gpu::{DeviceId, KernelCost, MemRef};
-use rucx_sim::time::us;
+use rucx_coll::CollComm;
+use rucx_gpu::{DeviceId, MemRef};
 use rucx_ucp::MCtx;
 
-use crate::cuda;
 use crate::mpi_like::P2p;
 
 /// Tag space reserved for collectives (distinct from user point-to-point).
-const COLL_TAG_BASE: i32 = 1 << 20;
-
-/// Binomial-tree broadcast of `buf` from `root` to all ranks.
-///
-/// Every edge of the tree is one GPU-aware point-to-point message, so the
-/// same eager/rendezvous/IPC/pipeline machinery applies per hop.
-pub fn bcast<M: P2p>(mpi: &mut M, ctx: &mut MCtx, buf: MemRef, root: usize, nranks: usize) {
-    let me = mpi.rank();
-    // Rotate so the root is rank 0 in tree coordinates.
-    let vrank = (me + nranks - root) % nranks;
-    let mut mask = 1usize;
-    // Receive phase: find my parent.
-    while mask < nranks {
-        if vrank & mask != 0 {
-            let parent = (vrank - mask + root) % nranks;
-            mpi.recv(ctx, buf, parent, COLL_TAG_BASE);
-            break;
-        }
-        mask <<= 1;
-    }
-    // Send phase: forward to children.
-    let mut child_mask = mask >> 1;
-    while child_mask > 0 {
-        let vchild = vrank + child_mask;
-        if vchild < nranks {
-            let child = (vchild + root) % nranks;
-            mpi.send(ctx, buf, child, COLL_TAG_BASE);
-        }
-        child_mask >>= 1;
-    }
-}
+pub const COLL_TAG_BASE: i32 = rucx_coll::tags::COLL_TAG_BASE;
 
 /// Element-wise reduction operator for collectives over `f64` payloads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CollOp {
-    Sum,
-    Max,
+pub use rucx_coll::ReduceOp as CollOp;
+
+/// Adapts any [`P2p`] model to the collective engine's [`CollComm`].
+pub struct P2pComm<'a, M: P2p> {
+    mpi: &'a mut M,
+    nranks: usize,
 }
 
-/// Combine `other` into `mine` (both `f64` arrays of equal byte length):
-/// models the GPU reduction kernel and performs the real element-wise
-/// operation on the backing bytes so results stay verifiable.
-fn combine_into(
+impl<'a, M: P2p> P2pComm<'a, M> {
+    pub fn new(mpi: &'a mut M, nranks: usize) -> Self {
+        P2pComm { mpi, nranks }
+    }
+}
+
+impl<M: P2p> CollComm for P2pComm<'_, M> {
+    fn rank(&self) -> usize {
+        self.mpi.rank()
+    }
+
+    fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    fn send(&mut self, ctx: &mut MCtx, buf: MemRef, dst: usize, tag: i32) {
+        self.mpi.send(ctx, buf, dst, tag)
+    }
+
+    fn recv(&mut self, ctx: &mut MCtx, buf: MemRef, src: usize, tag: i32) {
+        self.mpi.recv(ctx, buf, src, tag)
+    }
+
+    fn sendrecv(
+        &mut self,
+        ctx: &mut MCtx,
+        sbuf: MemRef,
+        dst: usize,
+        stag: i32,
+        rbuf: MemRef,
+        src: usize,
+        rtag: i32,
+    ) {
+        // Nonblocking both ways so a symmetric exchange cannot deadlock on
+        // models whose blocking send is rendezvous-gated (AMPI).
+        let r = self.mpi.irecv(ctx, rbuf, src, rtag);
+        let s = self.mpi.isend(ctx, sbuf, dst, stag);
+        self.mpi.waitall(ctx, vec![r, s]);
+    }
+}
+
+/// Broadcast of `buf` from `root` to all ranks; the engine picks the
+/// schedule (binomial tree or hierarchical) per size and placement.
+pub fn bcast<M: P2p>(mpi: &mut M, ctx: &mut MCtx, buf: MemRef, root: usize, nranks: usize) {
+    rucx_coll::bcast(&mut P2pComm::new(mpi, nranks), ctx, buf, root)
+}
+
+/// Broadcast with a forced algorithm (benchmarks, ablations).
+#[allow(clippy::too_many_arguments)]
+pub fn bcast_with<M: P2p>(
+    mpi: &mut M,
     ctx: &mut MCtx,
-    mine: MemRef,
-    other: MemRef,
-    op: CollOp,
-    stream: rucx_gpu::StreamId,
+    buf: MemRef,
+    root: usize,
+    nranks: usize,
+    algo: rucx_coll::Algo,
 ) {
-    // Memory-bound kernel: read both inputs, write one output.
-    cuda::kernel_sync(
-        ctx,
-        KernelCost {
-            fixed: us(3.0),
-            bytes: mine.len * 3,
-        },
-        stream,
-    );
-    ctx.with_world(move |w, _| {
-        let a = w.gpu.pool.read(mine).expect("combine lhs");
-        let b = w.gpu.pool.read(other).expect("combine rhs");
-        if !w.gpu.pool.is_materialized(mine.id).unwrap_or(false) {
-            return;
-        }
-        let mut out = Vec::with_capacity(a.len());
-        for (ca, cb) in a.chunks_exact(8).zip(b.chunks_exact(8)) {
-            let x = f64::from_le_bytes(ca.try_into().unwrap());
-            let y = f64::from_le_bytes(cb.try_into().unwrap());
-            let r = match op {
-                CollOp::Sum => x + y,
-                CollOp::Max => x.max(y),
-            };
-            out.extend_from_slice(&r.to_le_bytes());
-        }
-        let n = out.len() as u64;
-        w.gpu
-            .pool
-            .write(mine.slice(0, n), &out)
-            .expect("combine write");
-    });
+    rucx_coll::bcast_with(&mut P2pComm::new(mpi, nranks), ctx, buf, root, algo)
 }
 
-/// Recursive-doubling allreduce over `f64` GPU buffers (any rank count:
-/// non-power-of-two ranks fold into the nearest power of two first).
+/// Allreduce over `f64` GPU buffers; the engine picks the schedule
+/// (recursive doubling, ring, or hierarchical) per size and placement.
 ///
 /// `scratch` is a device buffer of the same size used to receive partner
-/// contributions.
+/// contributions. `device` is retained for API stability; the engine
+/// derives each rank's stream from the topology.
 #[allow(clippy::too_many_arguments)]
 pub fn allreduce<M: P2p>(
     mpi: &mut M,
@@ -114,47 +103,29 @@ pub fn allreduce<M: P2p>(
     nranks: usize,
     device: DeviceId,
 ) {
-    assert_eq!(buf.len, scratch.len, "scratch must match buffer size");
-    assert_eq!(buf.len % 8, 0, "f64 payload");
-    let me = mpi.rank();
-    let stream = ctx.with_world_ref(|w, _| w.gpu.default_stream(device));
-    let p2 = nranks.next_power_of_two() / if nranks.is_power_of_two() { 1 } else { 2 };
-    let extra = nranks - p2;
+    let _ = device;
+    rucx_coll::allreduce(&mut P2pComm::new(mpi, nranks), ctx, buf, scratch, op)
+}
 
-    // Fold-in phase: ranks >= p2 send to (rank - p2).
-    if me >= p2 {
-        mpi.send(ctx, buf, me - p2, COLL_TAG_BASE + 1);
-    } else if me < extra {
-        mpi.recv(ctx, scratch, me + p2, COLL_TAG_BASE + 1);
-        combine_into(ctx, buf, scratch, op, stream);
-    }
-
-    // Recursive doubling among the first p2 ranks.
-    if me < p2 {
-        let mut mask = 1usize;
-        while mask < p2 {
-            let partner = me ^ mask;
-            // Exchange without deadlock: non-blocking both ways.
-            let r = mpi.irecv(ctx, scratch, partner as i32 as usize, COLL_TAG_BASE + 2);
-            let s = mpi.isend(ctx, buf, partner, COLL_TAG_BASE + 2);
-            mpi.waitall(ctx, vec![r, s]);
-            combine_into(ctx, buf, scratch, op, stream);
-            mask <<= 1;
-        }
-    }
-
-    // Fold-out phase: send the result back to the extra ranks.
-    if me < extra {
-        mpi.send(ctx, buf, me + p2, COLL_TAG_BASE + 3);
-    } else if me >= p2 {
-        mpi.recv(ctx, buf, me - p2, COLL_TAG_BASE + 3);
-    }
+/// Allreduce with a forced algorithm (benchmarks, ablations).
+#[allow(clippy::too_many_arguments)]
+pub fn allreduce_with<M: P2p>(
+    mpi: &mut M,
+    ctx: &mut MCtx,
+    buf: MemRef,
+    scratch: MemRef,
+    op: CollOp,
+    nranks: usize,
+    algo: rucx_coll::Algo,
+) {
+    rucx_coll::allreduce_with(&mut P2pComm::new(mpi, nranks), ctx, buf, scratch, op, algo)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::mpi_like::RankFactory;
+    use rucx_coll::Algo;
     use rucx_fabric::Topology;
     use rucx_sim::RunOutcome;
     use rucx_ucp::{build_sim, MSim, MachineConfig};
@@ -225,27 +196,34 @@ mod tests {
         run_bcast(crate::mpi_like::AmpiFactory, 5);
     }
 
-    fn run_allreduce<F: RankFactory>(factory: F, nodes: usize, op: CollOp) {
-        let (mut sim, bufs, scratch) = setup(nodes, 64);
+    fn run_allreduce<F: RankFactory>(factory: F, nodes: usize, op: CollOp, algo: Option<Algo>) {
+        // 8 elements/rank: enough for a 12-rank ring's per-rank segments.
+        let (mut sim, bufs, scratch) = setup(nodes, 96);
         let n = nodes * 6;
         for (r, b) in bufs.iter().enumerate() {
-            let vals: Vec<f64> = (0..8).map(|i| (r * 10 + i) as f64).collect();
+            let vals: Vec<f64> = (0..12).map(|i| (r * 10 + i) as f64).collect();
             write_f64s(&mut sim, *b, &vals);
         }
         let bufs2 = Arc::new(bufs.clone());
         let scratch2 = Arc::new(scratch);
         factory.launch(&mut sim, move |mpi, ctx| {
             let me = mpi.rank();
-            let dev = ctx.with_world_ref(|w, _| w.topo.device_of(me));
-            allreduce(mpi, ctx, bufs2[me], scratch2[me], op, n, dev);
+            match algo {
+                Some(a) => allreduce_with(mpi, ctx, bufs2[me], scratch2[me], op, n, a),
+                None => {
+                    let dev = ctx.with_world_ref(|w, _| w.topo.device_of(me));
+                    allreduce(mpi, ctx, bufs2[me], scratch2[me], op, n, dev)
+                }
+            }
         });
         assert_eq!(sim.run(), RunOutcome::Completed);
-        let expected: Vec<f64> = (0..8)
+        let expected: Vec<f64> = (0..12)
             .map(|i| {
                 let vals = (0..n).map(|r| (r * 10 + i) as f64);
                 match op {
                     CollOp::Sum => vals.sum(),
                     CollOp::Max => vals.fold(f64::NEG_INFINITY, f64::max),
+                    CollOp::Min => vals.fold(f64::INFINITY, f64::min),
                 }
             })
             .collect();
@@ -257,16 +235,48 @@ mod tests {
     #[test]
     fn allreduce_sum_openmpi_nonpow2() {
         // 12 ranks: exercises the fold-in/fold-out phases.
-        run_allreduce(crate::mpi_like::OmpiFactory, 2, CollOp::Sum);
+        run_allreduce(crate::mpi_like::OmpiFactory, 2, CollOp::Sum, None);
     }
 
     #[test]
     fn allreduce_max_openmpi() {
-        run_allreduce(crate::mpi_like::OmpiFactory, 1, CollOp::Max);
+        run_allreduce(crate::mpi_like::OmpiFactory, 1, CollOp::Max, None);
     }
 
     #[test]
     fn allreduce_sum_ampi() {
-        run_allreduce(crate::mpi_like::AmpiFactory, 1, CollOp::Sum);
+        run_allreduce(crate::mpi_like::AmpiFactory, 1, CollOp::Sum, None);
+    }
+
+    #[test]
+    fn allreduce_ring_both_models() {
+        run_allreduce(
+            crate::mpi_like::OmpiFactory,
+            2,
+            CollOp::Sum,
+            Some(Algo::Ring),
+        );
+        run_allreduce(
+            crate::mpi_like::AmpiFactory,
+            2,
+            CollOp::Sum,
+            Some(Algo::Ring),
+        );
+    }
+
+    #[test]
+    fn allreduce_hierarchical_both_models() {
+        run_allreduce(
+            crate::mpi_like::OmpiFactory,
+            2,
+            CollOp::Max,
+            Some(Algo::Hierarchical),
+        );
+        run_allreduce(
+            crate::mpi_like::AmpiFactory,
+            2,
+            CollOp::Sum,
+            Some(Algo::Hierarchical),
+        );
     }
 }

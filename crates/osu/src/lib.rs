@@ -9,6 +9,7 @@ pub mod bandwidth;
 pub mod bibw;
 pub mod charm_osu;
 pub mod coll;
+pub mod coll_bench;
 pub mod cuda;
 pub mod latency;
 pub mod mpi_like;

@@ -28,7 +28,7 @@
 //! dedicated [`SimRng`] stream derived from the fault-spec seed, so a chaos
 //! run replays byte-identically.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, HashMap};
 
 use rucx_fabric::{net_transfer, WireKind};
 use rucx_fault::{metrics as fm, WireFault};
@@ -72,25 +72,35 @@ pub(crate) struct PendingSend {
     pub ctx: u64,
 }
 
-/// Receiver-side duplicate suppression for one directed (src, dst) pair:
-/// the contiguous delivered prefix plus the out-of-order set ahead of it,
-/// compressed on insert so memory stays proportional to reordering depth.
+/// Receiver-side delivery state for one directed (src, dst) pair: the
+/// contiguous delivered prefix plus envelopes that arrived ahead of it.
+/// UCX endpoints are non-overtaking — two same-tag sends from one rank
+/// must match posted receives in send order — so an envelope the fabric
+/// reordered (a delay fault overtaken by a later send) is stashed until
+/// the gap below it fills, and duplicates are suppressed by sequence
+/// number. Memory stays proportional to reordering depth.
 #[derive(Default)]
 struct SeqSeen {
     upto: u64,
-    ahead: BTreeSet<u64>,
+    ahead: BTreeMap<u64, (Tag, TrackedBody)>,
 }
 
 impl SeqSeen {
-    /// Record `seq` (sequences start at 1); false if already seen.
-    fn insert(&mut self, seq: u64) -> bool {
-        if seq <= self.upto || !self.ahead.insert(seq) {
-            return false;
+    /// Record the arrival of `seq` (sequences start at 1). `None` for a
+    /// duplicate; otherwise the now-contiguous run of envelopes due for
+    /// delivery in sequence order (empty when `seq` arrived ahead of a
+    /// gap and must wait).
+    fn arrive(&mut self, seq: u64, tag: Tag, body: TrackedBody) -> Option<Vec<(Tag, TrackedBody)>> {
+        if seq <= self.upto || self.ahead.contains_key(&seq) {
+            return None; // duplicate
         }
-        while self.ahead.remove(&(self.upto + 1)) {
+        self.ahead.insert(seq, (tag, body));
+        let mut due = Vec::new();
+        while let Some(e) = self.ahead.remove(&(self.upto + 1)) {
             self.upto += 1;
+            due.push(e);
         }
-        true
+        Some(due)
     }
 }
 
@@ -312,7 +322,11 @@ fn rto_for(w: &mut Machine, wire_size: u64, attempt: u32) -> Duration {
 
 /// A tracked envelope reached `dst`: always (re-)ack — the sender may be
 /// retransmitting because a previous ack was lost — then deliver exactly
-/// once per sequence number.
+/// once per sequence number and in sequence order (non-overtaking, as on
+/// a real UCX endpoint). An envelope ahead of a gap waits in the stash;
+/// if the gap's envelope ultimately gives up at the sender, its
+/// successors stay undelivered and the wedge is attributed to the typed
+/// give-up error, never to silent reordering.
 fn arrive(
     w: &mut Machine,
     s: &mut MSched,
@@ -324,22 +338,24 @@ fn arrive(
     body: TrackedBody,
 ) {
     send_ack(w, s, dst, src, id);
-    let fresh = w
+    let Some(due) = w
         .ucp
         .reliable
         .seen
         .entry((src as u32, dst as u32))
         .or_default()
-        .insert(seq);
-    if !fresh {
+        .arrive(seq, tag, body)
+    else {
         w.ucp.counters.bump(m::DUP_DROP);
         return;
-    }
-    match body {
-        TrackedBody::Tagged(b) => deliver(w, s, dst, ArrivedMsg { tag, src, body: b }),
-        TrackedBody::Ats { rts_id } => {
-            if let Some(done) = w.ucp.reliable.ats_table.remove(&rts_id) {
-                complete(w, s, dst, done);
+    };
+    for (tag, body) in due {
+        match body {
+            TrackedBody::Tagged(b) => deliver(w, s, dst, ArrivedMsg { tag, src, body: b }),
+            TrackedBody::Ats { rts_id } => {
+                if let Some(done) = w.ucp.reliable.ats_table.remove(&rts_id) {
+                    complete(w, s, dst, done);
+                }
             }
         }
     }

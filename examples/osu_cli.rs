@@ -9,6 +9,8 @@
 //! cargo run --release --example osu_cli -- latency  --model ampi --place inter \
 //!     --fault-spec seed=7,drop=0.01
 //! cargo run --release --example osu_cli -- bw       --model charm --shards 4
+//! cargo run --release --example osu_cli -- coll     --coll allreduce --algo hier
+//! cargo run --release --example osu_cli -- coll     --coll bcast --model charm4py
 //! ```
 //!
 //! `--shards N` splits the message-size sweep across N OS threads (each
@@ -16,13 +18,16 @@
 //! back in size order — byte-identical output, a fraction of the wall
 //! clock.
 
+use rucx::coll::Algo;
 use rucx::fault::FaultSpec;
+use rucx::osu::coll_bench::{coll_latency, CollKind};
 use rucx::osu::{bandwidth, bibw, latency, mpi_like, Mode, Model, OsuConfig, Placement, Series};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: osu_cli <latency|bw|bibw> [--model charm|ampi|openmpi|charm4py] \
-         [--mode d|h] [--place intra|inter] [--no-gdrcopy] [--quick] [--fault-spec SPEC] \
+        "usage: osu_cli <latency|bw|bibw|coll> [--model charm|ampi|openmpi|charm4py] \
+         [--mode d|h] [--place intra|inter] [--coll allreduce|bcast] \
+         [--algo auto|tree|rd|ring|hier] [--no-gdrcopy] [--quick] [--fault-spec SPEC] \
          [--shards N] [--tune] [--json]"
     );
     std::process::exit(2)
@@ -76,6 +81,8 @@ fn main() {
     let mut cfg = OsuConfig::default();
     let mut shards = 1usize;
     let mut json = false;
+    let mut coll_kind = CollKind::Allreduce;
+    let mut algo: Option<Algo> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -100,6 +107,20 @@ fn main() {
                     Some("intra") => Placement::IntraNode,
                     Some("inter") => Placement::InterNode,
                     _ => usage(),
+                }
+            }
+            "--coll" => {
+                coll_kind = match it.next().map(|s| s.as_str()) {
+                    Some("allreduce") => CollKind::Allreduce,
+                    Some("bcast") => CollKind::Bcast,
+                    _ => usage(),
+                }
+            }
+            "--algo" => {
+                algo = match it.next().map(|s| s.as_str()) {
+                    Some("auto") => None,
+                    Some(name) => Some(Algo::parse(name).unwrap_or_else(|| usage())),
+                    None => usage(),
                 }
             }
             "--no-gdrcopy" => cfg.machine.ucp.gdrcopy_enabled = false,
@@ -149,6 +170,13 @@ fn main() {
                 std::process::exit(2);
             }
         },
+        "coll" => {
+            if model == Model::Charm {
+                eprintln!("coll supports --model ampi|openmpi|charm4py");
+                std::process::exit(2);
+            }
+            run_sharded_sweep(&cfg, shards, |c| coll_latency(c, model, coll_kind, algo))
+        }
         _ => usage(),
     };
 

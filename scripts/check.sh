@@ -163,6 +163,37 @@ d=$("$osu" latency --quick --json --tune)
 [ "$a" = "$d" ] || { echo "FAIL: --tune and RUCX_AUTOTUNE=1 disagree"; exit 1; }
 echo "ok: autotuned OSU JSON byte-identical across runs and shard counts"
 
+# ---------------------------------------------------------------------------
+# Collective engine: determinism + acceptance. The collective benchmark and
+# the training-step proxy must be byte-identical across repeated runs and
+# across shard counts {1,2,8} (every size point is an independent seeded
+# simulation), and the cross-model/chaos suite must hold: AMPI, OpenMPI and
+# Charm4py produce byte-identical reductions, and no fault mix yields a
+# silently wrong sum (tests/coll_chaos.rs).
+# ---------------------------------------------------------------------------
+echo "== collective engine: determinism gate =="
+cargo build -q --offline --release --example train_proxy
+tp=./target/release/examples/train_proxy
+a=$("$osu" coll --quick --json)
+b=$("$osu" coll --quick --json)
+c=$("$osu" coll --quick --json --shards 2)
+d=$("$osu" coll --quick --json --shards 8)
+[ "$a" = "$b" ] || { echo "FAIL: collective OSU JSON differs across runs"; exit 1; }
+[ "$a" = "$c" ] && [ "$a" = "$d" ] \
+    || { echo "FAIL: collective OSU JSON differs across shard counts"; exit 1; }
+a=$("$tp" --quick --json)
+b=$("$tp" --quick --json)
+c=$("$tp" --quick --json --shards 2)
+d=$("$tp" --quick --json --shards 8)
+[ "$a" = "$b" ] || { echo "FAIL: train_proxy JSON differs across runs"; exit 1; }
+[ "$a" = "$c" ] && [ "$a" = "$d" ] \
+    || { echo "FAIL: train_proxy JSON differs across shard counts"; exit 1; }
+echo "ok: collective bench and train proxy byte-identical across runs and shards"
+
+echo "== collective engine: cross-model conformance + chaos =="
+cargo test -q --offline --test coll_chaos
+echo "ok: models agree byte-for-byte; no silent wrong sums under faults"
+
 echo "== protocol engine: ablation smoke =="
 RUCX_ABLATION=autotune cargo bench -q --offline -p rucx-bench --bench ablations >/dev/null
 test -s target/rucx-results/ablation_autotune.json \

@@ -13,6 +13,7 @@
 //! | Cluster fabric (topology, EDR InfiniBand model) | [`fabric`] |
 //! | Deterministic fault injection (drop/dup/delay/corrupt, partitions, GPU failures) | [`fault`] |
 //! | UCX-style UCP layer (tag matching, eager/rendezvous, GPU transports, reliability) | [`ucp`] |
+//! | Topology-aware collective engine (allreduce/bcast/reduce/barrier/alltoall) | [`coll`] |
 //! | Charm++ runtime + GPU-aware UCX machine layer | [`charm`] |
 //! | Adaptive MPI on Charm++ | [`ampi`] |
 //! | OpenMPI-style baseline directly on UCP | [`ompi`] |
@@ -50,6 +51,7 @@
 pub use rucx_ampi as ampi;
 pub use rucx_charm as charm;
 pub use rucx_charm4py as charm4py;
+pub use rucx_coll as coll;
 pub use rucx_compat as compat;
 pub use rucx_fabric as fabric;
 pub use rucx_fault as fault;
