@@ -93,16 +93,21 @@ pub struct PyExceptionRecord {
     pub exc_type: &'static str,
     /// `str(exc)` — the human-readable failure description.
     pub message: String,
+    /// The rank the failed communication addressed, when the error names
+    /// one (an endpoint give-up does). Lets channel state tied to a dead
+    /// peer be released when the exception surfaces.
+    pub peer: Option<usize>,
 }
 
 fn py_exception(err: &UcpError) -> PyExceptionRecord {
-    let exc_type = match err {
-        UcpError::EndpointTimeout { .. } => "TimeoutError",
-        _ => "RuntimeError",
+    let (exc_type, peer) = match err {
+        UcpError::EndpointTimeout { dst, .. } => ("TimeoutError", Some(*dst)),
+        _ => ("RuntimeError", None),
     };
     PyExceptionRecord {
         exc_type,
         message: err.to_string(),
+        peer,
     }
 }
 
@@ -319,9 +324,17 @@ impl PyProc {
         // `take_exception` (as Charm4py would raise into the coroutine).
         let idx = rank as u64;
         pe.set_default_error_handler(Box::new(move |err, pe, _ctx| {
-            pe.chare_mut::<ChanState>(col, idx)
-                .exceptions
-                .push_back(py_exception(err));
+            let rec = py_exception(err);
+            let st = pe.chare_mut::<ChanState>(col, idx);
+            // A timed-out peer never completes the in-order sequence its
+            // stashed reorderings wait on: drop its whole inbox so a dead
+            // endpoint cannot pin payload memory for the run's lifetime.
+            if rec.exc_type == "TimeoutError" {
+                if let Some(p) = rec.peer {
+                    st.inbox.remove(&(p as u32));
+                }
+            }
+            st.exceptions.push_back(rec);
         }));
         PyProc {
             pe,
@@ -436,10 +449,27 @@ impl PyProc {
                 .exceptions
                 .push_back(py_exception(&e));
         }
-        self.pe
+        let rec = self
+            .pe
             .chare_mut::<ChanState>(col, idx)
             .exceptions
-            .pop_front()
+            .pop_front();
+        // Release everything still tied to a dead peer: stashed/ready
+        // arrivals (for errors drained above, which bypassed the default
+        // handler) and the sender-side sequence counter, so a later
+        // reconnection starts a fresh in-order stream.
+        if let Some(r) = &rec {
+            if r.exc_type == "TimeoutError" {
+                if let Some(p) = r.peer {
+                    self.pe
+                        .chare_mut::<ChanState>(col, idx)
+                        .inbox
+                        .remove(&(p as u32));
+                    self.chan_seq.remove(&p);
+                }
+            }
+        }
+        rec
     }
 
     /// Suspend until a communication exception is raised (used after a
@@ -578,6 +608,45 @@ impl PyProc {
             ChanPayload::ZeroCopy { .. } => {
                 panic!("recv_host on a channel carrying a GPU buffer")
             }
+        }
+    }
+
+    /// `charm.iwait`-style select: suspend until any of `peers` has a
+    /// ready pickled host object, and return `(peer, bytes)`. Ties are
+    /// broken by `peers` order, so the choice is deterministic.
+    pub fn recv_host_any(&mut self, ctx: &mut MCtx, peers: &[usize]) -> (usize, Option<Vec<u8>>) {
+        self.py_overhead(ctx, self.params.py_recv, 1);
+        let (col, idx) = (self.col, self.rank as u64);
+        let scan: Vec<u32> = peers.iter().map(|&p| p as u32).collect();
+        let scan2 = scan.clone();
+        self.pe.pump_until(ctx, move |pe, _| {
+            let st = pe.chare_mut::<ChanState>(col, idx);
+            scan2
+                .iter()
+                .any(|p| st.inbox.get(p).is_some_and(|q| !q.ready.is_empty()))
+        });
+        let st = self.pe.chare_mut::<ChanState>(col, idx);
+        let mut hit = None;
+        for &p in &scan {
+            if let Some(q) = st.inbox.get_mut(&p) {
+                if let Some(payload) = q.ready.pop_front() {
+                    hit = Some((p as usize, payload));
+                    break;
+                }
+            }
+        }
+        match hit {
+            Some((peer, ChanPayload::Inline { bytes, size })) => {
+                let dur = self.params.pickle_cost(size) + self.params.py_wake;
+                self.py_overhead(ctx, dur, 2);
+                (peer, bytes)
+            }
+            Some((_, ChanPayload::ZeroCopy { .. })) => {
+                panic!("recv_host_any on a channel carrying a GPU buffer")
+            }
+            // Unreachable in practice: pump_until returned with a ready
+            // queue and nothing runs in between.
+            None => (self.rank, None),
         }
     }
 
@@ -823,6 +892,73 @@ mod tests {
             "message should describe the retry exhaustion: {}",
             exc.message
         );
+    }
+
+    /// Regression: a peer that times out used to leave its out-of-order
+    /// stash (`PeerInbox::stashed`) and the sender-side `chan_seq` entry in
+    /// place forever, pinning payload memory for the simulation's lifetime.
+    /// Surfacing the TimeoutError must drain both.
+    #[test]
+    fn peer_timeout_drains_stash_and_chan_seq() {
+        let mut spec = rucx_fault::FaultSpec::default();
+        spec.partitions.push(rucx_fault::PartitionWindow {
+            from: 0,
+            until: u64::MAX,
+        });
+        let mut cfg = MachineConfig::default();
+        cfg.ucp.max_retries = 2;
+        cfg.fault = Some(spec);
+        let mut sim = build_sim(Topology::summit(2), cfg);
+        let a = sim
+            .world_mut()
+            .gpu
+            .pool
+            .alloc_device(DeviceId(0), 1 << 20, false)
+            .unwrap();
+        let checked = Arc::new(rucx_compat::sync::Mutex::new(false));
+        let checked2 = checked.clone();
+        launch(&mut sim, move |py, ctx| {
+            if py.rank() != 0 {
+                return;
+            }
+            let ch = py.channel(6); // other node, fully partitioned
+            py.send(ctx, ch, a);
+            assert!(py.chan_seq.contains_key(&6));
+            // Model the reordering race the stash exists for: seq 1 from
+            // the dying peer arrives while seq 0 is lost with the
+            // partition, so the payload parks in the stash with no
+            // predecessor ever coming.
+            let (col, idx) = (py.col, 0u64);
+            py.pe
+                .chare_mut::<ChanState>(col, idx)
+                .inbox
+                .entry(6)
+                .or_default()
+                .deliver(
+                    1,
+                    ChanPayload::Inline {
+                        bytes: Some(vec![7u8; 4096]),
+                        size: 4096,
+                    },
+                );
+            let exc = py.wait_exception(ctx);
+            assert_eq!(exc.exc_type, "TimeoutError");
+            assert_eq!(exc.peer, Some(6));
+            let st = py.pe.chare_mut::<ChanState>(col, idx);
+            assert!(
+                !st.inbox.contains_key(&6),
+                "dead peer's stash must be drained"
+            );
+            assert!(
+                !py.chan_seq.contains_key(&6),
+                "sender chan_seq must be released"
+            );
+            // A reconnected peer starts a fresh in-order stream.
+            assert_eq!(py.next_chan_seq(6), 0);
+            *checked2.lock() = true;
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert!(*checked.lock());
     }
 
     #[test]

@@ -91,17 +91,15 @@ impl Estimator {
         let g = &w.gpu.params;
         let np = &w.net.params;
         // Static inter-node alpha: injection + switch transit; replaced by
-        // half the measured RTT for a representative cross-node pair once
-        // the protocol engine has observed one.
+        // half the best measured RTT across any participating cross-node
+        // pair once the protocol engine has observed one. Probing only
+        // (0, peer) here used to miss fresh samples whenever rank 0 had no
+        // cross-node traffic (e.g. a sub-communicator without rank 0).
         let static_inter = np.injection + np.hop_latency * np.hops as u64;
         let alpha_inter = if nodes > 1 {
-            let peer = per_node_counts.iter().position(|&c| c > 0).map(|first| {
-                // First rank on the second populated node.
-                (0..n)
-                    .find(|&r| w.topo.node_of(r) != first)
-                    .unwrap_or(n - 1)
-            });
-            peer.and_then(|p| w.ucp.engine.rtt((0, p as u32)))
+            w.ucp
+                .engine
+                .cross_node_rtt(&w.topo, n)
                 .map(|rtt| rtt / 2)
                 .unwrap_or(static_inter)
         } else {
@@ -294,6 +292,31 @@ mod tests {
         let w = sim.world_mut();
         assert_eq!(choose_bcast(w, 12, 64), Algo::Tree);
         assert_eq!(choose_bcast(w, 12, 4 << 20), Algo::Hierarchical);
+    }
+
+    /// Regression: the estimator used to probe only the endpoint pair
+    /// `(0, peer)`, so observed RTT from other participating pairs was
+    /// ignored whenever rank 0 had no cross-node traffic. Any cross-node
+    /// pair inside the communicator must refresh the inter-node alpha.
+    #[test]
+    fn estimator_uses_rtt_from_rank0_less_pairs() {
+        let mut sim = build_sim(Topology::summit(2), MachineConfig::default());
+        let w = sim.world_mut();
+        let static_alpha = Estimator::of(w, 12).alpha_inter;
+        // A fresh cross-node sample on (2, 8) — ranks on node 0 and node 1,
+        // neither of them rank 0 — and nothing at all on (0, *).
+        let rtt = 4 * static_alpha + 10_000;
+        w.ucp.engine.observe_rtt((2, 8), rtt);
+        assert_eq!(
+            Estimator::of(w, 12).alpha_inter,
+            rtt / 2,
+            "observed RTT from a non-rank-0 pair must be picked up"
+        );
+        // A pair outside the communicator must not leak in.
+        assert_eq!(Estimator::of(w, 8).alpha_inter, static_alpha);
+        // Same-node samples never count as inter-node alpha.
+        w.ucp.engine.observe_rtt((1, 3), 50);
+        assert_eq!(Estimator::of(w, 12).alpha_inter, rtt / 2);
     }
 
     #[test]

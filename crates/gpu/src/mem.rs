@@ -75,6 +75,10 @@ struct Allocation {
     kind: MemKind,
     size: u64,
     data: Option<Vec<u8>>,
+    /// Pre-registered with the NIC/driver at allocation time (pool-backed
+    /// allocations that were mapped once, up front). The UCP registration
+    /// model treats touches of premapped buffers as cache hits.
+    premapped: bool,
 }
 
 /// Errors from the memory pool.
@@ -122,6 +126,9 @@ pub struct MemPool {
     device_capacity: Vec<u64>,
     device_used: Vec<u64>,
     host_used: Vec<u64>,
+    /// Live premapped allocations (leak gate: must be 0 at shutdown once
+    /// every pool-backed allocation has been returned).
+    premapped_live: usize,
 }
 
 impl MemPool {
@@ -134,6 +141,7 @@ impl MemPool {
             device_capacity: vec![device_capacity; devices],
             device_used: vec![0; devices],
             host_used: vec![0; nodes],
+            premapped_live: 0,
         }
     }
 
@@ -141,12 +149,44 @@ impl MemPool {
         let id = self.next_id;
         self.next_id += 1;
         let data = materialize.then(|| vec![0u8; size as usize]);
-        self.allocs.insert(id, Allocation { kind, size, data });
+        self.allocs.insert(
+            id,
+            Allocation {
+                kind,
+                size,
+                data,
+                premapped: false,
+            },
+        );
         MemRef {
             id: MemId(id),
             offset: 0,
             len: size,
         }
+    }
+
+    /// Mark an allocation as pre-registered (mapped once at pool-creation
+    /// time). The UCP layer then never charges registration latency for it.
+    pub fn set_premapped(&mut self, id: MemId) -> Result<(), MemError> {
+        let a = self.allocs.get_mut(&id.0).ok_or(MemError::BadHandle(id))?;
+        if !a.premapped {
+            a.premapped = true;
+            self.premapped_live += 1;
+        }
+        Ok(())
+    }
+
+    /// Whether the allocation was pre-registered at allocation time.
+    pub fn is_premapped(&self, id: MemId) -> Result<bool, MemError> {
+        self.allocs
+            .get(&id.0)
+            .map(|a| a.premapped)
+            .ok_or(MemError::BadHandle(id))
+    }
+
+    /// Live premapped allocations (0 at shutdown = no pool leak).
+    pub fn premapped_live(&self) -> usize {
+        self.premapped_live
     }
 
     /// Allocate device memory. `materialize` backs it with real bytes.
@@ -191,6 +231,9 @@ impl MemPool {
         match a.kind {
             MemKind::Device(d) => self.device_used[d.index()] -= a.size,
             MemKind::Host { node } | MemKind::HostPinned { node } => self.host_used[node] -= a.size,
+        }
+        if a.premapped {
+            self.premapped_live -= 1;
         }
         Ok(())
     }
@@ -409,6 +452,20 @@ mod tests {
             len: 8,
         };
         let _ = r.slice(4, 8);
+    }
+
+    #[test]
+    fn premapped_accounting() {
+        let mut p = pool();
+        let a = p.alloc_host(0, 64, true, false);
+        assert!(!p.is_premapped(a.id).unwrap());
+        p.set_premapped(a.id).unwrap();
+        p.set_premapped(a.id).unwrap(); // idempotent
+        assert!(p.is_premapped(a.id).unwrap());
+        assert_eq!(p.premapped_live(), 1);
+        p.free(a.id).unwrap();
+        assert_eq!(p.premapped_live(), 0);
+        assert!(p.is_premapped(a.id).is_err());
     }
 
     #[test]

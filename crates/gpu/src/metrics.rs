@@ -47,3 +47,8 @@ pub const fn transfer_path(path: CopyPath) -> Option<Metric> {
         _ => None,
     }
 }
+
+/// Registration-model touches of a pool-backed pre-mapped allocation: the
+/// mapping was paid once at pool-build time, so the comm path charges
+/// nothing (bumped by the UCP layer's registration model).
+pub const POOL_PREMAPPED_HIT: Metric = Metric::counter("gpu.pool.premapped_hit");

@@ -1,0 +1,661 @@
+//! # rucx-svc — a many-client distributed service layer
+//!
+//! MPI4Dask-style futures frontend over the Charm4py channel layer: clients
+//! `scatter` a dataset to a worker, `submit` many small tasks against it,
+//! and `gather` the results. This is the workload shape the paper's UCX
+//! layer meets in Dask/UCX-Py deployments — thousands of clients, each
+//! task tiny, so per-message fixed costs (endpoint wireup, memory
+//! registration) dominate end-to-end latency unless they are amortized by
+//! the UCP endpoint/registration caches ([`rucx_ucp::RegCache`]).
+//!
+//! The crate is a library so the benchmark binary (`examples/svc_bench.rs`)
+//! and the determinism/leak tests share one driver: [`run_load`] builds a
+//! two-node Summit-like simulation, multiplexes `LoadCfg::clients` logical
+//! clients over the first 8 ranks (4 ranks serve as workers), runs the
+//! scatter/submit/gather protocol with the registration model enabled, and
+//! returns throughput, exact latency percentiles, every task's checksum,
+//! and the cache counters — then asserts the registration-leak invariant
+//! (`ucp.reg.miss - ucp.reg.evict == live mappings == 0` at shutdown, all
+//! pre-mapped pool allocations returned).
+//!
+//! Task results are pure functions of task content ([`task_checksum`]), so
+//! a cache-on and a cache-off run must produce byte-identical result sets
+//! — only the timing may differ. That is the correctness contract the
+//! property tests pin down.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rucx_charm::marshal;
+use rucx_charm4py::{launch_with, PyParams, PyProc};
+use rucx_compat::rng::{splitmix64, Rng};
+use rucx_compat::sync::Mutex;
+use rucx_fabric::Topology;
+use rucx_gpu::MemRef;
+use rucx_sim::time::{as_us, us, Time};
+use rucx_sim::RunOutcome;
+use rucx_ucp::{build_sim, reg_invalidate, MCtx, MachineConfig};
+
+/// Client ranks (node 0 plus two ranks of node 1 on `summit(2)`).
+pub const CLIENT_RANKS: usize = 8;
+/// Worker ranks (the remainder of node 1).
+pub const WORKER_RANKS: usize = 4;
+
+const MSG_SCATTER: u8 = 1;
+const MSG_SUBMIT: u8 = 2;
+const MSG_RESULT: u8 = 3;
+const MSG_DONE: u8 = 4;
+
+/// One service-layer wire message (pickled into a channel host object).
+enum SvcMsg {
+    /// Dataset announcement; the payload follows as a zero-copy channel
+    /// send on the same (ordered) channel.
+    Scatter { client: u64, size: u64 },
+    /// Run one task against a previously scattered dataset.
+    Submit { client: u64, task: u64, arg: u64 },
+    /// A task result (worker -> client).
+    Result { task: u64, checksum: u64 },
+    /// This client rank is finished with every worker.
+    Done,
+}
+
+fn encode(msg: &SvcMsg) -> Vec<u8> {
+    let mut b = Vec::new();
+    match msg {
+        SvcMsg::Scatter { client, size } => {
+            marshal::put_u8(&mut b, MSG_SCATTER);
+            marshal::put_u64(&mut b, *client);
+            marshal::put_u64(&mut b, *size);
+        }
+        SvcMsg::Submit { client, task, arg } => {
+            marshal::put_u8(&mut b, MSG_SUBMIT);
+            marshal::put_u64(&mut b, *client);
+            marshal::put_u64(&mut b, *task);
+            marshal::put_u64(&mut b, *arg);
+        }
+        SvcMsg::Result { task, checksum } => {
+            marshal::put_u8(&mut b, MSG_RESULT);
+            marshal::put_u64(&mut b, *task);
+            marshal::put_u64(&mut b, *checksum);
+        }
+        SvcMsg::Done => marshal::put_u8(&mut b, MSG_DONE),
+    }
+    b
+}
+
+fn decode(bytes: &[u8]) -> SvcMsg {
+    let mut r = marshal::Reader(bytes);
+    match r.u8() {
+        MSG_SCATTER => SvcMsg::Scatter {
+            client: r.u64(),
+            size: r.u64(),
+        },
+        MSG_SUBMIT => SvcMsg::Submit {
+            client: r.u64(),
+            task: r.u64(),
+            arg: r.u64(),
+        },
+        MSG_RESULT => SvcMsg::Result {
+            task: r.u64(),
+            checksum: r.u64(),
+        },
+        MSG_DONE => SvcMsg::Done,
+        k => panic!("bad svc message kind {k}"),
+    }
+}
+
+/// The result of one task: a pure function of the task's content (client,
+/// task id, argument, scattered dataset) — independent of scheduling,
+/// caching, and timing, which is what makes cache-on/cache-off runs
+/// comparable byte-for-byte.
+pub fn task_checksum(client: u64, task: u64, arg: u64, data: &[u8]) -> u64 {
+    let mut h = client
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .rotate_left(17)
+        .wrapping_add(task)
+        .rotate_left(13)
+        .wrapping_add(arg);
+    for chunk in data.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h ^= u64::from_le_bytes(word);
+        h = splitmix64(&mut h);
+    }
+    h
+}
+
+/// A scattered dataset held by a worker, addressable by later submits.
+#[derive(Debug, Clone, Copy)]
+pub struct DataRef {
+    pub worker: usize,
+    pub client: u64,
+}
+
+struct Pending {
+    expected: u64,
+    submitted: Time,
+}
+
+/// Client-side futures frontend (the `distributed.Client` analogue):
+/// scatter a dataset once, submit many tasks against it, gather results.
+/// One frontend serves every logical client multiplexed on its rank.
+pub struct Frontend {
+    workers: Vec<usize>,
+    pending: HashMap<u64, Pending>,
+    /// `(task id, checksum)` for every gathered task.
+    pub results: Vec<(u64, u64)>,
+    /// `(task id, submit-to-result latency)` for every gathered task.
+    pub latencies: Vec<(u64, Time)>,
+}
+
+impl Frontend {
+    pub fn new(workers: Vec<usize>) -> Self {
+        Frontend {
+            workers,
+            pending: HashMap::new(),
+            results: Vec::new(),
+            latencies: Vec::new(),
+        }
+    }
+
+    /// `client.scatter(data)`: announce the dataset inline, then ship the
+    /// bytes zero-copy from `buf` (the channel is ordered, so the worker
+    /// pairs them up). The buffer must stay allocated until [`run_load`]'s
+    /// teardown — freeing it mid-flight is exactly the bug the UCP layer
+    /// now surfaces as `InvalidHandle` instead of a panic.
+    pub fn scatter(
+        &mut self,
+        py: &mut PyProc,
+        ctx: &mut MCtx,
+        worker: usize,
+        client: u64,
+        buf: MemRef,
+    ) -> DataRef {
+        let ch = py.channel(worker);
+        py.send_host(
+            ctx,
+            ch,
+            encode(&SvcMsg::Scatter {
+                client,
+                size: buf.len,
+            }),
+        );
+        py.send(ctx, ch, buf);
+        DataRef { worker, client }
+    }
+
+    /// `client.submit(fn, data, arg)`: fire one task at the dataset's
+    /// worker; the result arrives asynchronously via [`Frontend::drain_one`].
+    /// `expected` is the checksum the task must produce (the client can
+    /// compute it locally — the task is pure).
+    pub fn submit(
+        &mut self,
+        py: &mut PyProc,
+        ctx: &mut MCtx,
+        data: DataRef,
+        task: u64,
+        arg: u64,
+        expected: u64,
+    ) {
+        self.pending.insert(
+            task,
+            Pending {
+                expected,
+                submitted: ctx.now(),
+            },
+        );
+        let ch = py.channel(data.worker);
+        py.send_host(
+            ctx,
+            ch,
+            encode(&SvcMsg::Submit {
+                client: data.client,
+                task,
+                arg,
+            }),
+        );
+    }
+
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Block until one result arrives from any worker; record its latency
+    /// and verify the checksum against the client-side expectation.
+    pub fn drain_one(&mut self, py: &mut PyProc, ctx: &mut MCtx) {
+        let workers = self.workers.clone();
+        let (_, bytes) = py.recv_host_any(ctx, &workers);
+        let msg = decode(&bytes.expect("svc result payload"));
+        match msg {
+            SvcMsg::Result { task, checksum } => {
+                let p = self.pending.remove(&task).expect("result for known task");
+                assert_eq!(
+                    checksum, p.expected,
+                    "task {task} computed a wrong checksum"
+                );
+                self.results.push((task, checksum));
+                self.latencies.push((task, ctx.now() - p.submitted));
+            }
+            _ => panic!("unexpected message on client rank"),
+        }
+    }
+
+    /// `client.gather(futures)`: wait for every outstanding task.
+    pub fn gather_all(&mut self, py: &mut PyProc, ctx: &mut MCtx) {
+        while !self.pending.is_empty() {
+            self.drain_one(py, ctx);
+        }
+    }
+}
+
+/// Load-generator configuration: `clients` logical clients multiplexed
+/// over [`CLIENT_RANKS`] ranks, each scattering one `data_size`-byte
+/// dataset and submitting `tasks_per_client` small tasks against it.
+#[derive(Debug, Clone)]
+pub struct LoadCfg {
+    pub clients: usize,
+    pub tasks_per_client: usize,
+    pub data_size: u64,
+    /// Max outstanding futures per client rank before draining.
+    pub window: usize,
+    /// Per-task worker compute time (µs) — small on purpose: the regime
+    /// where fixed communication costs dominate.
+    pub compute_us: f64,
+    /// Registration/endpoint caching on (`true`) or torn down after every
+    /// use (`false`). The cost model itself is always on.
+    pub cache: bool,
+    pub seed: u64,
+}
+
+impl Default for LoadCfg {
+    fn default() -> Self {
+        LoadCfg {
+            clients: 64,
+            tasks_per_client: 16,
+            data_size: 2048,
+            window: 16,
+            compute_us: 3.0,
+            cache: true,
+            seed: 1,
+        }
+    }
+}
+
+/// What one load run produced; everything here is deterministic for a
+/// given [`LoadCfg`] (including `wall_us` — the simulation is exact).
+#[derive(Debug, Clone)]
+pub struct LoadResult {
+    pub tasks: u64,
+    pub wall_us: f64,
+    pub tasks_per_sec: f64,
+    pub p50_us: f64,
+    pub p99_us: f64,
+    /// `(task id, checksum)`, sorted by task id.
+    pub results: Vec<(u64, u64)>,
+    /// Order-independent fold of `results`.
+    pub digest: u64,
+    pub reg_hit: u64,
+    pub reg_miss: u64,
+    pub reg_evict: u64,
+    pub ep_hit: u64,
+    pub ep_miss: u64,
+    pub premapped_hit: u64,
+}
+
+fn percentile(sorted: &[Time], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    as_us(sorted[idx])
+}
+
+/// Seed-derived content for one logical client: its worker, dataset bytes,
+/// and per-task arguments. Client ranks and workers derive the same values
+/// independently, so no out-of-band coordination is needed.
+fn client_worker(seed: u64, client: u64, workers: &[usize]) -> usize {
+    let mut s = seed ^ client.wrapping_mul(0xa076_1d64_78bd_642f);
+    workers[(splitmix64(&mut s) % workers.len() as u64) as usize]
+}
+
+fn client_data(seed: u64, client: u64, size: u64) -> Vec<u8> {
+    let mut s = seed ^ client.rotate_left(32) ^ 0x5851_f42d_4c95_7f2d;
+    let mut rng = Rng::new(splitmix64(&mut s));
+    let mut data = vec![0u8; size as usize];
+    rng.fill(&mut data);
+    data
+}
+
+fn task_arg(seed: u64, client: u64, task: u64) -> u64 {
+    let mut s = seed ^ client.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ task;
+    splitmix64(&mut s)
+}
+
+/// Run one full scatter/submit/gather load on a two-node Summit-like
+/// cluster with the registration cost model enabled, and assert the
+/// registration-leak invariants at shutdown.
+pub fn run_load(cfg: &LoadCfg) -> LoadResult {
+    let topo = Topology::summit(2);
+    assert_eq!(topo.procs(), CLIENT_RANKS + WORKER_RANKS);
+    let workers: Vec<usize> = (CLIENT_RANKS..CLIENT_RANKS + WORKER_RANKS).collect();
+    let mut machine = MachineConfig::default();
+    machine.ucp.reg_model = true;
+    machine.ucp.reg_cache = cfg.cache;
+    let mut sim = build_sim(topo, machine);
+
+    // Per-rank gathered output: (rank, results, latencies, finish time).
+    type RankOut = (usize, Vec<(u64, u64)>, Vec<(u64, Time)>, Time);
+    let out: Arc<Mutex<Vec<RankOut>>> = Arc::new(Mutex::new(Vec::new()));
+    let out2 = out.clone();
+    let cfg2 = cfg.clone();
+    let workers2 = workers.clone();
+
+    launch_with(&mut sim, PyParams::default(), move |py, ctx| {
+        let rank = py.rank();
+        if rank < CLIENT_RANKS {
+            client_body(py, ctx, &cfg2, &workers2, &out2);
+        } else {
+            worker_body(py, ctx, &cfg2);
+        }
+    });
+    assert_eq!(sim.run(), RunOutcome::Completed, "svc load deadlocked");
+
+    let w = sim.world();
+    let reg_miss = w.ucp.counters.get("ucp.reg.miss");
+    let reg_evict = w.ucp.counters.get("ucp.reg.evict");
+    // The leak gate: every mapping paid for was either evicted or is still
+    // live, and at shutdown (all buffers freed) nothing is live — and all
+    // pre-mapped pool allocations were returned.
+    assert_eq!(
+        reg_miss - reg_evict,
+        w.ucp.reg.live_mappings() as u64,
+        "registration accounting leak"
+    );
+    assert_eq!(
+        w.ucp.reg.live_mappings(),
+        0,
+        "registrations leaked past shutdown"
+    );
+    assert_eq!(
+        w.gpu.pool.premapped_live(),
+        0,
+        "pre-mapped pool allocations leaked"
+    );
+
+    let mut ranks = out.lock().clone();
+    ranks.sort_by_key(|r| r.0);
+    let mut results = Vec::new();
+    let mut lats = Vec::new();
+    let mut finish: Time = 0;
+    for (_, res, lat, end) in ranks {
+        results.extend(res);
+        lats.extend(lat.into_iter().map(|(_, d)| d));
+        finish = finish.max(end);
+    }
+    results.sort_by_key(|&(task, _)| task);
+    lats.sort_unstable();
+    let tasks = results.len() as u64;
+    let mut digest = 0u64;
+    for &(task, ck) in &results {
+        let mut s = task ^ ck.rotate_left(23);
+        digest ^= splitmix64(&mut s);
+    }
+    let wall_us = as_us(finish);
+    LoadResult {
+        tasks,
+        wall_us,
+        tasks_per_sec: if wall_us > 0.0 {
+            tasks as f64 / (wall_us / 1e6)
+        } else {
+            0.0
+        },
+        p50_us: percentile(&lats, 0.50),
+        p99_us: percentile(&lats, 0.99),
+        results,
+        digest,
+        reg_hit: w.ucp.counters.get("ucp.reg.hit"),
+        reg_miss,
+        reg_evict,
+        ep_hit: w.ucp.counters.get("ucp.ep.hit"),
+        ep_miss: w.ucp.counters.get("ucp.ep.miss"),
+        premapped_hit: w.gpu.counters.get("gpu.pool.premapped_hit"),
+    }
+}
+
+type RankSink = Arc<Mutex<Vec<(usize, Vec<(u64, u64)>, Vec<(u64, Time)>, Time)>>>;
+
+fn client_body(py: &mut PyProc, ctx: &mut MCtx, cfg: &LoadCfg, workers: &[usize], out: &RankSink) {
+    let rank = py.rank();
+    let node = ctx.with_world_ref(move |w, _| w.topo.node_of(rank));
+    let mine: Vec<u64> = (0..cfg.clients as u64)
+        .filter(|c| (*c as usize) % CLIENT_RANKS == rank)
+        .collect();
+    let mut fe = Frontend::new(workers.to_vec());
+
+    // Scatter phase: every logical client ships its dataset to its worker.
+    // One send buffer per client — the payload must stay valid until the
+    // transfer lands, and the spread of buffers exercises the LRU.
+    let mut bufs = Vec::with_capacity(mine.len());
+    let mut datas = Vec::with_capacity(mine.len());
+    let mut refs = Vec::with_capacity(mine.len());
+    for &c in &mine {
+        let data = client_data(cfg.seed, c, cfg.data_size);
+        let bytes = data.clone();
+        let size = cfg.data_size;
+        let buf = ctx.with_world(move |w, _| {
+            let b = w.gpu.pool.alloc_host(node, size, true, true);
+            w.gpu.pool.write(b, &bytes).expect("stage scatter payload");
+            b
+        });
+        let worker = client_worker(cfg.seed, c, workers);
+        refs.push(fe.scatter(py, ctx, worker, c, buf));
+        bufs.push(buf);
+        datas.push(data);
+    }
+
+    // Submit phase: round-robin across this rank's clients so their task
+    // streams interleave (many concurrent clients per rank), windowed so
+    // the rank never floods the workers.
+    for t in 0..cfg.tasks_per_client as u64 {
+        for (i, &c) in mine.iter().enumerate() {
+            let task = c * cfg.tasks_per_client as u64 + t;
+            let arg = task_arg(cfg.seed, c, t);
+            let expected = task_checksum(c, task, arg, &datas[i]);
+            while fe.outstanding() >= cfg.window {
+                fe.drain_one(py, ctx);
+            }
+            fe.submit(py, ctx, refs[i], task, arg, expected);
+        }
+    }
+    fe.gather_all(py, ctx);
+
+    // Shut the workers down (every client rank signals every worker), then
+    // return the scatter buffers: the registration must not outlive the
+    // allocation, so each free invalidates its cached mapping first.
+    for &w in workers {
+        let ch = py.channel(w);
+        py.send_host(ctx, ch, encode(&SvcMsg::Done));
+    }
+    for buf in bufs {
+        ctx.with_world(move |w, _| {
+            reg_invalidate(w, buf.id);
+            w.gpu.pool.free(buf.id).expect("free scatter buffer");
+        });
+    }
+    out.lock().push((rank, fe.results, fe.latencies, ctx.now()));
+}
+
+fn worker_body(py: &mut PyProc, ctx: &mut MCtx, cfg: &LoadCfg) {
+    let rank = py.rank();
+    let node = ctx.with_world_ref(move |w, _| w.topo.node_of(rank));
+    let clients: Vec<usize> = (0..CLIENT_RANKS).collect();
+    // One long-lived, pool-backed receive staging buffer. With caching on
+    // it is pre-mapped (the pool-allocator pattern: pay the mapping once
+    // at setup), so every zero-copy receive into it is a registration hit.
+    let size = cfg.data_size;
+    let cache = cfg.cache;
+    let staging = ctx.with_world(move |w, _| {
+        let b = w.gpu.pool.alloc_host(node, size, true, true);
+        if cache {
+            w.gpu.pool.set_premapped(b.id).expect("premap staging");
+        }
+        b
+    });
+    let compute = us(cfg.compute_us);
+    let mut datasets: HashMap<u64, Vec<u8>> = HashMap::new();
+    let mut done = 0usize;
+    while done < CLIENT_RANKS {
+        let (peer, bytes) = py.recv_host_any(ctx, &clients);
+        match decode(&bytes.expect("svc control payload")) {
+            SvcMsg::Scatter { client, size } => {
+                // The zero-copy payload is the next message on this
+                // (ordered) channel.
+                let got = py.recv(ctx, py.channel(peer), staging);
+                assert_eq!(got, size, "scatter payload size mismatch");
+                let data = ctx
+                    .with_world(move |w, _| w.gpu.pool.read(staging.slice(0, size)))
+                    .expect("read scattered dataset");
+                datasets.insert(client, data);
+            }
+            SvcMsg::Submit { client, task, arg } => {
+                ctx.advance(compute);
+                let data = datasets.get(&client).expect("submit before scatter");
+                let checksum = task_checksum(client, task, arg, data);
+                let ch = py.channel(peer);
+                py.send_host(ctx, ch, encode(&SvcMsg::Result { task, checksum }));
+            }
+            SvcMsg::Done => done += 1,
+            SvcMsg::Result { .. } => panic!("unexpected result on worker rank"),
+        }
+    }
+    ctx.with_world(move |w, _| {
+        reg_invalidate(w, staging.id);
+        w.gpu.pool.free(staging.id).expect("free staging buffer");
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(cache: bool, seed: u64) -> LoadCfg {
+        LoadCfg {
+            clients: 24,
+            tasks_per_client: 5,
+            data_size: 1024,
+            window: 8,
+            compute_us: 3.0,
+            cache,
+            seed,
+        }
+    }
+
+    #[test]
+    fn cache_on_and_off_compute_identical_results() {
+        for seed in [7, 1234] {
+            let on = run_load(&small(true, seed));
+            let off = run_load(&small(false, seed));
+            assert_eq!(on.tasks, 24 * 5);
+            assert_eq!(
+                on.results, off.results,
+                "task results must not depend on caching"
+            );
+            assert_eq!(on.digest, off.digest);
+            // Caching wins at small-task scale: wireup/registration paid
+            // once instead of per message.
+            assert!(
+                on.tasks_per_sec > off.tasks_per_sec,
+                "cache-on {} <= cache-off {} tasks/s",
+                on.tasks_per_sec,
+                off.tasks_per_sec
+            );
+            assert!(on.p99_us < off.p99_us);
+            // Counter shape: with caching, endpoints mostly hit; without,
+            // every touch is a miss and nothing is retained.
+            assert!(on.ep_hit > on.ep_miss);
+            assert_eq!(off.ep_hit, 0);
+            assert_eq!(off.reg_hit, 0);
+            assert_eq!(off.reg_miss, off.reg_evict);
+            // Pre-mapped worker staging buffers only exist with caching on.
+            assert!(on.premapped_hit > 0);
+            assert_eq!(off.premapped_hit, 0);
+        }
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let a = run_load(&small(true, 42));
+        let b = run_load(&small(true, 42));
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.wall_us, b.wall_us);
+        assert_eq!(a.p50_us, b.p50_us);
+        assert_eq!(a.p99_us, b.p99_us);
+        assert_eq!(
+            (a.reg_hit, a.reg_miss, a.reg_evict, a.ep_hit, a.ep_miss),
+            (b.reg_hit, b.reg_miss, b.reg_evict, b.ep_hit, b.ep_miss)
+        );
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        for msg in [
+            SvcMsg::Scatter {
+                client: 9,
+                size: 4096,
+            },
+            SvcMsg::Submit {
+                client: 9,
+                task: 1234,
+                arg: u64::MAX,
+            },
+            SvcMsg::Result {
+                task: 1234,
+                checksum: 0xdead_beef,
+            },
+            SvcMsg::Done,
+        ] {
+            let enc = encode(&msg);
+            match (msg, decode(&enc)) {
+                (
+                    SvcMsg::Scatter { client: a, size: b },
+                    SvcMsg::Scatter { client: c, size: d },
+                ) => assert_eq!((a, b), (c, d)),
+                (
+                    SvcMsg::Submit {
+                        client: a,
+                        task: b,
+                        arg: c,
+                    },
+                    SvcMsg::Submit {
+                        client: d,
+                        task: e,
+                        arg: f,
+                    },
+                ) => assert_eq!((a, b, c), (d, e, f)),
+                (
+                    SvcMsg::Result {
+                        task: a,
+                        checksum: b,
+                    },
+                    SvcMsg::Result {
+                        task: c,
+                        checksum: d,
+                    },
+                ) => assert_eq!((a, b), (c, d)),
+                (SvcMsg::Done, SvcMsg::Done) => {}
+                _ => panic!("roundtrip changed the message kind"),
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_is_content_pure() {
+        let data = client_data(3, 17, 512);
+        let a = task_checksum(17, 99, 0xabcd, &data);
+        let b = task_checksum(17, 99, 0xabcd, &data);
+        assert_eq!(a, b);
+        assert_ne!(a, task_checksum(17, 100, 0xabcd, &data));
+        assert_ne!(a, task_checksum(18, 99, 0xabcd, &data));
+        assert_ne!(a, task_checksum(17, 99, 0xabce, &data));
+    }
+}

@@ -145,14 +145,13 @@ pub fn am_send_nb(
                         0
                     };
                 let bytes = match &buf {
-                    // Invariant: the handle was validated by the `kind`
-                    // lookup above, so a materialized buffer always reads.
                     SendBuf::Mem(r) => w
                         .gpu
                         .pool
                         .is_materialized(r.id)
                         .unwrap_or(false)
-                        .then(|| w.gpu.pool.read(*r).expect("am eager read")),
+                        .then(|| w.gpu.pool.read(*r).ok())
+                        .flatten(),
                     SendBuf::Inline { bytes, .. } => Some(bytes.clone()),
                     SendBuf::Phantom { .. } => None,
                 };

@@ -61,6 +61,30 @@ pub struct UcpConfig {
     /// calling layers via `ProcCtx::advance`).
     pub cpu_call: Duration,
 
+    // ---- Connection-setup / memory-registration cost model ----
+    /// Model per-(src,dst) endpoint wireup and per-buffer memory
+    /// registration costs (off by default: legacy runs and their recorded
+    /// timings are unchanged). The MPI4Dask/distributed-ucxx deployments
+    /// this reproduces pay these costs for real; the registration cache
+    /// below amortizes them.
+    pub reg_model: bool,
+    /// Cache endpoint wireups and buffer registrations (LRU over
+    /// [`UcpConfig::reg_cache_bytes`]). When false every touch pays the
+    /// mapping cost again — the "cache off" baseline of `svc_bench`.
+    pub reg_cache: bool,
+    /// One-time wireup latency for the first message on a (src,dst) pair
+    /// (address exchange + transport setup).
+    pub ep_setup: Duration,
+    /// Fixed cost of registering (pinning + IB/CUDA mapping) one buffer.
+    pub reg_base: Duration,
+    /// Page-table walk bandwidth of registration (GB/s): large buffers
+    /// cost proportionally more to pin.
+    pub reg_gbps: f64,
+    /// Registration-cache capacity in mapped bytes (LRU beyond this).
+    pub reg_cache_bytes: u64,
+    /// Endpoint-cache capacity in cached wireups (LRU beyond this).
+    pub ep_cache_max: usize,
+
     // ---- Reliability protocol (active only when a fault spec is loaded) ----
     /// Base retransmission timeout added on top of the estimated wire RTT.
     pub rto_base: Duration,
@@ -101,6 +125,13 @@ impl Default for UcpConfig {
             rts_size: 64,
             ats_size: 32,
             cpu_call: us(0.30),
+            reg_model: false,
+            reg_cache: true,
+            ep_setup: us(150.0),
+            reg_base: us(40.0),
+            reg_gbps: 2.0,
+            reg_cache_bytes: 1 << 30,
+            ep_cache_max: 4096,
             rto_base: us(50.0),
             rto_max: us(5_000.0),
             rto_backoff: 2.0,
@@ -125,6 +156,11 @@ impl UcpConfig {
     /// Intra-node shared-memory wire time for `size` bytes.
     pub fn shm_time(&self, size: u64) -> Duration {
         self.shm_latency + rucx_sim::time::transfer_time(size, self.shm_gbps)
+    }
+
+    /// Cost of registering a `size`-byte buffer with the NIC/driver.
+    pub fn reg_cost(&self, size: u64) -> Duration {
+        self.reg_base + rucx_sim::time::transfer_time(size, self.reg_gbps)
     }
 }
 

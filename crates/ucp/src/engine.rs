@@ -178,7 +178,9 @@ impl ProtocolEngine {
     }
 
     /// Feed one clean (first-transmission) ack round trip for `key`.
-    pub(crate) fn observe_rtt(&mut self, key: (u32, u32), rtt: u64) {
+    /// Public so model layers (and their tests) can prime the tuner with
+    /// out-of-band measurements.
+    pub fn observe_rtt(&mut self, key: (u32, u32), rtt: u64) {
         let ep = self.ep_mut(key);
         ep.rtt_ewma = if ep.rtt_samples == 0 {
             rtt
@@ -195,6 +197,24 @@ impl ProtocolEngine {
             .get(&key)
             .filter(|ep| ep.rtt_samples > 0)
             .map(|ep| ep.rtt_ewma)
+    }
+
+    /// Best observed RTT EWMA across *cross-node* endpoint pairs whose both
+    /// ends are communicator participants (`rank < n`). Collective cost
+    /// estimators use this so any participating pair's traffic — not just
+    /// rank 0's — refreshes the inter-node alpha. Taking the minimum over a
+    /// `HashMap` iteration is order-independent, so determinism holds.
+    pub fn cross_node_rtt(&self, topo: &rucx_fabric::Topology, n: usize) -> Option<u64> {
+        self.eps
+            .iter()
+            .filter(|&(&(a, b), ep)| {
+                ep.rtt_samples > 0
+                    && (a as usize) < n
+                    && (b as usize) < n
+                    && !topo.same_node(a as usize, b as usize)
+            })
+            .min_by_key(|&(&k, ep)| (ep.rtt_ewma, k))
+            .map(|(_, ep)| ep.rtt_ewma)
     }
 
     /// The tuned eager threshold for an endpoint and class, if one has been
@@ -655,12 +675,9 @@ fn fetch_intra_striped<F>(
         s.schedule_at(t, move |w, s| {
             s.trace_instant("ucp.mp.chunk", recv_proc as u32, idx, len);
             if remaining.fetch_sub(1, Ordering::Relaxed) == 1 {
-                let f = finalize
-                    .lock()
-                    .unwrap()
-                    .take()
-                    .expect("striped fetch finalized twice");
-                f(w, s);
+                if let Some(f) = finalize.lock().unwrap().take() {
+                    f(w, s);
+                }
             }
         });
     }
@@ -815,12 +832,9 @@ fn pipeline_fetch<F>(
                 let h2d_end = rucx_gpu::ops::occupy_ingress(w, s, dst_dev, dst_stream, h2d_dur);
                 s.schedule_at(h2d_end, move |w, s| {
                     if remaining.fetch_sub(1, Ordering::Relaxed) == 1 {
-                        let f = finalize
-                            .lock()
-                            .unwrap()
-                            .take()
-                            .expect("pipeline finalized twice");
-                        f(w, s);
+                        if let Some(f) = finalize.lock().unwrap().take() {
+                            f(w, s);
+                        }
                     }
                 });
             });

@@ -17,6 +17,7 @@ pub mod error;
 pub mod machine;
 pub mod metrics;
 pub mod proto;
+pub mod reg;
 pub(crate) mod reliable;
 pub mod tag;
 pub mod worker;
@@ -27,8 +28,10 @@ pub use engine::{PathPlan, ProtocolEngine, Stripe};
 pub use error::{Protocol, UcpError};
 pub use machine::{build_sim, build_sim_with, MCtx, MSim, Machine, MachineConfig, UcpSubsystem};
 pub use proto::{
-    inject_local, probe_pop, rndv_fetch, tag_recv_nb, tag_send_nb, FetchDst, PoppedMsg, SendBuf,
+    inject_local, probe_pop, reg_invalidate, rndv_fetch, tag_recv_nb, tag_send_nb, FetchDst,
+    PoppedMsg, SendBuf,
 };
+pub use reg::RegCache;
 pub use tag::{tag_matches, Tag, TagMask, MASK_FULL, MASK_NONE};
 pub use worker::{Completion, MSched, RecvCompletion, RecvInfo, Worker};
 
@@ -76,11 +79,16 @@ pub mod blocking {
         ctx.advance(cost);
         ctx.wait(done);
         ctx.with_world(move |_, s| s.recycle_trigger(done));
-        // Invariant: the recv completion callback above stores `info`
-        // before firing the trigger `wait` blocks on, so after the wakeup
-        // the slot is always populated.
-        let i = info.lock().take().expect("recv completed without info");
-        i
+        // The recv completion callback stores `info` before firing the
+        // trigger `wait` blocks on; a zero-size record is the defensive
+        // fallback if a runtime layer completes the trigger another way.
+        let i = info.lock().take();
+        i.unwrap_or(RecvInfo {
+            src: proc,
+            tag,
+            size: 0,
+            truncated: false,
+        })
     }
 
     fn cpu_call_cost(ctx: &mut MCtx) -> rucx_sim::Duration {
@@ -166,6 +174,114 @@ mod tests {
         // 1 MiB at 12.2 GB/s ≈ 86 us + control.
         assert!(t > us(80.0) && t < us(120.0), "latency {}us", as_us(t));
         assert_eq!(sim.world().ucp.inflight_rndv(), 0);
+    }
+
+    /// Regression: freeing the send-side buffer while its rendezvous is in
+    /// flight used to panic the whole simulation ("rndv src freed"). It must
+    /// instead surface `InvalidHandle` at both workers, complete the receive
+    /// with a zero-size status, and complete the sender's request.
+    #[test]
+    fn rndv_src_freed_mid_flight_surfaces_invalid_handle() {
+        let mut sim = sim2nodes();
+        let size = 1u64 << 20;
+        let a = alloc_host(&mut sim, 0, size);
+        let b = alloc_host(&mut sim, 1, size);
+        sim.spawn("sender", 0, move |ctx| {
+            // Completes via the error path: the fetch can never happen, so
+            // the receiver acks the sender when it rejects the RTS.
+            blocking::send(ctx, 0, 6, SendBuf::Mem(a), 7);
+        });
+        sim.spawn("receiver", 0, move |ctx| {
+            // Let the RTS arrive, then free the *source* buffer before
+            // posting the receive that would fetch from it.
+            ctx.advance(us(20.0));
+            ctx.with_world(move |w, _| w.gpu.pool.free(a.id).unwrap());
+            let info = blocking::recv(ctx, 6, b, 7, MASK_FULL);
+            assert_eq!(info.size, 0, "failed rendezvous must deliver nothing");
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed, "no hang, no panic");
+        let w = sim.world_mut();
+        assert!(w.ucp.counters.get("ucp.bad_handle") >= 1);
+        for p in [0usize, 6] {
+            match w.ucp.take_worker_error(p) {
+                Some(UcpError::InvalidHandle { op, .. }) => assert_eq!(op, "rndv src"),
+                other => panic!("worker {p}: expected InvalidHandle, got {other:?}"),
+            }
+        }
+    }
+
+    /// The registration cost model: the first message on an endpoint pays
+    /// wireup + buffer mapping, repeats hit the cache, and freeing mapped
+    /// buffers keeps `miss - evict == live` (the leak gate).
+    #[test]
+    fn reg_model_first_touch_pays_then_caches() {
+        let mut cfg = MachineConfig::default();
+        cfg.ucp.reg_model = true;
+        let mut sim = build_sim(Topology::summit(1), cfg);
+        let a = alloc_host(&mut sim, 0, 4096);
+        let b = alloc_host(&mut sim, 0, 4096);
+        let durs = std::sync::Arc::new(rucx_compat::sync::Mutex::new(Vec::new()));
+        let durs2 = durs.clone();
+        sim.spawn("sender", 0, move |ctx| {
+            for _ in 0..2 {
+                let t0 = ctx.now();
+                blocking::send(ctx, 0, 1, SendBuf::Mem(a), 9);
+                durs2.lock().push(ctx.now() - t0);
+            }
+        });
+        sim.spawn("receiver", 0, move |ctx| {
+            for _ in 0..2 {
+                blocking::recv(ctx, 1, b, 9, MASK_FULL);
+            }
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let d = durs.lock().clone();
+        let ep_setup = sim.world().ucp.config.ep_setup;
+        assert!(
+            d[0] >= d[1] + ep_setup,
+            "first send must pay wireup: {} vs {}",
+            as_us(d[0]),
+            as_us(d[1])
+        );
+        let w = sim.world_mut();
+        assert_eq!(w.ucp.counters.get("ucp.ep.miss"), 1);
+        assert_eq!(w.ucp.counters.get("ucp.ep.hit"), 1);
+        assert_eq!(w.ucp.counters.get("ucp.reg.miss"), 2); // bufs a and b
+        assert_eq!(w.ucp.counters.get("ucp.reg.hit"), 2);
+        assert_eq!(w.ucp.counters.get("ucp.reg.evict"), 0);
+        assert_eq!(w.ucp.reg.live_mappings(), 2);
+        // Freeing a mapped buffer tears down its registration.
+        reg_invalidate(w, a.id);
+        reg_invalidate(w, b.id);
+        let miss = w.ucp.counters.get("ucp.reg.miss");
+        let evict = w.ucp.counters.get("ucp.reg.evict");
+        assert_eq!(miss - evict, w.ucp.reg.live_mappings() as u64);
+        assert_eq!(w.ucp.reg.live_mappings(), 0);
+    }
+
+    /// Pre-mapped pool allocations never pay registration latency and are
+    /// counted as hits (plus the gpu-side premapped counter).
+    #[test]
+    fn reg_model_premapped_buffers_always_hit() {
+        let mut cfg = MachineConfig::default();
+        cfg.ucp.reg_model = true;
+        let mut sim = build_sim(Topology::summit(1), cfg);
+        let a = alloc_host(&mut sim, 0, 2048);
+        let b = alloc_host(&mut sim, 0, 2048);
+        sim.world_mut().gpu.pool.set_premapped(a.id).unwrap();
+        sim.world_mut().gpu.pool.set_premapped(b.id).unwrap();
+        sim.spawn("sender", 0, move |ctx| {
+            blocking::send(ctx, 0, 1, SendBuf::Mem(a), 5);
+        });
+        sim.spawn("receiver", 0, move |ctx| {
+            blocking::recv(ctx, 1, b, 5, MASK_FULL);
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let w = sim.world();
+        assert_eq!(w.ucp.counters.get("ucp.reg.miss"), 0);
+        assert_eq!(w.ucp.counters.get("ucp.reg.hit"), 2);
+        assert_eq!(w.gpu.counters.get("gpu.pool.premapped_hit"), 2);
+        assert_eq!(w.ucp.reg.live_mappings(), 0);
     }
 
     #[test]

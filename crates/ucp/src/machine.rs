@@ -63,6 +63,9 @@ pub struct UcpSubsystem {
     /// the tracked envelope, so give-up errors can be routed back to e.g.
     /// the owning chare. 0 means unset.
     pub(crate) send_ctx: u64,
+    /// Endpoint-wireup and memory-registration caches; consulted on the
+    /// comm paths only when [`UcpConfig::reg_model`] is set.
+    pub reg: crate::reg::RegCache,
 }
 
 impl UcpSubsystem {
@@ -195,6 +198,7 @@ pub fn build_sim_with(topo: Topology, cfg: MachineConfig, sim_cfg: SimConfig) ->
 
     let seed = cfg.fault.as_ref().map_or(0, |sp| sp.seed);
     let reliable = crate::reliable::ReliableState::new(seed);
+    let reg = crate::reg::RegCache::new(cfg.ucp.reg_cache);
     let ucp = UcpSubsystem {
         config: cfg.ucp,
         counters: Counters::new(),
@@ -207,6 +211,7 @@ pub fn build_sim_with(topo: Topology, cfg: MachineConfig, sim_cfg: SimConfig) ->
         reliable,
         engine: crate::engine::ProtocolEngine::new(seed),
         send_ctx: 0,
+        reg,
     };
 
     let machine = Machine {

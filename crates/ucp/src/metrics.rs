@@ -75,6 +75,21 @@ pub const FALLBACK_HOST_STAGED: Metric = Metric::counter("ucp.fallback.host_stag
 /// nothing sent plus a typed `InvalidHandle` error at the worker.
 pub const BAD_HANDLE: Metric = Metric::counter("ucp.bad_handle");
 
+// ---- Registration / endpoint cache (active when `reg_model` is on) -------
+
+/// Buffer registrations served from the cache (no mapping cost paid).
+pub const REG_HIT: Metric = Metric::counter("ucp.reg.hit");
+/// Buffer registrations that had to map (first touch or after eviction).
+pub const REG_MISS: Metric = Metric::counter("ucp.reg.miss");
+/// Registrations unmapped to stay under the cache's byte budget.
+pub const REG_EVICT: Metric = Metric::counter("ucp.reg.evict");
+/// Endpoint touches served from the wireup cache.
+pub const EP_HIT: Metric = Metric::counter("ucp.ep.hit");
+/// Endpoint touches that paid the wireup latency.
+pub const EP_MISS: Metric = Metric::counter("ucp.ep.miss");
+/// Endpoint wireups evicted by the LRU cap.
+pub const EP_EVICT: Metric = Metric::counter("ucp.ep.evict");
+
 // ---- Active messages -----------------------------------------------------
 
 pub const AM_HEADER_ONLY: Metric = Metric::counter("ucp.am.header_only");

@@ -144,6 +144,64 @@ fn payload_kind(w: &Machine, buf: &SendBuf, src_proc: usize) -> Option<MemKind> 
     }
 }
 
+/// Registration-model charge for the first message on a (src,dst) pair:
+/// endpoint wireup latency on a cache miss, zero on a hit. Always zero
+/// when the cost model is off (the legacy timing contract).
+pub(crate) fn reg_charge_ep(w: &mut Machine, src: usize, dst: usize) -> Duration {
+    if !w.ucp.config.reg_model {
+        return 0;
+    }
+    let out = w
+        .ucp
+        .reg
+        .touch_ep((src as u32, dst as u32), w.ucp.config.ep_cache_max);
+    w.ucp.counters.add(m::EP_EVICT, out.evicted);
+    if out.hit {
+        w.ucp.counters.bump(m::EP_HIT);
+        0
+    } else {
+        w.ucp.counters.bump(m::EP_MISS);
+        w.ucp.config.ep_setup
+    }
+}
+
+/// Registration-model charge for handing a pool buffer to the transport:
+/// mapping latency on a cache miss, zero on a hit. Pool-backed pre-mapped
+/// allocations were registered once at pool-build time and always hit.
+pub(crate) fn reg_charge_buf(w: &mut Machine, r: &MemRef) -> Duration {
+    if !w.ucp.config.reg_model {
+        return 0;
+    }
+    if w.gpu.pool.is_premapped(r.id).unwrap_or(false) {
+        w.ucp.counters.bump(m::REG_HIT);
+        w.gpu.counters.bump(rucx_gpu::metrics::POOL_PREMAPPED_HIT);
+        return 0;
+    }
+    // Registration maps whole allocations, not slices.
+    let bytes = w.gpu.pool.size(r.id).unwrap_or(r.len);
+    let out = w
+        .ucp
+        .reg
+        .register(r.id.0, bytes, w.ucp.config.reg_cache_bytes);
+    w.ucp.counters.add(m::REG_EVICT, out.evicted);
+    if out.hit {
+        w.ucp.counters.bump(m::REG_HIT);
+        0
+    } else {
+        w.ucp.counters.bump(m::REG_MISS);
+        w.ucp.config.reg_cost(bytes)
+    }
+}
+
+/// Drop a buffer's cached registration when the allocation is freed, and
+/// account the teardown as an eviction so `miss - evict == live` holds.
+/// Call before `MemPool::free` on buffers that traveled through UCP.
+pub fn reg_invalidate(w: &mut Machine, id: rucx_gpu::MemId) {
+    if w.ucp.reg.invalidate(id.0) {
+        w.ucp.counters.bump(m::REG_EVICT);
+    }
+}
+
 /// Reject a send posted against a stale buffer handle: count it, queue a
 /// typed error at the sender's worker, and complete the operation with
 /// nothing sent — a user error must not take down the whole simulation.
@@ -157,6 +215,29 @@ pub(crate) fn reject_bad_handle(
     w.ucp.counters.bump(m::BAD_HANDLE);
     crate::reliable::push_error(w, s, src, crate::UcpError::InvalidHandle { op, proc: src });
     complete(w, s, src, done);
+}
+
+/// Reject a receive whose buffer handle is stale (freed before or during
+/// the transfer): count it, queue a typed error at the receiver's worker,
+/// and complete the receive with a zero-size status so no waiter hangs.
+fn reject_bad_recv(
+    w: &mut Machine,
+    s: &mut MSched,
+    proc: usize,
+    op: &'static str,
+    src: usize,
+    tag: Tag,
+    done: RecvCompletion,
+) {
+    w.ucp.counters.bump(m::BAD_HANDLE);
+    crate::reliable::push_error(w, s, proc, UcpError::InvalidHandle { op, proc });
+    let info = RecvInfo {
+        src,
+        tag,
+        size: 0,
+        truncated: false,
+    };
+    complete_recv(w, s, proc, done, None, info);
 }
 
 /// Run a completion action for process `proc` and wake its worker.
@@ -338,10 +419,18 @@ pub fn tag_send_nb(
         return reject_bad_handle(w, s, src, "tag_send_nb", done);
     };
     let plan = engine::plan_send(w, s, src, dst, kind, size);
+    // First touch of the endpoint / the source buffer pays wireup and
+    // registration latency (zero when `reg_model` is off or on cache hits).
+    let reg_delay = reg_charge_ep(w, src, dst)
+        + match &buf {
+            SendBuf::Mem(r) => reg_charge_buf(w, r),
+            _ => 0,
+        };
 
     if plan.protocol == Protocol::Eager {
         // Sender-side staging: GDRCopy read for device payloads.
         let local_delay = cfg_proto
+            + reg_delay
             + if kind.is_device() {
                 w.ucp.counters.bump(m::EAGER_GDRCOPY_READ);
                 w.ucp.config.gdrcopy_cost(size)
@@ -351,10 +440,7 @@ pub fn tag_send_nb(
         let bytes = match &buf {
             SendBuf::Mem(r) => {
                 if w.gpu.pool.is_materialized(r.id).unwrap_or(false) {
-                    // Invariant: handle validity was checked by
-                    // `payload_kind` above and the pool is not touched in
-                    // between, so a materialized buffer always reads.
-                    Some(w.gpu.pool.read(*r).expect("eager read"))
+                    w.gpu.pool.read(*r).ok()
                 } else {
                     None
                 }
@@ -406,7 +492,7 @@ pub fn tag_send_nb(
             src,
             dst,
             rts_size,
-            cfg_proto,
+            cfg_proto + reg_delay,
             tag,
             ArrivedBody::Rts { rts_id, size },
         );
@@ -417,10 +503,10 @@ pub fn tag_send_nb(
 /// receive or park in the unexpected queue.
 pub(crate) fn deliver(w: &mut Machine, s: &mut MSched, dst: usize, msg: ArrivedMsg) {
     let worker = w.ucp.worker_mut(dst);
-    if let Some(i) = worker.find_expected(msg.tag) {
-        // Invariant: `i` came from `find_expected` on this same worker
-        // with no intervening mutation, so the slot is present.
-        let exp = worker.expected.remove(i).expect("matched recv vanished");
+    if let Some(exp) = worker
+        .find_expected(msg.tag)
+        .and_then(|i| worker.expected.remove(i))
+    {
         process_match(w, s, dst, exp, msg);
     } else {
         worker.unexpected.push_back(msg);
@@ -440,7 +526,11 @@ fn process_match(
 ) {
     match msg.body {
         ArrivedBody::Eager { bytes, wire_size } => {
-            let dst_kind = w.gpu.pool.kind(exp.buf.id).expect("recv into bad handle");
+            let Ok(dst_kind) = w.gpu.pool.kind(exp.buf.id) else {
+                // The receive was posted against a handle the pool no
+                // longer knows (freed while the message was in flight).
+                return reject_bad_recv(w, s, dst_proc, "eager recv", msg.src, msg.tag, exp.done);
+            };
             let delay = if let MemKind::Device(dev) = dst_kind {
                 if gpu_direct_ok(w, s, dev, dst_proc, wire_size) {
                     w.ucp.counters.bump(m::EAGER_GDRCOPY_WRITE);
@@ -455,6 +545,8 @@ fn process_match(
             } else {
                 w.ucp.config.eager_copy_cost(wire_size)
             };
+            // Receive-side buffer registration (zero unless `reg_model`).
+            let delay = delay + reg_charge_buf(w, &exp.buf);
             // The message is larger than the posted buffer: deliver the
             // prefix (the wire already carried the full payload) but flag
             // the truncation so the request surfaces an error status
@@ -475,10 +567,18 @@ fn process_match(
             s.schedule_in(delay, move |w, s| {
                 if let Some(b) = &bytes {
                     let n = (buf.len as usize).min(b.len());
-                    w.gpu
-                        .pool
-                        .write(buf.slice(0, n as u64), &b[..n])
-                        .expect("eager copy-out");
+                    if w.gpu.pool.write(buf.slice(0, n as u64), &b[..n]).is_err() {
+                        // Buffer freed between match and copy-out.
+                        return reject_bad_recv(
+                            w,
+                            s,
+                            dst_proc,
+                            "eager copy-out",
+                            info.src,
+                            info.tag,
+                            done,
+                        );
+                    }
                 }
                 complete_recv(w, s, dst_proc, done, bytes, info);
             });
@@ -511,8 +611,10 @@ pub fn tag_recv_nb(
     done: RecvCompletion,
 ) {
     let worker = w.ucp.worker_mut(proc);
-    if let Some(i) = worker.find_unexpected(tag, mask) {
-        let msg = worker.unexpected.remove(i).expect("probed msg vanished");
+    if let Some(msg) = worker
+        .find_unexpected(tag, mask)
+        .and_then(|i| worker.unexpected.remove(i))
+    {
         let exp = ExpectedRecv {
             tag,
             mask,
@@ -536,7 +638,7 @@ pub fn tag_recv_nb(
 pub fn probe_pop(w: &mut Machine, proc: usize, tag: Tag, mask: TagMask) -> Option<PoppedMsg> {
     let worker = w.ucp.worker_mut(proc);
     let i = worker.find_unexpected(tag, mask)?;
-    let msg = worker.unexpected.remove(i).expect("probed msg vanished");
+    let msg = worker.unexpected.remove(i)?;
     Some(match msg.body {
         ArrivedBody::Eager { bytes, wire_size } => PoppedMsg::Eager {
             src: msg.src,
@@ -623,6 +725,81 @@ fn start_fetch(
     };
     let src_proc = rts.src_proc;
     let size = rts.wire_size;
+    let intra = w.topo.same_node(src_proc, recv_proc);
+    let src_kind = match &rts.payload {
+        SendPayload::Mem(r) => match w.gpu.pool.kind(r.id) {
+            Ok(k) => k,
+            Err(_) => {
+                // The sender freed its source buffer while the rendezvous
+                // was in flight: the data can never be fetched, so fail
+                // both sides with a typed error. The receive completes
+                // with a zero-size status; the sender's request completes
+                // too, since nothing else ever will.
+                let err = UcpError::InvalidHandle {
+                    op: "rndv src",
+                    proc: src_proc,
+                };
+                w.ucp.counters.bump(m::BAD_HANDLE);
+                crate::reliable::push_error(w, s, recv_proc, err.clone());
+                crate::reliable::push_error(w, s, src_proc, err.clone());
+                let info = RecvInfo {
+                    src: src_proc,
+                    tag,
+                    size: 0,
+                    truncated: false,
+                };
+                complete_recv(w, s, recv_proc, done, None, info);
+                complete(w, s, src_proc, rts.sender_done);
+                return Err(err);
+            }
+        },
+        _ => MemKind::HostPinned {
+            node: w.topo.node_of(src_proc),
+        },
+    };
+    let dst_kind = match &dst {
+        FetchDst::Mem(r) => match w.gpu.pool.kind(r.id) {
+            Ok(k) => k,
+            Err(_) => {
+                // The receiver's destination handle is stale: fail the
+                // receive with a typed error, and still ack the sender so
+                // its request completes (the RTS was consumed here).
+                let err = UcpError::InvalidHandle {
+                    op: "rndv dst",
+                    proc: recv_proc,
+                };
+                w.ucp.counters.bump(m::BAD_HANDLE);
+                crate::reliable::push_error(w, s, recv_proc, err.clone());
+                let info = RecvInfo {
+                    src: src_proc,
+                    tag,
+                    size: 0,
+                    truncated: false,
+                };
+                complete_recv(w, s, recv_proc, done, None, info);
+                let sender_done = rts.sender_done;
+                if !intra && w.faults.enabled() {
+                    crate::reliable::send_tracked_ats(
+                        w,
+                        s,
+                        recv_proc,
+                        src_proc,
+                        rts_id,
+                        sender_done,
+                    );
+                } else {
+                    let ats = w.ucp.config.ats_size;
+                    send_control(w, s, recv_proc, src_proc, ats, move |w, s| {
+                        complete(w, s, src_proc, sender_done);
+                    });
+                }
+                return Err(err);
+            }
+        },
+        FetchDst::Bytes => MemKind::HostPinned {
+            node: w.topo.node_of(recv_proc),
+        },
+    };
     let truncated = match &dst {
         FetchDst::Mem(r) => size > r.len,
         FetchDst::Bytes => false,
@@ -637,19 +814,13 @@ fn start_fetch(
         truncated,
     };
     s.trace_instant("ucp.rndv.cts", recv_proc as u32, rts_id, size);
-    let src_kind = match &rts.payload {
-        SendPayload::Mem(r) => w.gpu.pool.kind(r.id).expect("rndv src freed"),
-        _ => MemKind::HostPinned {
-            node: w.topo.node_of(src_proc),
-        },
+    // Receive-side buffer registration: the fetch cannot start until the
+    // destination is mapped. Zero (and the legacy direct dispatch, with no
+    // extra event) unless `reg_model` charged a miss.
+    let reg_delay = match &dst {
+        FetchDst::Mem(r) => reg_charge_buf(w, r),
+        FetchDst::Bytes => 0,
     };
-    let dst_kind = match &dst {
-        FetchDst::Mem(r) => w.gpu.pool.kind(r.id).expect("rndv dst bad"),
-        FetchDst::Bytes => MemKind::HostPinned {
-            node: w.topo.node_of(recv_proc),
-        },
-    };
-    let intra = w.topo.same_node(src_proc, recv_proc);
     let sender_done = rts.sender_done;
     let payload = rts.payload;
     let sent_at = rts.sent_at;
@@ -660,7 +831,25 @@ fn start_fetch(
     // fault spec the inter-node ATS is itself a tracked envelope.
     let finalize = move |w: &mut Machine, s: &mut MSched| {
         engine::observe_rndv(w, s, src_proc, recv_proc, device_class, size, sent_at);
-        let bytes = finalize_data(w, &payload, &dst);
+        let bytes = match finalize_data(w, &payload, &dst) {
+            Ok(b) => b,
+            Err(_) => {
+                // A buffer was freed while the fetch was in flight:
+                // surface a typed error; the receive still completes
+                // (with no bytes) and the sender is still acked below.
+                w.ucp.counters.bump(m::BAD_HANDLE);
+                crate::reliable::push_error(
+                    w,
+                    s,
+                    recv_proc,
+                    UcpError::InvalidHandle {
+                        op: "rndv finalize",
+                        proc: recv_proc,
+                    },
+                );
+                None
+            }
+        };
         complete_recv(w, s, recv_proc, done, bytes, info);
         if !intra && w.faults.enabled() {
             crate::reliable::send_tracked_ats(w, s, recv_proc, src_proc, rts_id, sender_done);
@@ -672,7 +861,19 @@ fn start_fetch(
         }
     };
 
-    if intra {
+    if reg_delay > 0 {
+        s.schedule_in(reg_delay, move |w, s| {
+            if intra {
+                engine::fetch_intra(
+                    w, s, src_kind, dst_kind, size, recv_proc, src_proc, finalize,
+                );
+            } else {
+                engine::fetch_inter(
+                    w, s, src_kind, dst_kind, size, recv_proc, src_proc, finalize,
+                );
+            }
+        });
+    } else if intra {
         engine::fetch_intra(
             w, s, src_kind, dst_kind, size, recv_proc, src_proc, finalize,
         );
@@ -685,33 +886,32 @@ fn start_fetch(
 }
 
 /// Move the actual bytes once the timing chain has completed, and return
-/// bytes for `FetchDst::Bytes` completions.
-fn finalize_data(w: &mut Machine, payload: &SendPayload, dst: &FetchDst) -> Option<Vec<u8>> {
+/// bytes for `FetchDst::Bytes` completions. A stale handle (either side
+/// freed mid-fetch) surfaces as an error for the caller to report.
+fn finalize_data(
+    w: &mut Machine,
+    payload: &SendPayload,
+    dst: &FetchDst,
+) -> Result<Option<Vec<u8>>, rucx_gpu::MemError> {
     match (payload, dst) {
         (SendPayload::Mem(src), FetchDst::Mem(d)) => {
             let n = src.len.min(d.len);
-            w.gpu
-                .pool
-                .copy(src.slice(0, n), d.slice(0, n))
-                .expect("rndv data move");
-            None
+            w.gpu.pool.copy(src.slice(0, n), d.slice(0, n))?;
+            Ok(None)
         }
         (SendPayload::Mem(src), FetchDst::Bytes) => {
             if w.gpu.pool.is_materialized(src.id).unwrap_or(false) {
-                Some(w.gpu.pool.read(*src).expect("rndv read"))
+                Ok(Some(w.gpu.pool.read(*src)?))
             } else {
-                None
+                Ok(None)
             }
         }
         (SendPayload::Bytes(b), FetchDst::Mem(d)) => {
             let n = (d.len as usize).min(b.len());
-            w.gpu
-                .pool
-                .write(d.slice(0, n as u64), &b[..n])
-                .expect("rndv write");
-            None
+            w.gpu.pool.write(d.slice(0, n as u64), &b[..n])?;
+            Ok(None)
         }
-        (SendPayload::Bytes(b), FetchDst::Bytes) => Some(b.clone()),
-        (SendPayload::Phantom, _) => None,
+        (SendPayload::Bytes(b), FetchDst::Bytes) => Ok(Some(b.clone())),
+        (SendPayload::Phantom, _) => Ok(None),
     }
 }

@@ -64,18 +64,18 @@ echo "ok: all metric call sites use typed registries"
 #
 # The fault-injection subsystem makes "impossible" wire states reachable;
 # crates/ucp must surface them as typed `UcpError`s, never `panic!` /
-# `unreachable!`. Test modules (everything from `#[cfg(test)]` down) and
-# comments are exempt.
+# `unreachable!` / `.expect(`. Test modules (everything from `#[cfg(test)]`
+# down) and comments are exempt.
 # ---------------------------------------------------------------------------
 echo "== ucp panic-free gate =="
 bad=$(awk '
     /#\[cfg\(test\)\]/ { intest[FILENAME] = 1 }
-    !intest[FILENAME] && $0 !~ /^[[:space:]]*\/\// && /panic!|unreachable!/ {
+    !intest[FILENAME] && $0 !~ /^[[:space:]]*\/\// && /panic!|unreachable!|\.expect\(/ {
         print FILENAME ": " $0
     }
 ' crates/ucp/src/*.rs)
 if [ -n "$bad" ]; then
-    echo "panic!/unreachable! on a UCP communication path (use UcpError):"
+    echo "panic!/unreachable!/.expect( on a UCP communication path (use UcpError):"
     echo "$bad"
     exit 1
 fi
@@ -193,6 +193,33 @@ echo "ok: collective bench and train proxy byte-identical across runs and shards
 echo "== collective engine: cross-model conformance + chaos =="
 cargo test -q --offline --test coll_chaos
 echo "ok: models agree byte-for-byte; no silent wrong sums under faults"
+
+# ---------------------------------------------------------------------------
+# Service layer: determinism + registration-leak gates. The many-client
+# scatter/submit/gather benchmark must be byte-identical across repeated
+# runs and across shard counts {1,2,8} (each sweep point is an independent
+# seeded simulation), and the rucx-svc suite must hold: cache-on and
+# cache-off runs compute identical task results, cache-on wins at
+# small-task scale, and every load run's shutdown asserts the
+# registration-leak invariant (`ucp.reg.miss - ucp.reg.evict` equals live
+# mappings, which is zero once every buffer is freed, and all pre-mapped
+# pool allocations are returned).
+# ---------------------------------------------------------------------------
+echo "== service layer: svc_bench determinism gate =="
+cargo build -q --offline --release --example svc_bench
+svc=./target/release/examples/svc_bench
+a=$("$svc" --quick --json)
+b=$("$svc" --quick --json)
+c=$("$svc" --quick --json --shards 2)
+d=$("$svc" --quick --json --shards 8)
+[ "$a" = "$b" ] || { echo "FAIL: svc_bench JSON differs across runs"; exit 1; }
+[ "$a" = "$c" ] && [ "$a" = "$d" ] \
+    || { echo "FAIL: svc_bench JSON differs across shard counts"; exit 1; }
+echo "ok: svc_bench byte-identical across runs and shard counts"
+
+echo "== service layer: cache-on/off conformance + registration-leak asserts =="
+cargo test -q --offline --release -p rucx-svc
+echo "ok: identical results with caching on/off; no registration leaks"
 
 echo "== protocol engine: ablation smoke =="
 RUCX_ABLATION=autotune cargo bench -q --offline -p rucx-bench --bench ablations >/dev/null

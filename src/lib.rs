@@ -20,6 +20,7 @@
 //! | Charm4py-style channels + Python cost model | [`charm4py`] |
 //! | OSU-adapted microbenchmarks (Figs. 10–13, Table I) | [`osu`] |
 //! | Jacobi3D proxy application (Figs. 14–16) | [`jacobi`] |
+//! | Many-client service layer (Dask-style scatter/submit/gather futures) | [`svc`] |
 //!
 //! ## Quickstart
 //!
@@ -60,6 +61,7 @@ pub use rucx_jacobi as jacobi;
 pub use rucx_ompi as ompi;
 pub use rucx_osu as osu;
 pub use rucx_sim as sim;
+pub use rucx_svc as svc;
 pub use rucx_ucp as ucp;
 
 /// Common imports for examples and applications.
