@@ -7,6 +7,7 @@ use std::path::PathBuf;
 use rucx_compat::json::ToJson;
 
 pub mod attr;
+pub mod scenario;
 
 /// Directory benchmark results are written to (JSON, one file per figure).
 pub fn out_dir() -> PathBuf {

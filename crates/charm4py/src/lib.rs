@@ -650,6 +650,65 @@ impl PyProc {
         }
     }
 
+    /// [`PyProc::recv_host_any`] with a virtual-time deadline: suspend
+    /// until any of `peers` has a ready pickled host object *or* the
+    /// deadline passes with nothing ready, in which case `None` is
+    /// returned. A wakeup is scheduled at the deadline so a blocked
+    /// receiver cannot sleep through it; the ready-vs-deadline decision is
+    /// made in virtual time, so it is deterministic. This is what lets the
+    /// service layer's futures frontend detect dead workers instead of
+    /// hanging in `gather_all`.
+    pub fn recv_host_any_deadline(
+        &mut self,
+        ctx: &mut MCtx,
+        peers: &[usize],
+        deadline: rucx_sim::time::Time,
+    ) -> Option<(usize, Option<Vec<u8>>)> {
+        self.py_overhead(ctx, self.params.py_recv, 1);
+        let me = self.rank;
+        if ctx.now() < deadline {
+            ctx.with_world(move |w, s| {
+                let n = w.ucp.worker(me).notify;
+                s.schedule_at(deadline, move |_, s| s.notify(n));
+            });
+        }
+        let (col, idx) = (self.col, self.rank as u64);
+        let scan: Vec<u32> = peers.iter().map(|&p| p as u32).collect();
+        let scan2 = scan.clone();
+        self.pe.pump_until(ctx, move |pe, ctx| {
+            let st = pe.chare_mut::<ChanState>(col, idx);
+            scan2
+                .iter()
+                .any(|p| st.inbox.get(p).is_some_and(|q| !q.ready.is_empty()))
+                || ctx.now() >= deadline
+        });
+        let st = self.pe.chare_mut::<ChanState>(col, idx);
+        let mut hit = None;
+        for &p in &scan {
+            if let Some(q) = st.inbox.get_mut(&p) {
+                if let Some(payload) = q.ready.pop_front() {
+                    hit = Some((p as usize, payload));
+                    break;
+                }
+            }
+        }
+        match hit {
+            Some((peer, ChanPayload::Inline { bytes, size })) => {
+                let dur = self.params.pickle_cost(size) + self.params.py_wake;
+                self.py_overhead(ctx, dur, 2);
+                Some((peer, bytes))
+            }
+            Some((_, ChanPayload::ZeroCopy { .. })) => {
+                panic!("recv_host_any_deadline on a channel carrying a GPU buffer")
+            }
+            None => {
+                // Deadline expired with every scanned inbox empty.
+                self.py_overhead(ctx, self.params.py_wake, 2);
+                None
+            }
+        }
+    }
+
     fn pop_inbox(&mut self, ctx: &mut MCtx, peer: usize) -> ChanPayload {
         let (col, idx) = (self.col, self.rank as u64);
         self.pe.pump_until(ctx, move |pe, _| {
@@ -785,6 +844,35 @@ mod tests {
         assert_eq!(sim.run(), RunOutcome::Completed);
         assert_eq!(sim.world().gpu.pool.read(b).unwrap(), data);
         assert_eq!(sim.world().ucp.counters.get("ucp.rndv.ipc"), 1);
+    }
+
+    #[test]
+    fn recv_host_any_deadline_times_out_and_delivers() {
+        // Rank 1 sends immediately; rank 2 never sends. A select on
+        // {1, 2} with a generous deadline returns rank 1's object; a
+        // second select on {2} alone expires at its deadline (virtual time
+        // reaches it exactly — no busy wait, no hang) and returns None.
+        let mut sim = sim(1);
+        let done = Arc::new(rucx_compat::sync::Mutex::new((false, false)));
+        let done2 = done.clone();
+        launch(&mut sim, move |py, ctx| match py.rank() {
+            1 => {
+                let ch = py.channel(0);
+                py.send_host(ctx, ch, vec![7, 7]);
+            }
+            0 => {
+                let hit = py.recv_host_any_deadline(ctx, &[1, 2], us(5_000.0));
+                assert_eq!(hit, Some((1, Some(vec![7, 7]))));
+                let deadline = ctx.now() + us(300.0);
+                let miss = py.recv_host_any_deadline(ctx, &[2], deadline);
+                assert_eq!(miss, None);
+                assert!(ctx.now() >= deadline, "must sleep to the deadline");
+                *done2.lock() = (true, true);
+            }
+            _ => {}
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        assert_eq!(*done.lock(), (true, true));
     }
 
     #[test]

@@ -23,7 +23,7 @@
 pub mod metrics;
 pub mod spec;
 
-pub use spec::{DegradeWindow, FaultSpec, GpuFail, LinkFilter, PartitionWindow};
+pub use spec::{DegradeWindow, FaultSpec, GpuFail, HealEvent, LinkFilter, PartitionWindow};
 
 use rucx_sim::time::Time;
 use rucx_sim::SimRng;
@@ -52,13 +52,22 @@ pub enum WireFault {
 pub struct LinkFaults {
     filter: LinkFilter,
     degrade: Vec<DegradeWindow>,
+    heal: Vec<HealEvent>,
 }
 
 impl LinkFaults {
     /// Bandwidth multiplier (in `(0, 1]`) for the `(a, b)` node link at
-    /// virtual time `now`. Overlapping windows compound.
+    /// virtual time `now`. Overlapping windows compound; a heal event on
+    /// the link ends every window for it.
     pub fn bw_factor(&self, a: usize, b: usize, now: Time) -> f64 {
         if !self.filter.matches(a, b) {
+            return 1.0;
+        }
+        if self
+            .heal
+            .iter()
+            .any(|h| h.at <= now && ((h.a, h.b) == (a, b) || (h.b, h.a) == (a, b)))
+        {
             return 1.0;
         }
         let mut f = 1.0;
@@ -142,6 +151,7 @@ impl FaultState {
         Some(LinkFaults {
             filter: spec.links.clone(),
             degrade: spec.degrade.clone(),
+            heal: spec.heal.clone(),
         })
     }
 
@@ -157,10 +167,12 @@ impl FaultState {
         if !spec.links.matches(src_node, dst_node) {
             return WireFault::None;
         }
-        for w in &spec.partitions {
-            if w.from <= now && now < w.until {
-                self.injected += 1;
-                return WireFault::Drop;
+        if !spec.healed(src_node, dst_node, now) {
+            for w in &spec.partitions {
+                if w.from <= now && now < w.until {
+                    self.injected += 1;
+                    return WireFault::Drop;
+                }
             }
         }
         if self.injected >= spec.max_faults {
@@ -313,6 +325,50 @@ mod tests {
         assert!(f.gpudirect_lost(3, us(250.0)));
         assert!(f.gpudirect_lost(3, us(9_999.0)));
         assert!(!f.gpudirect_lost(2, us(9_999.0)));
+    }
+
+    #[test]
+    fn heal_ends_partition_for_the_named_link_only() {
+        let mut s = FaultSpec::default();
+        s.partitions.push(PartitionWindow {
+            from: us(100.0),
+            until: us(1_000.0),
+        });
+        s.heal.push(spec::HealEvent {
+            a: 0,
+            b: 1,
+            at: us(400.0),
+        });
+        let mut f = FaultState::from_spec(s);
+        // Inside the window before the heal: both links drop.
+        assert_eq!(f.wire_fault(0, 1, us(200.0)), WireFault::Drop);
+        assert_eq!(f.wire_fault(0, 2, us(200.0)), WireFault::Drop);
+        // After the heal: 0-1 (either direction) delivers, 0-2 still drops.
+        assert_eq!(f.wire_fault(0, 1, us(500.0)), WireFault::None);
+        assert_eq!(f.wire_fault(1, 0, us(500.0)), WireFault::None);
+        assert_eq!(f.wire_fault(0, 2, us(500.0)), WireFault::Drop);
+        // Window end recovers everyone.
+        assert_eq!(f.wire_fault(0, 2, us(1_500.0)), WireFault::None);
+    }
+
+    #[test]
+    fn heal_ends_degrade_windows() {
+        let mut s = FaultSpec::default();
+        s.degrade.push(DegradeWindow {
+            from: 0,
+            until: us(1_000.0),
+            factor: 0.5,
+        });
+        s.heal.push(spec::HealEvent {
+            a: 0,
+            b: 1,
+            at: us(300.0),
+        });
+        let f = FaultState::from_spec(s);
+        let lf = f.link_faults().expect("degrade schedule present");
+        assert_eq!(lf.bw_factor(0, 1, us(100.0)), 0.5);
+        assert_eq!(lf.bw_factor(0, 1, us(300.0)), 1.0);
+        assert_eq!(lf.bw_factor(0, 2, us(300.0)), 0.5);
     }
 
     #[test]

@@ -14,10 +14,19 @@
 //! degrade=0.5@100-500      bandwidth x0.5 between 100us and 500us (repeatable)
 //! partition=200-300        full partition window in us (repeatable)
 //! gpufail=0@250            device 0 loses GPU-direct paths at 250us (repeatable)
+//! heal=0-1@500             link 0-1 heals at 500us: partition/degrade
+//!                          windows stop applying to it (repeatable)
+//! scenario=partition       named scenario shorthand, one of
+//!                          drop1|drop5|partition|gpufail|degrade —
+//!                          expands in place; later fields still override
 //! maxfaults=100            stop injecting after this many faults
 //! ```
 //!
 //! Example: `drop=0.01,delay=0.02:15,corrupt=0.002,link=0-1,seed=7`.
+//!
+//! [`FaultSpec`] implements `Display` emitting the canonical text form:
+//! `FaultSpec::parse(&spec.to_string())` round-trips every effective field
+//! (a non-default `delay` bound with `delay_p == 0` is inert and elided).
 
 use rucx_sim::time::{us, Duration, Time};
 
@@ -68,6 +77,18 @@ pub struct GpuFail {
     pub at: Time,
 }
 
+/// A link-heal event: from time `at`, partition and bandwidth-degradation
+/// windows stop applying to the unordered `(a, b)` node link (the physical
+/// fault is repaired before its scheduled window would have ended).
+/// Probabilistic envelope faults are unaffected — they model steady-state
+/// loss, not a discrete outage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealEvent {
+    pub a: usize,
+    pub b: usize,
+    pub at: Time,
+}
+
 /// Everything a chaos run injects. `Default` is the all-zero spec (no
 /// faults even if loaded), so tests can flip one field at a time.
 #[derive(Debug, Clone, PartialEq)]
@@ -94,6 +115,8 @@ pub struct FaultSpec {
     pub partitions: Vec<PartitionWindow>,
     /// GPU copy-engine failures.
     pub gpu_fail: Vec<GpuFail>,
+    /// Link-heal events terminating partition/degrade windows early.
+    pub heal: Vec<HealEvent>,
     /// Injection budget: stop injecting after this many faults.
     pub max_faults: u64,
 }
@@ -111,6 +134,7 @@ impl Default for FaultSpec {
             degrade: Vec::new(),
             partitions: Vec::new(),
             gpu_fail: Vec::new(),
+            heal: Vec::new(),
             max_faults: u64::MAX,
         }
     }
@@ -188,6 +212,20 @@ impl FaultSpec {
                         at: parse_us(key, at)?,
                     });
                 }
+                "heal" => {
+                    let (pair, at) = value
+                        .split_once('@')
+                        .ok_or_else(|| format!("heal=`{value}`: want A-B@US"))?;
+                    let (a, b) = pair
+                        .split_once('-')
+                        .ok_or_else(|| format!("heal=`{value}`: want A-B node pair"))?;
+                    spec.heal.push(HealEvent {
+                        a: parse_num(key, a)? as usize,
+                        b: parse_num(key, b)? as usize,
+                        at: parse_us(key, at)?,
+                    });
+                }
+                "scenario" => apply_scenario(&mut spec, value)?,
                 other => return Err(format!("unknown fault-spec key `{other}`")),
             }
         }
@@ -199,6 +237,123 @@ impl FaultSpec {
             return Err(format!("fault probabilities sum to {total} > 1"));
         }
         Ok(spec)
+    }
+
+    /// Whether the `(a, b)` link has healed by `now` (order-insensitive):
+    /// partition and degrade windows stop applying to it from the first
+    /// matching heal event.
+    pub fn healed(&self, a: usize, b: usize, now: Time) -> bool {
+        self.heal
+            .iter()
+            .any(|h| h.at <= now && ((h.a, h.b) == (a, b) || (h.b, h.a) == (a, b)))
+    }
+}
+
+/// Expand one `scenario=NAME` shorthand into the spec being parsed. The
+/// names are the scenario-matrix axes; each pins `seed=7` (the canned
+/// chaos seed) so a bare `scenario=...` spec is fully reproducible.
+fn apply_scenario(spec: &mut FaultSpec, name: &str) -> Result<(), String> {
+    spec.seed = 7;
+    match name {
+        "drop1" => spec.drop_p = 0.01,
+        "drop5" => spec.drop_p = 0.05,
+        "partition" => {
+            // All links partition at 150us; link 0-1 heals early at
+            // 1.2ms, the rest recover when the window closes at 2ms.
+            spec.partitions.push(PartitionWindow {
+                from: us(150.0),
+                until: us(2_000.0),
+            });
+            spec.heal.push(HealEvent {
+                a: 0,
+                b: 1,
+                at: us(1_200.0),
+            });
+        }
+        "gpufail" => spec.gpu_fail.push(GpuFail {
+            device: 0,
+            at: us(250.0),
+        }),
+        "degrade" => spec.degrade.push(DegradeWindow {
+            from: us(150.0),
+            until: us(50_000.0),
+            factor: 0.25,
+        }),
+        other => {
+            return Err(format!(
+                "unknown scenario `{other}` (want drop1|drop5|partition|gpufail|degrade)"
+            ))
+        }
+    }
+    Ok(())
+}
+
+impl std::fmt::Display for FaultSpec {
+    /// Canonical text form: every effective field in grammar order, one
+    /// `key=value` per field, defaults elided. `FaultSpec::parse` accepts
+    /// the output and reconstructs an equal spec (modulo an inert
+    /// non-default `delay` bound when `delay_p == 0`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let d = FaultSpec::default();
+        let mut parts: Vec<String> = Vec::new();
+        if self.seed != d.seed {
+            parts.push(format!("seed={}", self.seed));
+        }
+        if self.drop_p != 0.0 {
+            parts.push(format!("drop={}", self.drop_p));
+        }
+        if self.dup_p != 0.0 {
+            parts.push(format!("dup={}", self.dup_p));
+        }
+        if self.delay_p != 0.0 {
+            parts.push(format!(
+                "delay={}:{}",
+                self.delay_p,
+                rucx_sim::time::as_us(self.delay)
+            ));
+        }
+        if self.corrupt_p != 0.0 {
+            parts.push(format!("corrupt={}", self.corrupt_p));
+        }
+        if let LinkFilter::Pairs(ps) = &self.links {
+            for (a, b) in ps {
+                parts.push(format!("link={a}-{b}"));
+            }
+        }
+        for w in &self.degrade {
+            parts.push(format!(
+                "degrade={}@{}-{}",
+                w.factor,
+                rucx_sim::time::as_us(w.from),
+                rucx_sim::time::as_us(w.until)
+            ));
+        }
+        for w in &self.partitions {
+            parts.push(format!(
+                "partition={}-{}",
+                rucx_sim::time::as_us(w.from),
+                rucx_sim::time::as_us(w.until)
+            ));
+        }
+        for g in &self.gpu_fail {
+            parts.push(format!(
+                "gpufail={}@{}",
+                g.device,
+                rucx_sim::time::as_us(g.at)
+            ));
+        }
+        for h in &self.heal {
+            parts.push(format!(
+                "heal={}-{}@{}",
+                h.a,
+                h.b,
+                rucx_sim::time::as_us(h.at)
+            ));
+        }
+        if self.max_faults != u64::MAX {
+            parts.push(format!("maxfaults={}", self.max_faults));
+        }
+        write!(f, "{}", parts.join(","))
     }
 }
 
@@ -301,9 +456,82 @@ mod tests {
             "gpufail=1",
             "wat=1",
             "drop=0.6,dup=0.6",
+            "heal=0-1",
+            "heal=3@100",
+            "heal=a-b@100",
+            "heal=0-1@-5",
+            "scenario=flood",
+            "scenario=",
         ] {
             assert!(FaultSpec::parse(bad).is_err(), "`{bad}` should be rejected");
         }
+    }
+
+    #[test]
+    fn parses_heal_events() {
+        let s = FaultSpec::parse("partition=100-1000,heal=0-1@500,heal=2-3@700").unwrap();
+        assert_eq!(
+            s.heal,
+            vec![
+                HealEvent {
+                    a: 0,
+                    b: 1,
+                    at: us(500.0)
+                },
+                HealEvent {
+                    a: 2,
+                    b: 3,
+                    at: us(700.0)
+                }
+            ]
+        );
+        // Order-insensitive, time-gated.
+        assert!(!s.healed(0, 1, us(499.0)));
+        assert!(s.healed(0, 1, us(500.0)));
+        assert!(s.healed(1, 0, us(500.0)));
+        assert!(!s.healed(0, 2, us(9_999.0)));
+    }
+
+    #[test]
+    fn scenario_shorthands_expand() {
+        let drop1 = FaultSpec::parse("scenario=drop1").unwrap();
+        assert_eq!(drop1, FaultSpec::canned_one_percent_drop());
+        let drop5 = FaultSpec::parse("scenario=drop5").unwrap();
+        assert_eq!((drop5.seed, drop5.drop_p), (7, 0.05));
+        let part = FaultSpec::parse("scenario=partition").unwrap();
+        assert_eq!(part.partitions.len(), 1);
+        assert_eq!(part.heal.len(), 1);
+        assert!(part.heal[0].at < part.partitions[0].until);
+        let gpu = FaultSpec::parse("scenario=gpufail").unwrap();
+        assert_eq!(gpu.gpu_fail.len(), 1);
+        let deg = FaultSpec::parse("scenario=degrade").unwrap();
+        assert_eq!(deg.degrade.len(), 1);
+        assert!(deg.degrade[0].factor < 1.0);
+        // Later fields still override the expansion.
+        let seeded = FaultSpec::parse("scenario=drop5,seed=11").unwrap();
+        assert_eq!((seeded.seed, seeded.drop_p), (11, 0.05));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in [
+            "",
+            "seed=42,drop=0.01,dup=0.005,delay=0.05:20,corrupt=0.001,\
+             link=0-1,degrade=0.5@100-500,partition=200-300,gpufail=0@250,\
+             heal=0-1@275,maxfaults=100",
+            "scenario=drop1",
+            "scenario=drop5",
+            "scenario=partition",
+            "scenario=gpufail",
+            "scenario=degrade",
+            "drop=0.25,link=2-5,link=1-3",
+        ] {
+            let spec = FaultSpec::parse(text).unwrap();
+            let shown = spec.to_string();
+            let back = FaultSpec::parse(&shown).unwrap();
+            assert_eq!(back, spec, "`{text}` -> `{shown}` did not round-trip");
+        }
+        assert_eq!(FaultSpec::default().to_string(), "");
     }
 
     #[test]

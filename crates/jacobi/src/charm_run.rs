@@ -203,12 +203,23 @@ impl JacobiChare {
 pub fn run_charm(cfg: &JacobiConfig) -> JacobiResult {
     let topo = Topology::summit(cfg.nodes);
     let mut sim = build_sim(topo, cfg.machine.clone());
+    run_charm_on(&mut sim, cfg)
+}
+
+/// [`run_charm`] against a pre-built simulation — the scenario-matrix
+/// runner arms fault injection and the trace sink on the sim before
+/// handing it over, then harvests counters and trace afterwards. The sim
+/// must model `cfg.nodes` Summit-like nodes and not have been run yet.
+pub fn run_charm_on(sim: &mut rucx_ucp::MSim, cfg: &JacobiConfig) -> JacobiResult {
+    assert_eq!(
+        sim.world().topo.procs(),
+        cfg.ranks(),
+        "simulation topology does not match the Jacobi configuration"
+    );
     let odf = cfg.overdecomp.max(1) as u64;
     let n_elems = cfg.ranks() as u64 * odf;
     let grid = decompose(cfg.domain, n_elems);
-    let bufs = Arc::new(alloc_mapped(&mut sim, cfg.domain, grid, |b| {
-        (b / odf) as usize
-    }));
+    let bufs = Arc::new(alloc_mapped(sim, cfg.domain, grid, |b| (b / odf) as usize));
     let result = Arc::new(rucx_compat::sync::Mutex::new(JacobiResult {
         overall_ms: 0.0,
         comm_ms: 0.0,
@@ -216,7 +227,7 @@ pub fn run_charm(cfg: &JacobiConfig) -> JacobiResult {
     let result2 = result.clone();
     let (iters, warmup, mode) = (cfg.iters, cfg.warmup, cfg.mode);
 
-    launch(&mut sim, move |pe, ctx| {
+    launch(sim, move |pe, ctx| {
         let col = pe.register_collection(n_elems, move |i| (i / odf) as usize);
         let ep_halo = pe.register_ep(
             col,

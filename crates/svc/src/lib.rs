@@ -23,7 +23,7 @@
 //! — only the timing may differ. That is the correctness contract the
 //! property tests pin down.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use rucx_charm::marshal;
@@ -31,10 +31,13 @@ use rucx_charm4py::{launch_with, PyParams, PyProc};
 use rucx_compat::rng::{splitmix64, Rng};
 use rucx_compat::sync::Mutex;
 use rucx_fabric::Topology;
+use rucx_fault::FaultSpec;
 use rucx_gpu::MemRef;
-use rucx_sim::time::{as_us, us, Time};
-use rucx_sim::RunOutcome;
+use rucx_sim::time::{as_us, us, Duration, Time};
+use rucx_sim::{RunOutcome, TraceEvent};
 use rucx_ucp::{build_sim, reg_invalidate, MCtx, MachineConfig};
+
+pub mod metrics;
 
 /// Client ranks (node 0 plus two ranks of node 1 on `summit(2)`).
 pub const CLIENT_RANKS: usize = 8;
@@ -133,19 +136,60 @@ pub struct DataRef {
 
 struct Pending {
     expected: u64,
+    /// First-submission time — preserved across resubmissions so latency
+    /// measures the client-observed wait, including recovery.
     submitted: Time,
+    client: u64,
+    arg: u64,
+    worker: usize,
+    /// Virtual-time deadline (0 in legacy mode, which never reads it).
+    deadline: Time,
+    resubmits: u32,
+}
+
+/// Bump a service-layer counter in the world's shared counter map.
+fn bump(ctx: &mut MCtx, m: rucx_sim::Metric) {
+    ctx.with_world(move |w, _| w.ucp.counters.bump(m));
 }
 
 /// Client-side futures frontend (the `distributed.Client` analogue):
 /// scatter a dataset once, submit many tasks against it, gather results.
 /// One frontend serves every logical client multiplexed on its rank.
+///
+/// With [`Frontend::deadline`] set (the recovery mode; [`LoadCfg`]'s
+/// `deadline_us`), the frontend survives worker failure: tasks that miss
+/// their deadline are resubmitted to a surviving worker (re-scattering the
+/// dataset on demand), each worker carries a circuit breaker that opens
+/// after `breaker_threshold` consecutive timeouts (or immediately on a UCP
+/// endpoint give-up), and a late result for an already-gathered task is
+/// counted as a duplicate — never twice. Results stay byte-identical to a
+/// clean run because [`task_checksum`] is content-pure: any worker
+/// computes the same answer.
 pub struct Frontend {
     workers: Vec<usize>,
     pending: HashMap<u64, Pending>,
+    /// Per-task deadline; 0 keeps the legacy blocking drain path.
+    pub deadline: Duration,
+    /// Resubmissions allowed per task before it is declared failed.
+    pub max_resubmit: u32,
+    /// Consecutive timeouts before a worker's breaker opens.
+    pub breaker_threshold: u32,
+    /// Consecutive timeout count per worker (reset by any result).
+    fail_count: HashMap<usize, u32>,
+    /// Workers with an open breaker. Never reused: an endpoint give-up
+    /// tears down the ordered channel's sequence state, so a fresh send to
+    /// the same peer would desynchronize delivery.
+    tripped: HashSet<usize>,
+    /// `(client, worker)` pairs that hold the client's dataset.
+    placed: HashSet<(u64, usize)>,
+    /// Scatter buffer per client, for on-demand re-scatter at resubmission.
+    bufs: HashMap<u64, MemRef>,
     /// `(task id, checksum)` for every gathered task.
     pub results: Vec<(u64, u64)>,
     /// `(task id, submit-to-result latency)` for every gathered task.
     pub latencies: Vec<(u64, Time)>,
+    /// Tasks abandoned after `max_resubmit` or with no eligible worker.
+    pub failed: Vec<u64>,
 }
 
 impl Frontend {
@@ -153,8 +197,16 @@ impl Frontend {
         Frontend {
             workers,
             pending: HashMap::new(),
+            deadline: 0,
+            max_resubmit: 3,
+            breaker_threshold: 2,
+            fail_count: HashMap::new(),
+            tripped: HashSet::new(),
+            placed: HashSet::new(),
+            bufs: HashMap::new(),
             results: Vec::new(),
             latencies: Vec::new(),
+            failed: Vec::new(),
         }
     }
 
@@ -181,6 +233,8 @@ impl Frontend {
             }),
         );
         py.send(ctx, ch, buf);
+        self.placed.insert((client, worker));
+        self.bufs.insert(client, buf);
         DataRef { worker, client }
     }
 
@@ -197,11 +251,21 @@ impl Frontend {
         arg: u64,
         expected: u64,
     ) {
+        let now = ctx.now();
         self.pending.insert(
             task,
             Pending {
                 expected,
-                submitted: ctx.now(),
+                submitted: now,
+                client: data.client,
+                arg,
+                worker: data.worker,
+                deadline: if self.deadline > 0 {
+                    now + self.deadline
+                } else {
+                    0
+                },
+                resubmits: 0,
             },
         );
         let ch = py.channel(data.worker);
@@ -221,8 +285,14 @@ impl Frontend {
     }
 
     /// Block until one result arrives from any worker; record its latency
-    /// and verify the checksum against the client-side expectation.
+    /// and verify the checksum against the client-side expectation. In
+    /// recovery mode ([`Frontend::deadline`] set) the wait is bounded: an
+    /// expired deadline resubmits or fails the overdue tasks instead.
     pub fn drain_one(&mut self, py: &mut PyProc, ctx: &mut MCtx) {
+        if self.deadline > 0 {
+            self.drain_one_recover(py, ctx);
+            return;
+        }
         let workers = self.workers.clone();
         let (_, bytes) = py.recv_host_any(ctx, &workers);
         let msg = decode(&bytes.expect("svc result payload"));
@@ -238,6 +308,155 @@ impl Frontend {
             }
             _ => panic!("unexpected message on client rank"),
         }
+    }
+
+    /// One recovery-mode drain step: surface endpoint give-ups, then wait
+    /// for a result until the earliest outstanding deadline. Every call
+    /// either gathers a result, absorbs a duplicate, or expires at least
+    /// one overdue task — so `gather_all` terminates even with every
+    /// worker dead (tasks drain into `failed` once `max_resubmit` and the
+    /// eligible-worker pool are exhausted).
+    fn drain_one_recover(&mut self, py: &mut PyProc, ctx: &mut MCtx) {
+        self.reap_exceptions(py, ctx);
+        if self.pending.is_empty() {
+            return;
+        }
+        let dl = self
+            .pending
+            .values()
+            .map(|p| p.deadline)
+            .min()
+            .expect("pending non-empty");
+        let workers = self.workers.clone();
+        match py.recv_host_any_deadline(ctx, &workers, dl) {
+            Some((peer, bytes)) => {
+                let msg = decode(&bytes.expect("svc result payload"));
+                match msg {
+                    SvcMsg::Result { task, checksum } => match self.pending.remove(&task) {
+                        Some(p) => {
+                            assert_eq!(
+                                checksum, p.expected,
+                                "task {task} computed a wrong checksum"
+                            );
+                            self.fail_count.insert(peer, 0);
+                            self.results.push((task, checksum));
+                            self.latencies.push((task, ctx.now() - p.submitted));
+                        }
+                        // The original worker answered after the task was
+                        // resubmitted and gathered: absorb, never count twice.
+                        None => bump(ctx, metrics::DUP_RESULT),
+                    },
+                    _ => panic!("unexpected message on client rank"),
+                }
+            }
+            None => self.expire_overdue(py, ctx),
+        }
+    }
+
+    /// Map queued communication exceptions onto worker breakers. A UCP
+    /// endpoint give-up toward a worker trips its breaker immediately —
+    /// `take_exception` already tore down the channel state for that peer,
+    /// so it must never be sent to again. Tasks outstanding on it drain
+    /// through their own deadlines.
+    fn reap_exceptions(&mut self, py: &mut PyProc, ctx: &mut MCtx) {
+        while let Some(rec) = py.take_exception(ctx) {
+            match (rec.exc_type, rec.peer) {
+                ("TimeoutError", Some(p)) if self.workers.contains(&p) => self.trip(ctx, p),
+                _ => panic!(
+                    "unrecoverable svc exception: {} ({})",
+                    rec.exc_type, rec.message
+                ),
+            }
+        }
+    }
+
+    fn trip(&mut self, ctx: &mut MCtx, worker: usize) {
+        if self.tripped.insert(worker) {
+            bump(ctx, metrics::BREAKER_OPEN);
+        }
+    }
+
+    /// Expire every task past its deadline (in task-id order, for
+    /// determinism): charge the worker's breaker and resubmit or fail.
+    fn expire_overdue(&mut self, py: &mut PyProc, ctx: &mut MCtx) {
+        let now = ctx.now();
+        let mut due: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline <= now)
+            .map(|(&t, _)| t)
+            .collect();
+        due.sort_unstable();
+        for task in due {
+            bump(ctx, metrics::TASK_TIMEOUT);
+            let worker = self.pending[&task].worker;
+            let failures = {
+                let n = self.fail_count.entry(worker).or_insert(0);
+                *n += 1;
+                *n
+            };
+            if failures >= self.breaker_threshold {
+                self.trip(ctx, worker);
+            }
+            self.requeue(py, ctx, task);
+        }
+    }
+
+    /// Resubmit a timed-out task to a surviving worker (re-scattering the
+    /// dataset if that worker has never seen it), or declare it failed.
+    /// The target choice is a pure function of `(task, resubmits)` and the
+    /// breaker set, so runs are deterministic.
+    fn requeue(&mut self, py: &mut PyProc, ctx: &mut MCtx, task: u64) {
+        let p = self.pending.remove(&task).expect("requeue of unknown task");
+        // Prefer any live worker other than the one that just timed out;
+        // fall back to the timed-out worker only if it is the sole
+        // survivor (it may merely be slow, not dead).
+        let mut eligible: Vec<usize> = self
+            .workers
+            .iter()
+            .copied()
+            .filter(|w| !self.tripped.contains(w) && *w != p.worker)
+            .collect();
+        if eligible.is_empty() {
+            eligible = self
+                .workers
+                .iter()
+                .copied()
+                .filter(|w| !self.tripped.contains(w))
+                .collect();
+        }
+        if p.resubmits >= self.max_resubmit || eligible.is_empty() {
+            bump(ctx, metrics::TASK_FAILED);
+            self.failed.push(task);
+            return;
+        }
+        let mut s = task ^ u64::from(p.resubmits + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let pick = eligible[(splitmix64(&mut s) % eligible.len() as u64) as usize];
+        if !self.placed.contains(&(p.client, pick)) {
+            let buf = self.bufs[&p.client];
+            self.scatter(py, ctx, pick, p.client, buf);
+        }
+        bump(ctx, metrics::RESUBMIT);
+        let ch = py.channel(pick);
+        py.send_host(
+            ctx,
+            ch,
+            encode(&SvcMsg::Submit {
+                client: p.client,
+                task,
+                arg: p.arg,
+            }),
+        );
+        let deadline = ctx.now() + self.deadline;
+        self.pending.insert(
+            task,
+            Pending {
+                worker: pick,
+                deadline,
+                resubmits: p.resubmits + 1,
+                ..p
+            },
+        );
     }
 
     /// `client.gather(futures)`: wait for every outstanding task.
@@ -265,6 +484,29 @@ pub struct LoadCfg {
     /// use (`false`). The cost model itself is always on.
     pub cache: bool,
     pub seed: u64,
+    /// Fault-injection spec for chaos runs (`None` = clean).
+    pub fault: Option<FaultSpec>,
+    /// Per-task deadline in µs arming the recovery layer (resubmission,
+    /// circuit breakers). 0 keeps the legacy blocking drain path — clean
+    /// runs are byte-identical to the pre-recovery code.
+    pub deadline_us: f64,
+    /// Resubmissions allowed per task before it is declared failed.
+    pub max_resubmit: u32,
+    /// Consecutive per-worker timeouts before its circuit breaker opens.
+    pub breaker_threshold: u32,
+    /// Simulated worker crash: `(worker index, crash time µs)` — that
+    /// worker stops serving at the given virtual time. The crash time must
+    /// fall after the scatter phase completes, or the in-flight zero-copy
+    /// scatter would hold the client's buffer past teardown.
+    pub fail_worker: Option<(usize, f64)>,
+    /// Record a structured trace and return it in [`LoadResult`] (for
+    /// per-layer attribution by the scenario matrix).
+    pub trace: bool,
+    /// Override the UCP retransmission budget (`None` = machine default).
+    /// Latency-sensitive RPC traffic uses a tight budget so a dead
+    /// endpoint engages the park+probe health layer instead of minutes of
+    /// exponential backoff.
+    pub ucp_max_retries: Option<u32>,
 }
 
 impl Default for LoadCfg {
@@ -277,6 +519,13 @@ impl Default for LoadCfg {
             compute_us: 3.0,
             cache: true,
             seed: 1,
+            fault: None,
+            deadline_us: 0.0,
+            max_resubmit: 3,
+            breaker_threshold: 2,
+            fail_worker: None,
+            trace: false,
+            ucp_max_retries: None,
         }
     }
 }
@@ -300,6 +549,21 @@ pub struct LoadResult {
     pub ep_hit: u64,
     pub ep_miss: u64,
     pub premapped_hit: u64,
+    /// Recovery activity (all zero on a clean run with recovery disarmed).
+    pub resubmits: u64,
+    pub task_timeouts: u64,
+    pub breaker_opens: u64,
+    pub dup_results: u64,
+    pub tasks_failed: u64,
+    /// UCP-layer recovery counters, for scenario attribution.
+    pub ucp_retry: u64,
+    pub ucp_reroute: u64,
+    pub ucp_giveup: u64,
+    pub ucp_host_staged: u64,
+    pub ucp_parked: u64,
+    pub ucp_healed: u64,
+    /// Structured trace (empty unless [`LoadCfg::trace`] was set).
+    pub trace_events: Vec<TraceEvent>,
 }
 
 fn percentile(sorted: &[Time], q: f64) -> f64 {
@@ -341,7 +605,14 @@ pub fn run_load(cfg: &LoadCfg) -> LoadResult {
     let mut machine = MachineConfig::default();
     machine.ucp.reg_model = true;
     machine.ucp.reg_cache = cfg.cache;
+    machine.fault = cfg.fault.clone();
+    if let Some(r) = cfg.ucp_max_retries {
+        machine.ucp.max_retries = r;
+    }
     let mut sim = build_sim(topo, machine);
+    if cfg.trace {
+        sim.scheduler().trace.enable(0);
+    }
 
     // Per-rank gathered output: (rank, results, latencies, finish time).
     type RankOut = (usize, Vec<(u64, u64)>, Vec<(u64, Time)>, Time);
@@ -360,6 +631,7 @@ pub fn run_load(cfg: &LoadCfg) -> LoadResult {
     });
     assert_eq!(sim.run(), RunOutcome::Completed, "svc load deadlocked");
 
+    let trace_events: Vec<TraceEvent> = sim.scheduler_ref().trace.events().copied().collect();
     let w = sim.world();
     let reg_miss = w.ucp.counters.get("ucp.reg.miss");
     let reg_evict = w.ucp.counters.get("ucp.reg.evict");
@@ -419,6 +691,18 @@ pub fn run_load(cfg: &LoadCfg) -> LoadResult {
         ep_hit: w.ucp.counters.get("ucp.ep.hit"),
         ep_miss: w.ucp.counters.get("ucp.ep.miss"),
         premapped_hit: w.gpu.counters.get("gpu.pool.premapped_hit"),
+        resubmits: w.ucp.counters.get("svc.resubmit"),
+        task_timeouts: w.ucp.counters.get("svc.task_timeout"),
+        breaker_opens: w.ucp.counters.get("svc.breaker_open"),
+        dup_results: w.ucp.counters.get("svc.dup_result"),
+        tasks_failed: w.ucp.counters.get("svc.task_failed"),
+        ucp_retry: w.ucp.counters.get("ucp.retry"),
+        ucp_reroute: w.ucp.counters.get("ucp.reroute"),
+        ucp_giveup: w.ucp.counters.get("ucp.giveup"),
+        ucp_host_staged: w.ucp.counters.get("ucp.fallback.host_staged"),
+        ucp_parked: w.ucp.counters.get("ucp.parked"),
+        ucp_healed: w.ucp.counters.get("ucp.ep.healed"),
+        trace_events,
     }
 }
 
@@ -431,6 +715,9 @@ fn client_body(py: &mut PyProc, ctx: &mut MCtx, cfg: &LoadCfg, workers: &[usize]
         .filter(|c| (*c as usize) % CLIENT_RANKS == rank)
         .collect();
     let mut fe = Frontend::new(workers.to_vec());
+    fe.deadline = us(cfg.deadline_us);
+    fe.max_resubmit = cfg.max_resubmit;
+    fe.breaker_threshold = cfg.breaker_threshold;
 
     // Scatter phase: every logical client ships its dataset to its worker.
     // One send buffer per client — the payload must stay valid until the
@@ -502,10 +789,23 @@ fn worker_body(py: &mut PyProc, ctx: &mut MCtx, cfg: &LoadCfg) {
         b
     });
     let compute = us(cfg.compute_us);
+    // Simulated crash: this worker stops serving at `kill_at` (the Python
+    // loop exits; the UCP layer below keeps acking, as a host whose
+    // process died but whose NIC is alive would).
+    let kill_at: Option<Time> = match cfg.fail_worker {
+        Some((wi, at)) if CLIENT_RANKS + wi == rank => Some(us(at)),
+        _ => None,
+    };
     let mut datasets: HashMap<u64, Vec<u8>> = HashMap::new();
     let mut done = 0usize;
     while done < CLIENT_RANKS {
-        let (peer, bytes) = py.recv_host_any(ctx, &clients);
+        let (peer, bytes) = match kill_at {
+            Some(t) => match py.recv_host_any_deadline(ctx, &clients, t) {
+                Some(msg) => msg,
+                None => break,
+            },
+            None => py.recv_host_any(ctx, &clients),
+        };
         match decode(&bytes.expect("svc control payload")) {
             SvcMsg::Scatter { client, size } => {
                 // The zero-copy payload is the next message on this
@@ -547,6 +847,7 @@ mod tests {
             compute_us: 3.0,
             cache,
             seed,
+            ..LoadCfg::default()
         }
     }
 
@@ -646,6 +947,107 @@ mod tests {
                 _ => panic!("roundtrip changed the message kind"),
             }
         }
+    }
+
+    /// Satellite chaos property: under an inter-node partition that heals,
+    /// `gather_all` terminates, any resubmitted task is counted exactly
+    /// once, and the gathered results are byte-identical to a clean run.
+    #[test]
+    fn partition_chaos_gathers_exactly_once_and_matches_clean() {
+        let base = LoadCfg {
+            clients: 16,
+            tasks_per_client: 4,
+            data_size: 512,
+            window: 8,
+            seed: 5,
+            ..LoadCfg::default()
+        };
+        let clean = run_load(&base);
+        let chaos_cfg = LoadCfg {
+            fault: Some(FaultSpec::parse("scenario=partition").unwrap()),
+            deadline_us: 2_500.0,
+            ..base.clone()
+        };
+        let chaos = run_load(&chaos_cfg);
+        // run_load's RunOutcome assert is the no-hang gate; here pin down
+        // the exactly-once contract: the clean result set has one entry
+        // per task, so equality rules out both loss and double-counting.
+        assert_eq!(clean.tasks, 16 * 4);
+        assert_eq!(
+            chaos.results, clean.results,
+            "partition chaos corrupted or duplicated results"
+        );
+        assert_eq!(chaos.digest, clean.digest);
+        assert_eq!(chaos.tasks_failed, 0, "no task may be abandoned");
+        // Determinism of the chaos run itself.
+        let again = run_load(&chaos_cfg);
+        assert_eq!(chaos.results, again.results);
+        assert_eq!(chaos.wall_us, again.wall_us);
+        assert_eq!(chaos.resubmits, again.resubmits);
+        assert_eq!(chaos.task_timeouts, again.task_timeouts);
+    }
+
+    /// Satellite chaos property: a worker crash mid-run is survived by
+    /// resubmission — p99 stays finite, results match the clean run, and
+    /// the crashed worker's breaker opens.
+    #[test]
+    fn worker_failure_resubmits_and_p99_stays_finite() {
+        let base = LoadCfg {
+            clients: 16,
+            tasks_per_client: 4,
+            data_size: 512,
+            window: 8,
+            seed: 5,
+            ..LoadCfg::default()
+        };
+        let clean = run_load(&base);
+        let crashed_cfg = LoadCfg {
+            deadline_us: 800.0,
+            fail_worker: Some((1, 400.0)),
+            ..base.clone()
+        };
+        let crashed = run_load(&crashed_cfg);
+        assert_eq!(
+            crashed.results, clean.results,
+            "worker crash corrupted or duplicated results"
+        );
+        assert_eq!(crashed.digest, clean.digest);
+        assert_eq!(crashed.tasks_failed, 0);
+        assert!(
+            crashed.resubmits > 0,
+            "a worker crash must force resubmissions"
+        );
+        assert!(crashed.task_timeouts >= crashed.resubmits);
+        assert!(
+            crashed.breaker_opens >= 1,
+            "the dead worker's breaker opens"
+        );
+        assert!(crashed.p99_us.is_finite() && crashed.p99_us > 0.0);
+        // Recovery costs latency but not correctness.
+        assert!(crashed.p99_us >= clean.p99_us);
+        let again = run_load(&crashed_cfg);
+        assert_eq!(crashed.results, again.results);
+        assert_eq!(crashed.wall_us, again.wall_us);
+        assert_eq!(crashed.resubmits, again.resubmits);
+    }
+
+    /// The recovery knobs default off: a clean run reports zero recovery
+    /// activity on every counter.
+    #[test]
+    fn clean_run_has_zero_recovery_counters() {
+        let r = run_load(&small(true, 3));
+        assert_eq!(
+            (
+                r.resubmits,
+                r.task_timeouts,
+                r.breaker_opens,
+                r.dup_results,
+                r.tasks_failed
+            ),
+            (0, 0, 0, 0, 0)
+        );
+        assert_eq!((r.ucp_retry, r.ucp_reroute, r.ucp_giveup), (0, 0, 0));
+        assert!(r.trace_events.is_empty());
     }
 
     #[test]

@@ -88,6 +88,9 @@ pub struct UcpConfig {
     // ---- Reliability protocol (active only when a fault spec is loaded) ----
     /// Base retransmission timeout added on top of the estimated wire RTT.
     pub rto_base: Duration,
+    /// Floor under any single retransmission timeout (keeps the jittered
+    /// backoff from collapsing below the wire's plausible turnaround).
+    pub rto_min: Duration,
     /// Hard cap on any single retransmission timeout.
     pub rto_max: Duration,
     /// Multiplicative backoff applied per retransmission.
@@ -101,6 +104,22 @@ pub struct UcpConfig {
     pub max_retries: u32,
     /// Wire size of a reliability ack.
     pub ack_size: u64,
+
+    // ---- Endpoint health state machine ----
+    /// Consecutive ack timeouts on a (src,dst) pair before the endpoint is
+    /// marked Suspect.
+    pub suspect_after: u32,
+    /// Cadence of keepalive probes sent toward a Dead endpoint while
+    /// envelopes are parked on it.
+    pub keepalive_interval: Duration,
+    /// Unanswered keepalive probes tolerated before every envelope parked
+    /// on the Dead endpoint is flushed through the hard give-up path.
+    pub probe_budget: u32,
+    /// Times one envelope may be parked-and-released across heal cycles
+    /// before exhausting its retransmission budget hard-fails it (0 turns
+    /// the parking layer off: budget exhaustion gives up immediately, the
+    /// pre-health behaviour).
+    pub heal_retries: u32,
 }
 
 impl Default for UcpConfig {
@@ -133,11 +152,16 @@ impl Default for UcpConfig {
             reg_cache_bytes: 1 << 30,
             ep_cache_max: 4096,
             rto_base: us(50.0),
+            rto_min: us(25.0),
             rto_max: us(5_000.0),
             rto_backoff: 2.0,
             rto_jitter: 0.25,
             max_retries: 10,
             ack_size: 16,
+            suspect_after: 2,
+            keepalive_interval: us(200.0),
+            probe_budget: 25,
+            heal_retries: 1,
         }
     }
 }
@@ -175,6 +199,8 @@ mod tests {
         assert!(c.gdrcopy_enabled);
         assert!(!c.direct_gdr_rndv);
         assert!(c.pipeline_chunk >= 64 * 1024);
+        assert!(c.rto_min <= c.rto_base && c.rto_base <= c.rto_max);
+        assert!(c.suspect_after >= 1 && c.probe_budget >= 1);
     }
 
     #[test]

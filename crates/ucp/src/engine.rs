@@ -769,12 +769,25 @@ pub(crate) fn fetch_inter<F>(
     }
 }
 
+/// Whether the fault spec has a bandwidth-degradation window active on the
+/// `(a, b)` node link right now. Consulted per pipeline chunk at wire-entry
+/// time so the engine can steer chunks off a degraded rail; `None` link
+/// faults (every clean run) answers without any scan.
+fn link_degraded(w: &Machine, a: usize, b: usize, now: Time) -> bool {
+    w.net
+        .link_faults
+        .as_ref()
+        .is_some_and(|lf| lf.bw_factor(a, b, now) < 1.0)
+}
+
 /// The pipelined host-staging path for large inter-node device transfers:
 /// chunks are staged D2H on the sender, sent over the wire, and staged H2D
 /// on the receiver, all overlapped (§IV-B1). Chunk size comes from the
 /// engine; under autotuning each chunk additionally picks the
 /// least-backlogged TX rail at wire-entry time, spreading a large transfer
-/// across both of the node's rails.
+/// across both of the node's rails. A link-degrade window forces the same
+/// balanced pick even without autotuning, and every chunk steered off the
+/// default socket rail during such a window counts as a `ucp.reroute`.
 fn pipeline_fetch<F>(
     w: &mut Machine,
     s: &mut MSched,
@@ -821,8 +834,14 @@ fn pipeline_fetch<F>(
         let remaining = remaining.clone();
         let finalize = finalize.clone();
         s.schedule_at(d2h_end, move |w, s| {
-            let (sp, dp) = if balance {
-                let r = balanced_rail(w, src_port.0, src_port.1, s.now());
+            let now = s.now();
+            let degraded = link_degraded(w, src_port.0, dst_port.0, now);
+            let (sp, dp) = if balance || degraded {
+                let r = balanced_rail(w, src_port.0, src_port.1, now);
+                if degraded && r != src_port.1 {
+                    w.ucp.counters.bump(m::REROUTE);
+                    s.trace_instant("ucp.reroute", src_proc as u32, i, len);
+                }
                 ((src_port.0, r), (dst_port.0, r))
             } else {
                 (src_port, dst_port)

@@ -48,6 +48,10 @@ pub enum UcpError {
         tag: Tag,
         /// Transmission attempts made (1 original + retries).
         attempts: u32,
+        /// Virtual time spent between the first transmission and the
+        /// give-up, so the scenario matrix can attribute abandoned
+        /// transfers to wall time instead of opaque attempt counts.
+        elapsed: rucx_sim::time::Duration,
         /// Opaque model-layer context stamped at send time (e.g. the
         /// Charm++ chare the send belonged to); 0 when unset.
         ctx: u64,
@@ -91,10 +95,13 @@ impl std::fmt::Display for UcpError {
                 dst,
                 tag,
                 attempts,
+                elapsed,
                 ..
             } => write!(
                 f,
-                "endpoint timeout: {src} -> {dst} tag {tag:#x} gave up after {attempts} attempts"
+                "endpoint timeout: {src} -> {dst} tag {tag:#x} gave up after {attempts} attempts \
+                 ({:.1} us elapsed)",
+                rucx_sim::time::as_us(*elapsed)
             ),
             UcpError::UnknownRendezvous { rts_id } => {
                 write!(f, "unknown rendezvous: rts id {rts_id} is not announced")

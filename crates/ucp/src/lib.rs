@@ -14,6 +14,7 @@ pub mod am;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod health;
 pub mod machine;
 pub mod metrics;
 pub mod proto;
@@ -26,6 +27,7 @@ pub use am::{am_register, am_send_nb, AmHandler, AmId, AmMsg, AmPayload};
 pub use config::UcpConfig;
 pub use engine::{PathPlan, ProtocolEngine, Stripe};
 pub use error::{Protocol, UcpError};
+pub use health::{EpState, HealthState};
 pub use machine::{build_sim, build_sim_with, MCtx, MSim, Machine, MachineConfig, UcpSubsystem};
 pub use proto::{
     inject_local, probe_pop, reg_invalidate, rndv_fetch, tag_recv_nb, tag_send_nb, FetchDst,
@@ -890,6 +892,134 @@ mod tests {
             }) => assert_eq!(attempts, 3, "original + 2 retries"),
             other => panic!("want endpoint timeout, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn partition_heal_delivers_exactly_once_in_order() {
+        // A partition long enough to exhaust every envelope's retry budget,
+        // healed by a `heal=0-1@T` event: the health layer parks the
+        // envelopes on the Dead endpoint, keepalive probes detect the heal,
+        // and every message is delivered exactly once, in send order, with
+        // nothing abandoned.
+        let mut spec = rucx_fault::FaultSpec::default();
+        spec.partitions.push(rucx_fault::PartitionWindow {
+            from: 0,
+            until: u64::MAX,
+        });
+        spec.heal.push(rucx_fault::HealEvent {
+            a: 0,
+            b: 1,
+            at: us(1_200.0),
+        });
+        let mut cfg = MachineConfig::default();
+        cfg.ucp.max_retries = 2; // exhaust fast, park early
+        cfg.fault = Some(spec);
+        let mut sim = build_sim(Topology::summit(2), cfg);
+        let n = 6usize;
+        let mut bufs = Vec::new();
+        for i in 0..n {
+            let a = alloc_host(&mut sim, 0, 512);
+            let b = alloc_host(&mut sim, 1, 512);
+            let data = pattern(512, i as u8);
+            sim.world_mut().gpu.pool.write(a, &data).unwrap();
+            bufs.push((a, b, data));
+        }
+        let senders: Vec<_> = bufs.iter().map(|(a, _, _)| *a).collect();
+        sim.spawn("sender", 0, move |ctx| {
+            for (i, a) in senders.into_iter().enumerate() {
+                blocking::send(ctx, 0, 6, SendBuf::Mem(a), i as u64);
+            }
+        });
+        let recvs: Vec<_> = bufs.iter().map(|(_, b, _)| *b).collect();
+        let order = std::sync::Arc::new(rucx_compat::sync::Mutex::new(Vec::new()));
+        let order2 = order.clone();
+        sim.spawn("receiver", 0, move |ctx| {
+            for (i, b) in recvs.into_iter().enumerate() {
+                blocking::recv(ctx, 6, b, i as u64, MASK_FULL);
+                order2.lock().push(i);
+            }
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let m = sim.world();
+        for (i, (_, b, data)) in bufs.iter().enumerate() {
+            assert_eq!(&m.gpu.pool.read(*b).unwrap(), data, "message {i}");
+        }
+        assert_eq!(
+            *order.lock(),
+            (0..n).collect::<Vec<_>>(),
+            "post-heal delivery must preserve send order"
+        );
+        assert_eq!(m.ucp.counters.get("ucp.unreachable"), 0);
+        assert_eq!(m.ucp.counters.get("ucp.giveup"), 0);
+        assert!(m.ucp.counters.get("ucp.parked") >= 1, "budget must exhaust");
+        assert!(m.ucp.counters.get("ucp.ep.dead") >= 1);
+        assert!(m.ucp.counters.get("ucp.ep.healed") >= 1);
+        assert!(m.ucp.counters.get("ucp.probe") >= 1);
+        assert!(m.ucp.counters.get("ucp.probe_ack") >= 1);
+        assert_eq!(m.ucp.inflight_tracked(), 0);
+        assert_eq!(m.ucp.health.state(0, 6), EpState::Healthy);
+    }
+
+    #[test]
+    fn suspect_then_recover_returns_to_healthy() {
+        // Heavy drop, generous retries: endpoints go Suspect from
+        // consecutive timeouts but recover to Healthy on the next ack
+        // without ever dying.
+        let mut spec = rucx_fault::FaultSpec::default();
+        spec.seed = 9;
+        spec.drop_p = 0.6;
+        let mut sim = chaos_sim(spec);
+        let a = alloc_host(&mut sim, 0, 512);
+        let b = alloc_host(&mut sim, 1, 512);
+        let data = pattern(512, 3);
+        sim.world_mut().gpu.pool.write(a, &data).unwrap();
+        sim.spawn("sender", 0, move |ctx| {
+            blocking::send(ctx, 0, 6, SendBuf::Mem(a), 1);
+        });
+        sim.spawn("receiver", 0, move |ctx| {
+            blocking::recv(ctx, 6, b, 1, MASK_FULL);
+        });
+        assert_eq!(sim.run(), RunOutcome::Completed);
+        let m = sim.world();
+        assert_eq!(m.gpu.pool.read(b).unwrap(), data);
+        assert_eq!(m.ucp.counters.get("ucp.unreachable"), 0);
+        assert_eq!(m.ucp.health.state(0, 6), EpState::Healthy);
+    }
+
+    #[test]
+    fn link_degrade_reroutes_pipeline_chunks() {
+        // A degrade window on the inter-node link: the engine steers
+        // pipeline chunks onto the less-backlogged rail and counts each
+        // steered chunk as a reroute. The identical clean run never bumps
+        // the counter (gated in scripts/check.sh too).
+        let run = |degrade: bool| {
+            let mut spec = rucx_fault::FaultSpec::default();
+            if degrade {
+                spec.degrade.push(rucx_fault::DegradeWindow {
+                    from: 0,
+                    until: u64::MAX,
+                    factor: 0.25,
+                });
+            }
+            let mut cfg = MachineConfig::default();
+            cfg.fault = Some(spec);
+            let mut sim = build_sim(Topology::summit(2), cfg);
+            let size = 4u64 << 20; // 8 pipeline chunks at the default 512K
+            let a = alloc_dev(&mut sim, 0, size);
+            let b = alloc_dev(&mut sim, 6, size);
+            sim.spawn("sender", 0, move |ctx| {
+                blocking::send(ctx, 0, 6, SendBuf::Mem(a), 1);
+            });
+            sim.spawn("receiver", 0, move |ctx| {
+                blocking::recv(ctx, 6, b, 1, MASK_FULL);
+            });
+            assert_eq!(sim.run(), RunOutcome::Completed);
+            let m = sim.world();
+            assert!(m.ucp.counters.get("ucp.pipeline_chunks") >= 2);
+            m.ucp.counters.get("ucp.reroute")
+        };
+        assert_eq!(run(false), 0, "clean runs must never reroute");
+        assert!(run(true) >= 1, "degraded link must steer chunks");
     }
 
     #[test]

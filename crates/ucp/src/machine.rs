@@ -54,6 +54,10 @@ pub struct UcpSubsystem {
     /// Reliability-protocol state (tracked envelopes, sequence windows,
     /// parked ATS completions). Only exercised under a loaded fault spec.
     pub(crate) reliable: crate::reliable::ReliableState,
+    /// Endpoint health state machine (Healthy/Suspect/Dead/Healed per
+    /// directed pair, parked envelopes, keepalive probe loops). Driven by
+    /// the reliability layer, so likewise inert on clean runs.
+    pub health: crate::health::HealthState,
     /// The protocol engine: per-endpoint observed state (RTT, rendezvous
     /// lag) and the autotuned knobs derived from it. Pure bookkeeping
     /// unless [`UcpConfig::autotune`] is set.
@@ -209,6 +213,7 @@ pub fn build_sim_with(topo: Topology, cfg: MachineConfig, sim_cfg: SimConfig) ->
         ucx_streams,
         staging,
         reliable,
+        health: crate::health::HealthState::default(),
         engine: crate::engine::ProtocolEngine::new(seed),
         send_ctx: 0,
         reg,

@@ -68,12 +68,37 @@ pub const DUP_DROP: Metric = Metric::counter("ucp.dup_drop");
 /// Envelopes abandoned after exhausting the retransmission budget; each one
 /// surfaces a typed `UcpError` at the owning worker.
 pub const UNREACHABLE: Metric = Metric::counter("ucp.unreachable");
+/// Transfers abandoned end-to-end (give-ups surfacing `EndpointTimeout`
+/// with elapsed time + attempt count); the scenario matrix attributes
+/// abandoned transfers by this counter.
+pub const GIVEUP: Metric = Metric::counter("ucp.giveup");
 /// GPU-direct transfers degraded onto the host-staged path because a fault
 /// spec failed the device's copy engine.
 pub const FALLBACK_HOST_STAGED: Metric = Metric::counter("ucp.fallback.host_staged");
 /// Sends posted against a freed/unknown buffer handle; completed with
 /// nothing sent plus a typed `InvalidHandle` error at the worker.
 pub const BAD_HANDLE: Metric = Metric::counter("ucp.bad_handle");
+
+// ---- Endpoint health & recovery ------------------------------------------
+
+/// Pipeline chunks steered off a degraded rail by the protocol engine
+/// (bumped only while a link-degrade window is active and the balanced
+/// pick differs from the default socket rail).
+pub const REROUTE: Metric = Metric::counter("ucp.reroute");
+/// Envelopes parked by the health layer on a Dead endpoint instead of
+/// being abandoned (released on heal, flushed to give-up on probe
+/// exhaustion).
+pub const PARKED: Metric = Metric::counter("ucp.parked");
+/// Keepalive probes transmitted toward Dead endpoints.
+pub const PROBE: Metric = Metric::counter("ucp.probe");
+/// Probe acknowledgements that made it back to the prober.
+pub const PROBE_ACK: Metric = Metric::counter("ucp.probe_ack");
+/// Endpoint transitions Healthy -> Suspect (consecutive ack timeouts).
+pub const EP_SUSPECT: Metric = Metric::counter("ucp.ep.suspect");
+/// Endpoint transitions Suspect -> Dead (retransmission budget exhausted).
+pub const EP_DEAD: Metric = Metric::counter("ucp.ep.dead");
+/// Endpoint transitions Dead -> Healed (a probe ack or data ack arrived).
+pub const EP_HEALED: Metric = Metric::counter("ucp.ep.healed");
 
 // ---- Registration / endpoint cache (active when `reg_model` is on) -------
 

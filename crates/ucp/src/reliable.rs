@@ -66,6 +66,13 @@ pub(crate) struct PendingSend {
     /// never-retransmitted envelopes yield RTT samples (Karn's rule), so
     /// this never needs re-stamping.
     pub sent_at: Time,
+    /// When the envelope's very first transmission hit the wire — unlike
+    /// `sent_at` this survives a health-layer park/release cycle, so the
+    /// `elapsed` stamped on a give-up error measures the whole ordeal.
+    pub first_sent: Time,
+    /// Times the health layer has parked this envelope on a Dead endpoint
+    /// (bounded by [`crate::UcpConfig::heal_retries`]).
+    pub parks: u32,
     pub body: TrackedBody,
     /// Model-layer context stamped at send time (routes give-up errors to
     /// e.g. the owning chare); 0 when unset.
@@ -134,6 +141,11 @@ impl ReliableState {
     /// of every run that recovered all faults (leak check for chaos tests).
     pub(crate) fn inflight_tracked(&self) -> usize {
         self.inflight.len() + self.ats_table.len()
+    }
+
+    /// Mutable access to one tracked envelope (health-layer park/release).
+    pub(crate) fn inflight_mut(&mut self, id: u64) -> Option<&mut PendingSend> {
+        self.inflight.get_mut(&id)
     }
 }
 
@@ -215,6 +227,8 @@ fn enqueue(
             seq,
             attempts: 1,
             sent_at: 0,
+            first_sent: 0,
+            parks: 0,
             body,
             ctx,
         },
@@ -228,13 +242,16 @@ fn enqueue(
 
 /// One transmission attempt: run the fault lottery, put the envelope on the
 /// wire accordingly, and arm the retransmission timer for this attempt.
-fn transmit(w: &mut Machine, s: &mut MSched, id: u64) {
+pub(crate) fn transmit(w: &mut Machine, s: &mut MSched, id: u64) {
     let now = s.now();
     let Some(p) = w.ucp.reliable.inflight.get_mut(&id) else {
         return; // acked between scheduling and execution
     };
     if p.attempts == 1 {
         p.sent_at = now;
+    }
+    if p.first_sent == 0 {
+        p.first_sent = now;
     }
     let (src, dst, seq, tag, wire_size, attempt) =
         (p.src, p.dst, p.seq, p.tag, p.wire_size, p.attempts);
@@ -306,7 +323,7 @@ fn transmit(w: &mut Machine, s: &mut MSched, id: u64) {
 
 /// Retransmission timeout for transmission number `attempt` (1-based):
 /// `(rto_base + 2·wire-RTT-estimate) · backoff^(attempt-1) · (1 + jitter)`,
-/// capped at `rto_max`.
+/// clamped to `[rto_min, rto_max]`.
 fn rto_for(w: &mut Machine, wire_size: u64, attempt: u32) -> Duration {
     let rtt_est = w.net.params.wire_time(wire_size, WireKind::Host)
         + w.net
@@ -314,10 +331,10 @@ fn rto_for(w: &mut Machine, wire_size: u64, attempt: u32) -> Duration {
             .wire_time(w.ucp.config.ack_size, WireKind::Host);
     let cfg = &w.ucp.config;
     let base = (cfg.rto_base + 2 * rtt_est) as f64;
-    let (backoff, jitter, cap) = (cfg.rto_backoff, cfg.rto_jitter, cfg.rto_max);
+    let (backoff, jitter, floor, cap) = (cfg.rto_backoff, cfg.rto_jitter, cfg.rto_min, cfg.rto_max);
     let scaled = base * backoff.powi(attempt.saturating_sub(1) as i32);
     let jittered = scaled * (1.0 + jitter * w.ucp.reliable.rng.next_f64());
-    (jittered as Duration).min(cap)
+    (jittered as Duration).clamp(floor.min(cap), cap)
 }
 
 /// A tracked envelope reached `dst`: always (re-)ack — the sender may be
@@ -385,6 +402,7 @@ fn send_ack(w: &mut Machine, s: &mut MSched, from: usize, to: usize, id: u64) {
                 // any attempt — never feed it to the estimator.
                 w.ucp.counters.bump(m::RTT_SKIPPED);
             }
+            crate::health::note_alive(w, s, p.src, p.dst);
         }
     };
     match w.faults.wire_fault(src_node, dst_node, s.now()) {
@@ -440,33 +458,41 @@ fn on_timeout(w: &mut Machine, s: &mut MSched, id: u64, attempt: u32) {
         return;
     }
     let src = p.src as u32;
+    let (psrc, pdst) = (p.src, p.dst);
     w.ucp.counters.bump(m::TIMEOUT);
     s.trace_instant("ucp.timeout", src, id, attempt as u64);
     if p.attempts > max_retries {
-        give_up(w, s, id);
+        // Budget exhausted: the health layer may park the envelope on the
+        // now-Dead endpoint and probe for a heal instead of abandoning it.
+        if !crate::health::try_park(w, s, id) {
+            give_up(w, s, id);
+        }
         return;
     }
     p.attempts += 1;
     let n = p.attempts;
     w.ucp.counters.bump(m::RETRY);
     s.trace_instant("ucp.retry", src, id, n as u64);
+    crate::health::note_timeout(w, s, psrc, pdst);
     transmit(w, s, id);
 }
 
 /// Retransmission budget exhausted: declare the endpoint unreachable for
 /// this envelope, complete whatever operation it carried (no request is
 /// ever left hanging at the *sender*), and queue a typed error.
-fn give_up(w: &mut Machine, s: &mut MSched, id: u64) {
+pub(crate) fn give_up(w: &mut Machine, s: &mut MSched, id: u64) {
     let Some(p) = w.ucp.reliable.inflight.remove(&id) else {
         return;
     };
     w.ucp.counters.bump(m::UNREACHABLE);
+    w.ucp.counters.bump(m::GIVEUP);
     s.trace_instant("ucp.unreachable", p.src as u32, id, p.attempts as u64);
     let err = UcpError::EndpointTimeout {
         src: p.src,
         dst: p.dst,
         tag: p.tag,
         attempts: p.attempts,
+        elapsed: s.now().saturating_sub(p.first_sent),
         ctx: p.ctx,
     };
     match &p.body {

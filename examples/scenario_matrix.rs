@@ -1,0 +1,155 @@
+//! Chaos scenario-matrix runner: every workload × fault-scenario cell,
+//! each on its own seeded simulation, reporting the headline number, the
+//! per-layer time attribution rebuilt from the structured trace, and the
+//! recovery mechanism that paid for the degradation.
+//!
+//!     cargo run --release --example scenario_matrix -- [--quick] [--json]
+//!         [--markdown] [--shards N]
+//!
+//! Cells are independent simulations, so `--shards N` farms them out
+//! round-robin over N threads; the merged, sorted output is byte-identical
+//! to a single-threaded run (`scripts/check.sh` gates on this).
+
+use rucx::bench::scenario::{all_cells, run_cell, Cell};
+
+fn usage() -> ! {
+    eprintln!("usage: scenario_matrix [--quick] [--json] [--markdown] [--shards N]");
+    std::process::exit(2);
+}
+
+/// Run every cell, optionally sharded. Cells keep their canonical
+/// (scenario-major) order regardless of shard interleaving.
+fn sweep(quick: bool, shards: usize) -> Vec<Cell> {
+    let cells = all_cells();
+    let shards = shards.clamp(1, cells.len());
+    let mut done: Vec<(usize, Cell)> = if shards == 1 {
+        cells
+            .into_iter()
+            .enumerate()
+            .map(|(i, (s, w))| (i, run_cell(s, w, quick)))
+            .collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|k| {
+                    let mine: Vec<(usize, (&str, &str))> = cells
+                        .iter()
+                        .copied()
+                        .enumerate()
+                        .skip(k)
+                        .step_by(shards)
+                        .collect();
+                    scope.spawn(move || {
+                        mine.into_iter()
+                            .map(|(i, (s, w))| (i, run_cell(s, w, quick)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        })
+    };
+    done.sort_by_key(|(i, _)| *i);
+    done.into_iter().map(|(_, c)| c).collect()
+}
+
+fn recovery_summary(c: &Cell) -> String {
+    let r = &c.recovery;
+    let mut parts = Vec::new();
+    for (n, label) in [
+        (r.retry, "retry"),
+        (r.parked, "parked"),
+        (r.healed, "healed"),
+        (r.reroute, "reroute"),
+        (r.host_staged, "host-staged"),
+        (r.resubmit, "resubmit"),
+        (r.giveup, "giveup"),
+    ] {
+        if n > 0 {
+            parts.push(format!("{label}={n}"));
+        }
+    }
+    if parts.is_empty() {
+        "-".to_string()
+    } else {
+        parts.join(" ")
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut json = false;
+    let mut markdown = false;
+    let mut shards = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--markdown" => markdown = true,
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+
+    let cells = sweep(quick, shards);
+
+    if json {
+        let body: Vec<String> = cells.iter().map(Cell::to_json).collect();
+        println!(
+            "{{\"label\":\"chaos scenario matrix\",\"quick\":{quick},\
+             \"cells\":[{}]}}",
+            body.join(",")
+        );
+        return;
+    }
+
+    if markdown {
+        // The EXPERIMENTS.md table, ready to paste.
+        println!(
+            "| scenario | workload | headline | dominant layer | recovery paid by | recovery counters |"
+        );
+        println!("|---|---|---|---|---|---|");
+        for c in &cells {
+            println!(
+                "| {} | {} | {:.1} {} | {} | {} | {} |",
+                c.scenario,
+                c.workload,
+                c.headline,
+                c.headline_unit,
+                c.top_layer(),
+                c.recovery.dominant(),
+                recovery_summary(c),
+            );
+        }
+        return;
+    }
+
+    println!("# chaos scenario matrix ({} cells)", cells.len());
+    println!(
+        "{:>10}  {:>12}  {:>14}  {:>9}  {:>20}  recovery",
+        "scenario", "workload", "headline", "top layer", "paid by"
+    );
+    for c in &cells {
+        println!(
+            "{:>10}  {:>12}  {:>9.1} {:<10}  {:>9}  {:>20}  {}",
+            c.scenario,
+            c.workload,
+            c.headline,
+            c.headline_unit,
+            c.top_layer(),
+            c.recovery.dominant(),
+            recovery_summary(c),
+        );
+    }
+}

@@ -67,6 +67,7 @@ fn run_point(cfg: &BenchConfig, clients: usize) -> Point {
             compute_us: 3.0,
             cache,
             seed: cfg.seed,
+            ..LoadCfg::default()
         })
     };
     Point {

@@ -262,6 +262,35 @@ cargo test -q --offline --test determinism chaos
 echo "ok: chaos runs complete, lose nothing silently, replay identically"
 
 # ---------------------------------------------------------------------------
+# Chaos scenario matrix: every workload x fault-scenario cell completes,
+# merged output is byte-identical across repeated runs and shard counts
+# {1,2,8}, the clean column's recovery counters are all zero (the recovery
+# machinery costs nothing on a clean path), and each degraded-mode cell
+# attributes its recovery to the expected mechanism.
+# ---------------------------------------------------------------------------
+echo "== chaos scenario matrix: determinism + clean-path gate =="
+cargo build -q --offline --release --example scenario_matrix
+sm=./target/release/examples/scenario_matrix
+a=$("$sm" --quick --json)
+b=$("$sm" --quick --json)
+c=$("$sm" --quick --json --shards 2)
+d=$("$sm" --quick --json --shards 8)
+[ "$a" = "$b" ] || { echo "FAIL: scenario matrix JSON differs across runs"; exit 1; }
+[ "$a" = "$c" ] && [ "$a" = "$d" ] \
+    || { echo "FAIL: scenario matrix JSON differs across shard counts"; exit 1; }
+clean=$(grep -o '"scenario":"clean","workload":"[a-z_0-9]*","headline":[0-9.]*,"unit":"[^"]*","dominant":"none","recovery":{"retry":0,"parked":0,"healed":0,"reroute":0,"host_staged":0,"giveup":0,"resubmit":0}' \
+    <<<"$a" | wc -l)
+[ "$clean" -eq 4 ] \
+    || { echo "FAIL: a clean-scenario cell shows nonzero recovery counters"; exit 1; }
+grep -q '"scenario":"degrade","workload":"osu_latency"[^}]*"dominant":"reroute"' <<<"$a" \
+    || { echo "FAIL: degraded rail did not reroute pipeline chunks"; exit 1; }
+grep -q '"scenario":"partition","workload":"svc_load"[^}]*"dominant":"park+probe"' <<<"$a" \
+    || { echo "FAIL: partition not absorbed by endpoint park+probe"; exit 1; }
+grep -q '"scenario":"gpufail","workload":"osu_latency"[^}]*"dominant":"host-staged fallback"' <<<"$a" \
+    || { echo "FAIL: GPU copy-engine failure did not fall back to host staging"; exit 1; }
+echo "ok: 24-cell matrix deterministic; clean path pays zero recovery"
+
+# ---------------------------------------------------------------------------
 # Fault-machinery overhead: resume hot path unregressed and the clean send
 # path pays only the one `faults.enabled()` branch (asserted inside the
 # bench; smoke iterations keep it fast).

@@ -21,6 +21,7 @@
 //! | OSU-adapted microbenchmarks (Figs. 10–13, Table I) | [`osu`] |
 //! | Jacobi3D proxy application (Figs. 14–16) | [`jacobi`] |
 //! | Many-client service layer (Dask-style scatter/submit/gather futures) | [`svc`] |
+//! | Benchmark harness + chaos scenario matrix with per-layer attribution | [`bench`] |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@
 //! ```
 
 pub use rucx_ampi as ampi;
+pub use rucx_bench as bench;
 pub use rucx_charm as charm;
 pub use rucx_charm4py as charm4py;
 pub use rucx_coll as coll;

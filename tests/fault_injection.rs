@@ -278,6 +278,73 @@ fn chaos_property_no_silent_loss_no_hang() {
     });
 }
 
+/// Retransmission/health state at scale: 1536 processes (a 256-node
+/// Summit slice), each sending one small message to the rank one node
+/// over — 1536 distinct directed endpoint pairs, every one crossing the
+/// fabric, all under a seeded 5% drop. The reliability layer must keep
+/// per-pair state straight (no cross-pair sequence confusion), recover
+/// every loss, and drain its tracking tables completely.
+#[test]
+fn chaos_scales_to_1536_endpoints() {
+    let mut spec = FaultSpec::default();
+    spec.seed = 97;
+    spec.drop_p = 0.05;
+    let mut sim = build_sim(Topology::summit(256), chaos_machine(spec));
+
+    let procs = 1536usize;
+    let size = 256u64;
+    let mut pairs = Vec::with_capacity(procs);
+    {
+        let m = sim.world_mut();
+        for p in 0..procs {
+            let peer = (p + 6) % procs;
+            let src = m.gpu.pool.alloc_host(p / 6, size, true, true);
+            m.gpu.pool.write(src, &pattern(size, p as u8)).unwrap();
+            let dst = m.gpu.pool.alloc_host(peer / 6, size, true, true);
+            pairs.push((src, dst));
+        }
+    }
+    let dsts: Vec<_> = pairs.iter().map(|(_, d)| *d).collect();
+    for (p, (src, dst)) in pairs.into_iter().enumerate() {
+        let peer = (p + 6) % procs;
+        let tag = p as u64;
+        sim.spawn("snd", p as u64, move |ctx| {
+            blocking::send(ctx, p, peer, SendBuf::Mem(src), tag);
+        });
+        sim.spawn("rcv", peer as u64, move |ctx| {
+            blocking::recv(ctx, peer, dst, tag, MASK_FULL);
+        });
+    }
+
+    assert_eq!(
+        sim.run_until(us(10_000_000.0)),
+        RunOutcome::Completed,
+        "1536-endpoint chaos run hung"
+    );
+    let m = sim.world();
+    assert!(
+        m.ucp.counters.get("fault.drop") > 0,
+        "5% drop over 1536 messages must inject losses"
+    );
+    assert!(
+        m.ucp.counters.get("ucp.retry") > 0,
+        "losses must be retried"
+    );
+    assert_eq!(m.ucp.counters.get("ucp.unreachable"), 0);
+    assert_eq!(m.ucp.counters.get("ucp.giveup"), 0);
+    // One ack per delivery at minimum: per-pair ack state exists for every
+    // one of the 1536 endpoints.
+    assert!(m.ucp.counters.get("ucp.acked") >= procs as u64);
+    assert_eq!(m.ucp.inflight_tracked(), 0, "tracked sends must drain");
+    for (p, d) in dsts.iter().enumerate() {
+        assert_eq!(
+            m.gpu.pool.read(*d).unwrap(),
+            pattern(size, p as u8),
+            "payload {p} corrupted or lost"
+        );
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Sharded-scheduler chaos: the same invariants (no silent loss, no hang,
 // give-up iff unreachable), ported to the conservative parallel engine —
